@@ -1,0 +1,114 @@
+// Section 6 extension: deferring duplicate elimination with bag
+// intermediates. The paper: "optimizations that defer duplicate
+// elimination can be expressed as transformations that produce bags as
+// intermediate results". We measure the eager set pipeline (dedup at every
+// stage) against the deferred bag pipeline (one final distinct) on a
+// flatten-heavy query, plus the rewrite itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "eval/evaluator.h"
+#include "rewrite/engine.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+std::unique_ptr<Database> MakeDb(int64_t persons) {
+  CarWorldOptions options;
+  options.num_persons = persons;
+  options.max_children = 6;
+  options.seed = 17;
+  return BuildCarWorld(options);
+}
+
+// Eager (set) pipeline: every stage deduplicates.
+const char kEager[] =
+    "flat ! (iterate(Kp(T), child) ! (flat ! (iterate(Kp(T), child) ! "
+    "P)))";
+// Deferred (bag) pipeline: identical shape over bags, one final distinct.
+const char kDeferred[] =
+    "distinct ! (flat ! (iterate(Kp(T), child) ! (flat ! "
+    "(iterate(Kp(T), child) ! (tobag ! P)))))";
+
+void PrintReproductionTable() {
+  std::printf("== Section 6: deferred duplicate elimination ==\n");
+  std::printf("%8s %14s %14s %8s\n", "|P|", "eager result", "deferred",
+              "equal");
+  for (int64_t persons : {50, 200, 800}) {
+    auto db = MakeDb(persons);
+    auto eager = ParseQuery(kEager);
+    auto deferred = ParseQuery(kDeferred);
+    KOLA_CHECK_OK(eager.status());
+    KOLA_CHECK_OK(deferred.status());
+    auto eager_value = EvalQuery(*db, eager.value());
+    auto deferred_value = EvalQuery(*db, deferred.value());
+    KOLA_CHECK_OK(eager_value.status());
+    KOLA_CHECK_OK(deferred_value.status());
+    std::printf("%8lld %14zu %14zu %8s\n",
+                static_cast<long long>(persons),
+                eager_value.value().SetSize(),
+                deferred_value.value().SetSize(),
+                eager_value.value() == deferred_value.value() ? "yes"
+                                                              : "NO");
+  }
+  std::printf(
+      "(Finding: in THIS evaluator the deferred pipeline loses -- values\n"
+      " are kept canonically sorted, so per-stage dedup is nearly free,\n"
+      " while bag intermediates grow with every duplicated child. The\n"
+      " rewrite is semantics-preserving either way; whether to defer is a\n"
+      " cost-model decision, which is exactly why the paper wants it\n"
+      " expressible as a reversible rule rather than hard-coded.)\n\n");
+}
+
+void BM_EagerSetPipeline(benchmark::State& state) {
+  auto db = MakeDb(state.range(0));
+  auto query = ParseQuery(kEager);
+  KOLA_CHECK_OK(query.status());
+  for (auto _ : state) {
+    auto result = EvalQuery(*db, query.value());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EagerSetPipeline)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_DeferredBagPipeline(benchmark::State& state) {
+  auto db = MakeDb(state.range(0));
+  auto query = ParseQuery(kDeferred);
+  KOLA_CHECK_OK(query.status());
+  for (auto _ : state) {
+    auto result = EvalQuery(*db, query.value());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DeferredBagPipeline)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_DedupDeferralRewrite(benchmark::State& state) {
+  std::vector<Rule> rules = BagRules();
+  Rewriter rewriter;
+  auto query = ParseTerm(
+      "distinct o iterate(Kp(T), child) o distinct o "
+      "iterate(Kp(T), child) o distinct",
+      Sort::kFunction);
+  KOLA_CHECK_OK(query.status());
+  for (auto _ : state) {
+    auto result = rewriter.Fixpoint(rules, query.value(), nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DedupDeferralRewrite);
+
+}  // namespace
+}  // namespace kola
+
+int main(int argc, char** argv) {
+  kola::PrintReproductionTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Experiment E1 (Section 4.2, "Complexity"): sizes of KOLA translations.
+//
+// The paper: translated queries are O(m*n) in parse-tree nodes (n = source
+// nodes, m = maximum number of simultaneously live variables), and "in our
+// experience ... less than twice the size of the queries they translate".
+// We sweep both m (lambda-nesting depth) and n (body width) over
+// worst-case queries whose bodies reference EVERY enclosing variable, plus
+// a realistic corpus.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "aqua/parser.h"
+#include "aqua/transform.h"
+#include "common/macros.h"
+#include "translate/translate.h"
+
+namespace kola {
+namespace {
+
+using aqua::Expr;
+using aqua::ExprPtr;
+
+std::string VarName(int i) { return "x" + std::to_string(i); }
+
+/// Body referencing all m variables: [x1.age, [x2.age, ... xm.age]].
+ExprPtr AllVarsBody(int m) {
+  ExprPtr body = Expr::FunCall("age", Expr::Var(VarName(m)));
+  for (int i = m - 1; i >= 1; --i) {
+    body = Expr::Tuple(Expr::FunCall("age", Expr::Var(VarName(i))),
+                       std::move(body));
+  }
+  return body;
+}
+
+/// Worst-case nested query of depth m and body width w:
+///   app(\x1. ... app(\xm. [BODY, [BODY, ...]])(x_{m-1}.child) ...)(P)
+ExprPtr MakeDeepQuery(int m, int width) {
+  KOLA_CHECK(m >= 1 && width >= 1);
+  ExprPtr body = AllVarsBody(m);
+  for (int i = 1; i < width; ++i) {
+    body = Expr::Tuple(AllVarsBody(m), std::move(body));
+  }
+  ExprPtr expr = std::move(body);
+  for (int i = m; i >= 1; --i) {
+    ExprPtr source =
+        i == 1 ? Expr::Collection("P")
+               : Expr::FunCall("child", Expr::Var(VarName(i - 1)));
+    expr = Expr::App(Expr::Lambda({VarName(i)}, std::move(expr)),
+                     std::move(source));
+  }
+  return expr;
+}
+
+void PrintReproductionTable() {
+  std::printf("== E1: translation size, O(m*n) bound and <2x observation "
+              "==\n");
+  std::printf("%4s %6s %12s %12s %8s %10s\n", "m", "width", "aqua-nodes",
+              "kola-nodes", "ratio", "ratio/m");
+  for (int m = 1; m <= 6; ++m) {
+    for (int width : {1, 2, 4}) {
+      ExprPtr query = MakeDeepQuery(m, width);
+      auto sizes = MeasureTranslation(query);
+      KOLA_CHECK_OK(sizes.status());
+      std::printf("%4d %6d %12zu %12zu %8.2f %10.3f\n", m, width,
+                  sizes->aqua_nodes, sizes->kola_nodes, sizes->ratio(),
+                  sizes->ratio() / static_cast<double>(m));
+    }
+  }
+
+  std::printf("\nRealistic corpus (paper queries):\n");
+  std::printf("%-14s %12s %12s %8s\n", "query", "aqua-nodes", "kola-nodes",
+              "ratio");
+  struct NamedQuery {
+    const char* name;
+    ExprPtr expr;
+  };
+  auto parse = [](const char* text) {
+    auto e = aqua::ParseAqua(text);
+    KOLA_CHECK_OK(e.status());
+    return std::move(e).value();
+  };
+  NamedQuery corpus[] = {
+      {"T1", parse("app(\\a. a.city)(app(\\p. p.addr)(P))")},
+      {"T2", parse("app(\\x. x.age)(sel(\\p. p.age > 25)(P))")},
+      {"A3", aqua::QueryA3()},
+      {"A4", aqua::QueryA4()},
+      {"garage", aqua::AquaGarageQuery()},
+  };
+  for (const NamedQuery& q : corpus) {
+    auto sizes = MeasureTranslation(q.expr);
+    KOLA_CHECK_OK(sizes.status());
+    std::printf("%-14s %12zu %12zu %8.2f\n", q.name, sizes->aqua_nodes,
+                sizes->kola_nodes, sizes->ratio());
+  }
+  std::printf("(claim: realistic ratios < 2.0; worst-case grows linearly "
+              "in m)\n");
+
+  // Ablation (DESIGN.md section 6): what keeps translations small.
+  // Finding: the environment-passing scheme is inherently compact -- the
+  // local optimizations shave only a few nodes on these inputs. The O(m*n)
+  // bound comes from the minimal pi-chain variable access itself, not from
+  // peephole cleanup, which is consistent with the paper choosing a fixed
+  // combinator set over on-the-fly supercombinators (Section 5).
+  std::printf("\nAblation on the garage query and a deep query (m=5):\n");
+  std::printf("%-34s %12s %12s\n", "translator variant", "garage",
+              "deep(m=5)");
+  struct Variant {
+    const char* name;
+    TranslateOptions options;
+  };
+  Variant variants[] = {
+      {"default (simplify + fold)", {}},
+      {"no identity elimination", {.simplify_identities = false}},
+      {"no closed-subquery folding", {.fold_closed_subqueries = false}},
+      {"neither (naive)",
+       {.simplify_identities = false, .fold_closed_subqueries = false}},
+  };
+  ExprPtr garage = aqua::AquaGarageQuery();
+  ExprPtr deep = MakeDeepQuery(5, 1);
+  for (const Variant& v : variants) {
+    auto g = MeasureTranslation(garage, v.options);
+    auto d = MeasureTranslation(deep, v.options);
+    KOLA_CHECK_OK(g.status());
+    KOLA_CHECK_OK(d.status());
+    std::printf("%-34s %7zu (%.2f) %6zu (%.2f)\n", v.name, g->kola_nodes,
+                g->ratio(), d->kola_nodes, d->ratio());
+  }
+  std::printf("\n");
+}
+
+void BM_TranslateGarage(benchmark::State& state) {
+  ExprPtr query = aqua::AquaGarageQuery();
+  for (auto _ : state) {
+    Translator translator;
+    auto term = translator.TranslateQuery(query);
+    benchmark::DoNotOptimize(term);
+  }
+}
+BENCHMARK(BM_TranslateGarage);
+
+void BM_TranslateByDepth(benchmark::State& state) {
+  ExprPtr query = MakeDeepQuery(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    Translator translator;
+    auto term = translator.TranslateQuery(query);
+    benchmark::DoNotOptimize(term);
+  }
+}
+BENCHMARK(BM_TranslateByDepth)->DenseRange(1, 6);
+
+}  // namespace
+}  // namespace kola
+
+int main(int argc, char** argv) {
+  kola::PrintReproductionTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The paper's headline example, end to end: the "Garage Query" (which
+// vehicles might be parked where) starts life as a deeply nested AQUA
+// query, translates to the hidden-join KOLA form KG1 (Figure 3), and the
+// five-step rule strategy of Section 4.1 untangles it into the explicit
+// nest-of-join KG2 -- every step a declarative rule, printed as a
+// derivation. Finally both forms are executed and timed.
+
+#include <chrono>
+#include <cstdio>
+
+#include "aqua/transform.h"
+#include "eval/evaluator.h"
+#include "optimizer/hidden_join.h"
+#include "translate/translate.h"
+#include "values/car_world.h"
+
+int main() {
+  using namespace kola;  // NOLINT: example brevity
+
+  std::printf("=== 1. The query, as a user would write it (AQUA) ===\n%s\n",
+              aqua::AquaGarageQuery()->ToString().c_str());
+
+  Translator translator;
+  auto kg1 = translator.TranslateQuery(aqua::AquaGarageQuery());
+  if (!kg1.ok()) {
+    std::printf("translation failed: %s\n", kg1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== 2. Translated to KOLA (this is Figure 3's KG1) ===\n");
+  std::printf("%s\n", kg1.value()->ToString().c_str());
+  std::printf("matches the paper's KG1: %s\n",
+              Term::Equal(kg1.value(), GarageQueryKG1()) ? "yes" : "NO");
+
+  std::printf("\n=== 3. Five-step untangling (Section 4.1) ===\n");
+  Rewriter rewriter;
+  auto untangled = UntangleHiddenJoin(kg1.value(), rewriter);
+  if (!untangled.ok()) {
+    std::printf("untangling failed: %s\n",
+                untangled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", untangled->trace.ToString().c_str());
+  std::printf("\nblocks fired:");
+  for (const auto& name : untangled->blocks_fired) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nfinal form (Figure 3's KG2): %s\n",
+              untangled->query->ToString().c_str());
+  std::printf("matches the paper's KG2: %s\n",
+              Term::Equal(untangled->query, GarageQueryKG2()) ? "yes"
+                                                              : "NO");
+
+  std::printf("\n=== 4. Execution: nested loops vs nest-of-join ===\n");
+  std::printf("%8s %14s %14s %10s\n", "scale", "KG1 steps", "KG2 steps",
+              "speedup");
+  for (int64_t scale : {25, 100, 400}) {
+    CarWorldOptions options;
+    options.num_persons = scale;
+    options.num_vehicles = scale;
+    options.num_addresses = scale / 2 + 1;
+    options.seed = 5;
+    auto db = BuildCarWorld(options);
+
+    Evaluator before(db.get());
+    auto r1 = before.EvalObject(kg1.value());
+    Evaluator after(db.get());
+    auto r2 = after.EvalObject(untangled->query);
+    if (!r1.ok() || !r2.ok()) {
+      std::printf("evaluation failed\n");
+      return 1;
+    }
+    if (!(r1.value() == r2.value())) {
+      std::printf("MISMATCH at scale %lld!\n",
+                  static_cast<long long>(scale));
+      return 1;
+    }
+    std::printf("%8lld %14lld %14lld %9.1fx\n",
+                static_cast<long long>(scale),
+                static_cast<long long>(before.steps()),
+                static_cast<long long>(after.steps()),
+                static_cast<double>(before.steps()) /
+                    static_cast<double>(after.steps()));
+  }
+  std::printf("\n(results identical at every scale; the untangled form "
+              "uses the hash join/nest implementations)\n");
+  return 0;
+}

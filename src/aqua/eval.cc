@@ -1,0 +1,188 @@
+#include "aqua/eval.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kola {
+namespace aqua {
+
+namespace {
+
+StatusOr<int> OrderedCompare(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    return a.int_value() == b.int_value() ? 0
+           : a.int_value() < b.int_value() ? -1
+                                           : 1;
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.string_value().compare(b.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return TypeError("ordering on non-comparable values " + a.ToString() +
+                   " and " + b.ToString());
+}
+
+}  // namespace
+
+Status AquaEvaluator::Tick() {
+  if (++steps_ > max_steps_) {
+    return ResourceExhaustedError("AQUA evaluation exceeded step budget");
+  }
+  return Status::OK();
+}
+
+StatusOr<Value> AquaEvaluator::Eval(const ExprPtr& expr, const Env& env) {
+  KOLA_RETURN_IF_ERROR(Tick());
+  switch (expr->kind()) {
+    case ExprKind::kVar: {
+      auto it = env.find(expr->name());
+      if (it == env.end()) {
+        return FailedPreconditionError("unbound variable " + expr->name());
+      }
+      return it->second;
+    }
+    case ExprKind::kConst:
+      return expr->literal();
+    case ExprKind::kCollection:
+      return db_->Extent(expr->name());
+    case ExprKind::kTuple: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(Value b, Eval(expr->child(1), env));
+      return Value::MakePair(std::move(a), std::move(b));
+    }
+    case ExprKind::kFunCall: {
+      KOLA_ASSIGN_OR_RETURN(Value arg, Eval(expr->child(0), env));
+      return db_->CallFunction(expr->name(), arg);
+    }
+    case ExprKind::kBinOp: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(Value b, Eval(expr->child(1), env));
+      switch (expr->op()) {
+        case BinOp::kEq:
+          return Value::Bool(Value::Compare(a, b) == 0);
+        case BinOp::kNeq:
+          return Value::Bool(Value::Compare(a, b) != 0);
+        case BinOp::kIn: {
+          if (!b.is_set()) {
+            return TypeError("'in' expects a set, got " + b.ToString());
+          }
+          return Value::Bool(b.SetContains(a));
+        }
+        default: {
+          KOLA_ASSIGN_OR_RETURN(int c, OrderedCompare(a, b));
+          switch (expr->op()) {
+            case BinOp::kLt: return Value::Bool(c < 0);
+            case BinOp::kLeq: return Value::Bool(c <= 0);
+            case BinOp::kGt: return Value::Bool(c > 0);
+            default: return Value::Bool(c >= 0);
+          }
+        }
+      }
+    }
+    case ExprKind::kAnd: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(bool lhs, a.AsBool());
+      if (!lhs) return Value::Bool(false);
+      KOLA_ASSIGN_OR_RETURN(Value b, Eval(expr->child(1), env));
+      KOLA_ASSIGN_OR_RETURN(bool rhs, b.AsBool());
+      return Value::Bool(rhs);
+    }
+    case ExprKind::kOr: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(bool lhs, a.AsBool());
+      if (lhs) return Value::Bool(true);
+      KOLA_ASSIGN_OR_RETURN(Value b, Eval(expr->child(1), env));
+      KOLA_ASSIGN_OR_RETURN(bool rhs, b.AsBool());
+      return Value::Bool(rhs);
+    }
+    case ExprKind::kNot: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(bool b, a.AsBool());
+      return Value::Bool(!b);
+    }
+    case ExprKind::kLambda:
+      return FailedPreconditionError(
+          "lambda is not a first-class value in AQUA");
+    case ExprKind::kApp:
+    case ExprKind::kSel: {
+      const ExprPtr& lambda = expr->child(0);
+      if (lambda->kind() != ExprKind::kLambda ||
+          lambda->params().size() != 1) {
+        return TypeError("app/sel expects a unary lambda");
+      }
+      KOLA_ASSIGN_OR_RETURN(Value set, Eval(expr->child(1), env));
+      if (!set.is_set()) {
+        return TypeError("app/sel expects a set, got " + set.ToString());
+      }
+      std::vector<Value> out;
+      Env inner = env;
+      for (const Value& element : set.elements()) {
+        inner[lambda->params()[0]] = element;
+        KOLA_ASSIGN_OR_RETURN(Value result, Eval(lambda->child(0), inner));
+        if (expr->kind() == ExprKind::kApp) {
+          out.push_back(std::move(result));
+        } else {
+          KOLA_ASSIGN_OR_RETURN(bool keep, result.AsBool());
+          if (keep) out.push_back(element);
+        }
+      }
+      return Value::MakeSet(std::move(out));
+    }
+    case ExprKind::kFlatten: {
+      KOLA_ASSIGN_OR_RETURN(Value set, Eval(expr->child(0), env));
+      if (!set.is_set()) {
+        return TypeError("flatten expects a set, got " + set.ToString());
+      }
+      std::vector<Value> out;
+      for (const Value& inner : set.elements()) {
+        if (!inner.is_set()) {
+          return TypeError("flatten expects set elements, got " +
+                           inner.ToString());
+        }
+        for (const Value& x : inner.elements()) out.push_back(x);
+      }
+      return Value::MakeSet(std::move(out));
+    }
+    case ExprKind::kJoin: {
+      const ExprPtr& pred = expr->child(0);
+      const ExprPtr& fn = expr->child(1);
+      if (pred->kind() != ExprKind::kLambda ||
+          pred->params().size() != 2 || fn->kind() != ExprKind::kLambda ||
+          fn->params().size() != 2) {
+        return TypeError("join expects binary lambdas");
+      }
+      KOLA_ASSIGN_OR_RETURN(Value lhs, Eval(expr->child(2), env));
+      KOLA_ASSIGN_OR_RETURN(Value rhs, Eval(expr->child(3), env));
+      if (!lhs.is_set() || !rhs.is_set()) {
+        return TypeError("join expects sets");
+      }
+      std::vector<Value> out;
+      Env inner = env;
+      for (const Value& a : lhs.elements()) {
+        for (const Value& b : rhs.elements()) {
+          KOLA_RETURN_IF_ERROR(Tick());
+          inner[pred->params()[0]] = a;
+          inner[pred->params()[1]] = b;
+          KOLA_ASSIGN_OR_RETURN(Value keep_v, Eval(pred->child(0), inner));
+          KOLA_ASSIGN_OR_RETURN(bool keep, keep_v.AsBool());
+          if (!keep) continue;
+          inner[fn->params()[0]] = a;
+          inner[fn->params()[1]] = b;
+          KOLA_ASSIGN_OR_RETURN(Value v, Eval(fn->child(0), inner));
+          out.push_back(std::move(v));
+        }
+      }
+      return Value::MakeSet(std::move(out));
+    }
+    case ExprKind::kIfThenElse: {
+      KOLA_ASSIGN_OR_RETURN(Value cond, Eval(expr->child(0), env));
+      KOLA_ASSIGN_OR_RETURN(bool c, cond.AsBool());
+      return Eval(expr->child(c ? 1 : 2), env);
+    }
+  }
+  return InternalError("unhandled AQUA expression kind");
+}
+
+}  // namespace aqua
+}  // namespace kola

@@ -1,0 +1,42 @@
+#ifndef KOLA_AQUA_EVAL_H_
+#define KOLA_AQUA_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "aqua/expr.h"
+#include "common/statusor.h"
+#include "values/database.h"
+
+namespace kola {
+namespace aqua {
+
+/// Variable environment: name -> value.
+using Env = std::map<std::string, Value>;
+
+/// Direct interpreter for AQUA expressions. Used to cross-check the
+/// AQUA->KOLA translator: for every query, evaluating the AQUA form and
+/// evaluating its KOLA translation must agree.
+class AquaEvaluator {
+ public:
+  explicit AquaEvaluator(const Database* db, int64_t max_steps = 50'000'000)
+      : db_(db), max_steps_(max_steps) {}
+
+  StatusOr<Value> Eval(const ExprPtr& expr, const Env& env);
+
+  /// Evaluates a closed query.
+  StatusOr<Value> EvalQuery(const ExprPtr& expr) { return Eval(expr, {}); }
+
+ private:
+  Status Tick();
+
+  const Database* db_;
+  int64_t max_steps_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace aqua
+}  // namespace kola
+
+#endif  // KOLA_AQUA_EVAL_H_

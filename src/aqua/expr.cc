@@ -1,0 +1,372 @@
+#include "aqua/expr.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace kola {
+namespace aqua {
+
+const char* ExprKindToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kVar: return "var";
+    case ExprKind::kConst: return "const";
+    case ExprKind::kCollection: return "collection";
+    case ExprKind::kTuple: return "tuple";
+    case ExprKind::kFunCall: return "funcall";
+    case ExprKind::kBinOp: return "binop";
+    case ExprKind::kAnd: return "and";
+    case ExprKind::kOr: return "or";
+    case ExprKind::kNot: return "not";
+    case ExprKind::kLambda: return "lambda";
+    case ExprKind::kApp: return "app";
+    case ExprKind::kSel: return "sel";
+    case ExprKind::kFlatten: return "flatten";
+    case ExprKind::kJoin: return "join";
+    case ExprKind::kIfThenElse: return "if";
+  }
+  return "unknown";
+}
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "==";
+    case BinOp::kNeq: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLeq: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGeq: return ">=";
+    case BinOp::kIn: return "in";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Make(ExprKind kind, std::string name, Value literal, BinOp op,
+                   std::vector<std::string> params,
+                   std::vector<ExprPtr> children) {
+  auto expr = std::shared_ptr<Expr>(new Expr());
+  expr->kind_ = kind;
+  expr->name_ = std::move(name);
+  expr->literal_ = std::move(literal);
+  expr->op_ = op;
+  expr->params_ = std::move(params);
+  expr->children_ = std::move(children);
+  size_t nodes = 1;
+  for (const ExprPtr& child : expr->children_) {
+    KOLA_CHECK(child != nullptr);
+    nodes += child->node_count();
+  }
+  expr->node_count_ = nodes;
+  return expr;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  return Make(ExprKind::kVar, std::move(name), Value::Null(), BinOp::kEq, {},
+              {});
+}
+
+ExprPtr Expr::Const(Value value) {
+  return Make(ExprKind::kConst, "", std::move(value), BinOp::kEq, {}, {});
+}
+
+ExprPtr Expr::Collection(std::string name) {
+  return Make(ExprKind::kCollection, std::move(name), Value::Null(),
+              BinOp::kEq, {}, {});
+}
+
+ExprPtr Expr::Tuple(ExprPtr first, ExprPtr second) {
+  return Make(ExprKind::kTuple, "", Value::Null(), BinOp::kEq, {},
+              {std::move(first), std::move(second)});
+}
+
+ExprPtr Expr::FunCall(std::string function, ExprPtr argument) {
+  return Make(ExprKind::kFunCall, std::move(function), Value::Null(),
+              BinOp::kEq, {}, {std::move(argument)});
+}
+
+ExprPtr Expr::MakeBinOp(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  return Make(ExprKind::kBinOp, "", Value::Null(), op,
+              {}, {std::move(lhs), std::move(rhs)});
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  return Make(ExprKind::kAnd, "", Value::Null(), BinOp::kEq, {},
+              {std::move(lhs), std::move(rhs)});
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  return Make(ExprKind::kOr, "", Value::Null(), BinOp::kEq, {},
+              {std::move(lhs), std::move(rhs)});
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  return Make(ExprKind::kNot, "", Value::Null(), BinOp::kEq, {},
+              {std::move(operand)});
+}
+
+ExprPtr Expr::Lambda(std::vector<std::string> params, ExprPtr body) {
+  KOLA_CHECK(!params.empty() && params.size() <= 2);
+  return Make(ExprKind::kLambda, "", Value::Null(), BinOp::kEq,
+              std::move(params), {std::move(body)});
+}
+
+ExprPtr Expr::App(ExprPtr lambda, ExprPtr set) {
+  return Make(ExprKind::kApp, "", Value::Null(), BinOp::kEq, {},
+              {std::move(lambda), std::move(set)});
+}
+
+ExprPtr Expr::Sel(ExprPtr lambda, ExprPtr set) {
+  return Make(ExprKind::kSel, "", Value::Null(), BinOp::kEq, {},
+              {std::move(lambda), std::move(set)});
+}
+
+ExprPtr Expr::Flatten(ExprPtr set) {
+  return Make(ExprKind::kFlatten, "", Value::Null(), BinOp::kEq, {},
+              {std::move(set)});
+}
+
+ExprPtr Expr::Join(ExprPtr pred_lambda, ExprPtr fn_lambda, ExprPtr lhs,
+                   ExprPtr rhs) {
+  return Make(ExprKind::kJoin, "", Value::Null(), BinOp::kEq, {},
+              {std::move(pred_lambda), std::move(fn_lambda), std::move(lhs),
+               std::move(rhs)});
+}
+
+ExprPtr Expr::IfThenElse(ExprPtr condition, ExprPtr then_branch,
+                         ExprPtr else_branch) {
+  return Make(ExprKind::kIfThenElse, "", Value::Null(), BinOp::kEq, {},
+              {std::move(condition), std::move(then_branch),
+               std::move(else_branch)});
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ExprKind::kVar:
+      os << name_;
+      break;
+    case ExprKind::kConst:
+      os << literal_.ToString();
+      break;
+    case ExprKind::kCollection:
+      os << name_;
+      break;
+    case ExprKind::kTuple:
+      os << '[' << children_[0]->ToString() << ", "
+         << children_[1]->ToString() << ']';
+      break;
+    case ExprKind::kFunCall:
+      os << children_[0]->ToString() << '.' << name_;
+      break;
+    case ExprKind::kBinOp:
+      os << '(' << children_[0]->ToString() << ' ' << BinOpToString(op_)
+         << ' ' << children_[1]->ToString() << ')';
+      break;
+    case ExprKind::kAnd:
+      os << '(' << children_[0]->ToString() << " and "
+         << children_[1]->ToString() << ')';
+      break;
+    case ExprKind::kOr:
+      os << '(' << children_[0]->ToString() << " or "
+         << children_[1]->ToString() << ')';
+      break;
+    case ExprKind::kNot:
+      os << "not " << children_[0]->ToString();
+      break;
+    case ExprKind::kLambda: {
+      os << '\\';
+      for (size_t i = 0; i < params_.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << params_[i];
+      }
+      os << ". " << children_[0]->ToString();
+      break;
+    }
+    case ExprKind::kApp:
+      os << "app(" << children_[0]->ToString() << ")("
+         << children_[1]->ToString() << ')';
+      break;
+    case ExprKind::kSel:
+      os << "sel(" << children_[0]->ToString() << ")("
+         << children_[1]->ToString() << ')';
+      break;
+    case ExprKind::kFlatten:
+      os << "flatten(" << children_[0]->ToString() << ')';
+      break;
+    case ExprKind::kJoin:
+      os << "join(" << children_[0]->ToString() << ", "
+         << children_[1]->ToString() << ")(" << children_[2]->ToString()
+         << ", " << children_[3]->ToString() << ')';
+      break;
+    case ExprKind::kIfThenElse:
+      os << "if " << children_[0]->ToString() << " then "
+         << children_[1]->ToString() << " else "
+         << children_[2]->ToString();
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+void CollectFreeVars(const ExprPtr& expr, std::set<std::string>* bound,
+                     std::set<std::string>* free) {
+  switch (expr->kind()) {
+    case ExprKind::kVar:
+      if (bound->count(expr->name()) == 0) free->insert(expr->name());
+      return;
+    case ExprKind::kLambda: {
+      std::vector<std::string> added;
+      for (const std::string& p : expr->params()) {
+        if (bound->insert(p).second) added.push_back(p);
+      }
+      CollectFreeVars(expr->child(0), bound, free);
+      for (const std::string& p : added) bound->erase(p);
+      return;
+    }
+    default:
+      for (const ExprPtr& child : expr->children()) {
+        CollectFreeVars(child, bound, free);
+      }
+  }
+}
+
+/// Picks a name not occurring in `avoid`.
+std::string FreshName(const std::string& base,
+                      const std::set<std::string>& avoid) {
+  std::string candidate = base + "'";
+  while (avoid.count(candidate) > 0) candidate += "'";
+  return candidate;
+}
+
+}  // namespace
+
+std::set<std::string> FreeVars(const ExprPtr& expr) {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  CollectFreeVars(expr, &bound, &free);
+  return free;
+}
+
+ExprPtr SubstituteVar(const ExprPtr& expr, const std::string& var,
+                      const ExprPtr& replacement) {
+  switch (expr->kind()) {
+    case ExprKind::kVar:
+      return expr->name() == var ? replacement : expr;
+    case ExprKind::kConst:
+    case ExprKind::kCollection:
+      return expr;
+    case ExprKind::kLambda: {
+      // Shadowed: substitution stops here.
+      for (const std::string& p : expr->params()) {
+        if (p == var) return expr;
+      }
+      // Capture: rename the offending binder first.
+      std::set<std::string> replacement_free = FreeVars(replacement);
+      std::vector<std::string> params = expr->params();
+      ExprPtr body = expr->child(0);
+      for (std::string& p : params) {
+        if (replacement_free.count(p) == 0) continue;
+        std::set<std::string> avoid = replacement_free;
+        for (const std::string& fv : FreeVars(body)) avoid.insert(fv);
+        std::string fresh = FreshName(p, avoid);
+        body = SubstituteVar(body, p, Expr::Var(fresh));
+        p = fresh;
+      }
+      return Expr::Lambda(std::move(params),
+                          SubstituteVar(body, var, replacement));
+    }
+    default: {
+      bool changed = false;
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ExprPtr& child : expr->children()) {
+        ExprPtr replaced = SubstituteVar(child, var, replacement);
+        changed = changed || replaced.get() != child.get();
+        children.push_back(std::move(replaced));
+      }
+      if (!changed) return expr;
+      // Rebuild with the same head.
+      switch (expr->kind()) {
+        case ExprKind::kTuple:
+          return Expr::Tuple(children[0], children[1]);
+        case ExprKind::kFunCall:
+          return Expr::FunCall(expr->name(), children[0]);
+        case ExprKind::kBinOp:
+          return Expr::MakeBinOp(expr->op(), children[0], children[1]);
+        case ExprKind::kAnd:
+          return Expr::And(children[0], children[1]);
+        case ExprKind::kOr:
+          return Expr::Or(children[0], children[1]);
+        case ExprKind::kNot:
+          return Expr::Not(children[0]);
+        case ExprKind::kApp:
+          return Expr::App(children[0], children[1]);
+        case ExprKind::kSel:
+          return Expr::Sel(children[0], children[1]);
+        case ExprKind::kFlatten:
+          return Expr::Flatten(children[0]);
+        case ExprKind::kJoin:
+          return Expr::Join(children[0], children[1], children[2],
+                            children[3]);
+        case ExprKind::kIfThenElse:
+          return Expr::IfThenElse(children[0], children[1], children[2]);
+        default:
+          KOLA_CHECK(false);
+          return expr;
+      }
+    }
+  }
+}
+
+namespace {
+
+bool AlphaEqualImpl(const ExprPtr& a, const ExprPtr& b,
+                    std::map<std::string, std::string>* a_to_b) {
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kVar: {
+      auto it = a_to_b->find(a->name());
+      if (it != a_to_b->end()) return it->second == b->name();
+      return a->name() == b->name();
+    }
+    case ExprKind::kConst:
+      return Value::Compare(a->literal(), b->literal()) == 0;
+    case ExprKind::kCollection:
+      return a->name() == b->name();
+    case ExprKind::kFunCall:
+      return a->name() == b->name() &&
+             AlphaEqualImpl(a->child(0), b->child(0), a_to_b);
+    case ExprKind::kBinOp:
+      if (a->op() != b->op()) return false;
+      break;
+    case ExprKind::kLambda: {
+      if (a->params().size() != b->params().size()) return false;
+      std::map<std::string, std::string> saved = *a_to_b;
+      for (size_t i = 0; i < a->params().size(); ++i) {
+        (*a_to_b)[a->params()[i]] = b->params()[i];
+      }
+      bool equal = AlphaEqualImpl(a->child(0), b->child(0), a_to_b);
+      *a_to_b = std::move(saved);
+      return equal;
+    }
+    default:
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!AlphaEqualImpl(a->child(i), b->child(i), a_to_b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AlphaEqual(const ExprPtr& a, const ExprPtr& b) {
+  std::map<std::string, std::string> renaming;
+  return AlphaEqualImpl(a, b, &renaming);
+}
+
+}  // namespace aqua
+}  // namespace kola

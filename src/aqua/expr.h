@@ -1,0 +1,113 @@
+#ifndef KOLA_AQUA_EXPR_H_
+#define KOLA_AQUA_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "values/value.h"
+
+namespace kola {
+namespace aqua {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// The variable-based comparator algebra (AQUA, [25] in the paper). This is
+/// the representation the paper argues AGAINST for rule matching: anonymous
+/// functions are lambda-expressions, so transformations need capture-aware
+/// substitution (body routines) and free-variable analysis (head routines).
+enum class ExprKind {
+  kVar,         // bound variable reference
+  kConst,       // literal Value
+  kCollection,  // named extent (P, V, ...)
+  kTuple,       // [e1, e2]
+  kFunCall,     // unary schema function applied via a path: e.age
+  kBinOp,       // ==  !=  <  <=  >  >=  in
+  kAnd,         // e1 and e2
+  kOr,          // e1 or e2
+  kNot,         // not e
+  kLambda,      // \x. body   or   \x y. body (binary, for join)
+  kApp,         // app(lambda)(set)
+  kSel,         // sel(lambda)(set)
+  kFlatten,     // flatten(set-of-sets)
+  kJoin,        // join(lambda2-pred, lambda2-fn)(A, B)
+  kIfThenElse,  // if c then e1 else e2
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+/// Comparison / membership operators for kBinOp.
+enum class BinOp { kEq, kNeq, kLt, kLeq, kGt, kGeq, kIn };
+
+const char* BinOpToString(BinOp op);
+
+/// An immutable AQUA expression node.
+class Expr {
+ public:
+  static ExprPtr Var(std::string name);
+  static ExprPtr Const(Value value);
+  static ExprPtr Collection(std::string name);
+  static ExprPtr Tuple(ExprPtr first, ExprPtr second);
+  static ExprPtr FunCall(std::string function, ExprPtr argument);
+  static ExprPtr MakeBinOp(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr Lambda(std::vector<std::string> params, ExprPtr body);
+  static ExprPtr App(ExprPtr lambda, ExprPtr set);
+  static ExprPtr Sel(ExprPtr lambda, ExprPtr set);
+  static ExprPtr Flatten(ExprPtr set);
+  static ExprPtr Join(ExprPtr pred_lambda, ExprPtr fn_lambda, ExprPtr lhs,
+                      ExprPtr rhs);
+  static ExprPtr IfThenElse(ExprPtr condition, ExprPtr then_branch,
+                            ExprPtr else_branch);
+
+  ExprKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const Value& literal() const { return literal_; }
+  BinOp op() const { return op_; }
+  const std::vector<std::string>& params() const { return params_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  /// Number of AST nodes (the paper's size metric; lambda binders count as
+  /// part of their node).
+  size_t node_count() const { return node_count_; }
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+  static ExprPtr Make(ExprKind kind, std::string name, Value literal,
+                      BinOp op, std::vector<std::string> params,
+                      std::vector<ExprPtr> children);
+
+  ExprKind kind_ = ExprKind::kConst;
+  std::string name_;
+  Value literal_;
+  BinOp op_ = BinOp::kEq;
+  std::vector<std::string> params_;
+  std::vector<ExprPtr> children_;
+  size_t node_count_ = 1;
+};
+
+/// Free variables of `expr`.
+std::set<std::string> FreeVars(const ExprPtr& expr);
+
+/// Capture-avoiding substitution expr[var := replacement]. Bound variables
+/// that would capture free variables of `replacement` are renamed. This is
+/// exactly the "additional machinery" Section 2.1 says variable-based rules
+/// require; the baseline transformer instruments it.
+ExprPtr SubstituteVar(const ExprPtr& expr, const std::string& var,
+                      const ExprPtr& replacement);
+
+/// Alpha-equivalence (equality modulo bound-variable renaming).
+bool AlphaEqual(const ExprPtr& a, const ExprPtr& b);
+
+}  // namespace aqua
+}  // namespace kola
+
+#endif  // KOLA_AQUA_EXPR_H_

@@ -1,0 +1,183 @@
+#include "aqua/transform.h"
+
+#include "aqua/parser.h"
+#include "common/macros.h"
+
+namespace kola {
+namespace aqua {
+
+namespace {
+
+Status NoMatch(const char* which) {
+  return FailedPreconditionError(std::string(which) +
+                                 ": expression does not match");
+}
+
+/// True when `expr` is app/sel over a unary lambda.
+bool IsUnaryLoop(const ExprPtr& expr, ExprKind kind) {
+  return expr->kind() == kind &&
+         expr->child(0)->kind() == ExprKind::kLambda &&
+         expr->child(0)->params().size() == 1;
+}
+
+/// True when `expr` is a pure path rooted at variable `var`:
+/// var.f1.f2...fn. Counts examined nodes into head_ops.
+bool IsPathOf(const ExprPtr& expr, const std::string& var, int* head_ops) {
+  ++*head_ops;
+  if (expr->kind() == ExprKind::kVar) return expr->name() == var;
+  if (expr->kind() == ExprKind::kFunCall) {
+    return IsPathOf(expr->child(0), var, head_ops);
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<ExprPtr> FuseAppApp(const ExprPtr& expr,
+                             AquaTransformStats* stats) {
+  *stats = AquaTransformStats{};
+  // Shape check (cheap "unification-like" part).
+  if (!IsUnaryLoop(expr, ExprKind::kApp)) return NoMatch("FuseAppApp");
+  const ExprPtr& outer_lambda = expr->child(0);
+  const ExprPtr& inner = expr->child(1);
+  if (!IsUnaryLoop(inner, ExprKind::kApp)) return NoMatch("FuseAppApp");
+  const ExprPtr& inner_lambda = inner->child(0);
+  const ExprPtr& source = inner->child(1);
+
+  // Body routine: capture-avoiding substitution of the inner body for the
+  // outer variable. Every node of the rewritten body is "built" by code.
+  const std::string& outer_var = outer_lambda->params()[0];
+  ExprPtr fused_body =
+      SubstituteVar(outer_lambda->child(0), outer_var,
+                    inner_lambda->child(0));
+  stats->body_ops += static_cast<int>(fused_body->node_count());
+
+  ExprPtr result = Expr::App(
+      Expr::Lambda({inner_lambda->params()[0]}, std::move(fused_body)),
+      source);
+  stats->body_ops += 2;  // the rebuilt lambda and app nodes
+  stats->applied = true;
+  return result;
+}
+
+StatusOr<ExprPtr> SwapProjectSelect(const ExprPtr& expr,
+                                    AquaTransformStats* stats) {
+  *stats = AquaTransformStats{};
+  if (!IsUnaryLoop(expr, ExprKind::kApp)) return NoMatch("SwapProjectSelect");
+  const ExprPtr& proj_lambda = expr->child(0);
+  const ExprPtr& inner = expr->child(1);
+  if (!IsUnaryLoop(inner, ExprKind::kSel)) {
+    return NoMatch("SwapProjectSelect");
+  }
+  const ExprPtr& sel_lambda = inner->child(0);
+  const ExprPtr& source = inner->child(1);
+
+  // Head routine part 1: the selection predicate must be PATH'(p) > k with
+  // a constant right-hand side.
+  const ExprPtr& predicate = sel_lambda->child(0);
+  ++stats->head_ops;
+  if (predicate->kind() != ExprKind::kBinOp) {
+    return NoMatch("SwapProjectSelect");
+  }
+  const ExprPtr& pred_path = predicate->child(0);
+  const ExprPtr& pred_const = predicate->child(1);
+  ++stats->head_ops;
+  if (pred_const->kind() != ExprKind::kConst) {
+    return NoMatch("SwapProjectSelect");
+  }
+  if (!IsPathOf(pred_path, sel_lambda->params()[0], &stats->head_ops)) {
+    return NoMatch("SwapProjectSelect");
+  }
+
+  // Head routine part 2: the projection body, alpha-renamed to the
+  // selection variable, must BE the predicate's path (the paper's "variable
+  // renaming" machinery: '\x. x.age' must be recognized as a subfunction of
+  // '\p. p.age > 25').
+  ExprPtr renamed = SubstituteVar(proj_lambda->child(0),
+                                  proj_lambda->params()[0],
+                                  Expr::Var(sel_lambda->params()[0]));
+  stats->head_ops += static_cast<int>(renamed->node_count()) +
+                     static_cast<int>(pred_path->node_count());
+  if (!AlphaEqual(renamed, pred_path)) return NoMatch("SwapProjectSelect");
+
+  // Body routine: build '\a. a OP k' and 'app(\p. PATH')(S)'.
+  ExprPtr new_pred = Expr::Lambda(
+      {"a"}, Expr::MakeBinOp(predicate->op(), Expr::Var("a"), pred_const));
+  ExprPtr new_app = Expr::App(
+      Expr::Lambda({sel_lambda->params()[0]}, pred_path), source);
+  stats->body_ops += static_cast<int>(new_pred->node_count()) +
+                     static_cast<int>(new_app->node_count()) + 1;
+  stats->applied = true;
+  return Expr::Sel(std::move(new_pred), std::move(new_app));
+}
+
+StatusOr<ExprPtr> AquaCodeMotion(const ExprPtr& expr,
+                                 AquaTransformStats* stats) {
+  *stats = AquaTransformStats{};
+  if (!IsUnaryLoop(expr, ExprKind::kApp)) return NoMatch("AquaCodeMotion");
+  const ExprPtr& lambda = expr->child(0);
+  const ExprPtr& source = expr->child(1);
+  const std::string& p = lambda->params()[0];
+
+  const ExprPtr& body = lambda->child(0);
+  ++stats->head_ops;
+  if (body->kind() != ExprKind::kTuple) return NoMatch("AquaCodeMotion");
+  ++stats->head_ops;
+  if (body->child(0)->kind() != ExprKind::kVar ||
+      body->child(0)->name() != p) {
+    return NoMatch("AquaCodeMotion");
+  }
+  const ExprPtr& second = body->child(1);
+  if (!IsUnaryLoop(second, ExprKind::kSel)) return NoMatch("AquaCodeMotion");
+  const ExprPtr& sel_lambda = second->child(0);
+  const ExprPtr& sel_source = second->child(1);
+
+  // Head routine: ENVIRONMENTAL ANALYSIS. The transformation is valid only
+  // when the selection variable does not occur free in the predicate --
+  // i.e. the predicate constrains the outer environment only. This walks
+  // the whole predicate, which is exactly the analysis that pure
+  // unification cannot express over a variable-based representation
+  // (Section 2.2). In KOLA the same fact is the visible difference between
+  // `p @ pi1` and `p @ pi2`.
+  const ExprPtr& predicate = sel_lambda->child(0);
+  stats->head_ops += static_cast<int>(predicate->node_count());
+  std::set<std::string> free = FreeVars(predicate);
+  if (free.count(sel_lambda->params()[0]) > 0) {
+    return NoMatch("AquaCodeMotion (predicate mentions the loop variable)");
+  }
+
+  // Body routine: rebuild as a conditional.
+  ExprPtr hoisted = Expr::IfThenElse(
+      predicate, Expr::Tuple(Expr::Var(p), sel_source),
+      Expr::Tuple(Expr::Var(p), Expr::Const(Value::EmptySet())));
+  stats->body_ops += static_cast<int>(hoisted->node_count());
+  stats->applied = true;
+  return Expr::App(Expr::Lambda({p}, std::move(hoisted)), source);
+}
+
+namespace {
+
+ExprPtr MustParseAqua(const char* text) {
+  auto expr = ParseAqua(text);
+  KOLA_CHECK_OK(expr.status());
+  return std::move(expr).value();
+}
+
+}  // namespace
+
+ExprPtr QueryA3() {
+  return MustParseAqua("app(\\p. [p, sel(\\c. c.age > 25)(p.child)])(P)");
+}
+
+ExprPtr QueryA4() {
+  return MustParseAqua("app(\\p. [p, sel(\\c. p.age > 25)(p.child)])(P)");
+}
+
+ExprPtr AquaGarageQuery() {
+  return MustParseAqua(
+      "app(\\v. [v, flatten(app(\\p. p.grgs)(sel(\\p. v in p.cars)(P)))])"
+      "(V)");
+}
+
+}  // namespace aqua
+}  // namespace kola

@@ -1,0 +1,54 @@
+#ifndef KOLA_AQUA_TRANSFORM_H_
+#define KOLA_AQUA_TRANSFORM_H_
+
+#include "aqua/expr.h"
+#include "common/statusor.h"
+
+namespace kola {
+namespace aqua {
+
+/// Instrumentation of the variable-based transformation baseline. The
+/// counters measure the supplemental code Section 2 says AQUA-style rules
+/// must carry: `head_ops` counts AST nodes examined by condition functions
+/// (variable renaming, alpha-comparison, freeness analysis) and `body_ops`
+/// counts nodes built or rewritten by action routines (substitution,
+/// expression composition). The KOLA counterparts of these transformations
+/// are single declarative rules with zero such operations.
+struct AquaTransformStats {
+  int head_ops = 0;
+  int body_ops = 0;
+  bool applied = false;
+};
+
+/// Figure 1, T1: app(\a. E1)(app(\p. E2)(S)) => app(\p. E1[a := E2])(S).
+/// The body routine is capture-avoiding substitution over E1.
+/// FAILED_PRECONDITION when the expression does not have this shape.
+StatusOr<ExprPtr> FuseAppApp(const ExprPtr& expr, AquaTransformStats* stats);
+
+/// Figure 1, T2: app(\x. PATH(x))(sel(\p. PATH'(p) > k)(S)) =>
+/// sel(\a. a > k)(app(\p. PATH'(p))(S)), valid when PATH alpha-renamed to p
+/// equals PATH'. The head routine performs the renaming + comparison; the
+/// body routine decomposes the predicate and rebuilds both lambdas.
+StatusOr<ExprPtr> SwapProjectSelect(const ExprPtr& expr,
+                                    AquaTransformStats* stats);
+
+/// Figure 2 code motion: app(\p. [p, sel(\c. Q)(E)])(S) =>
+/// app(\p. if Q then [p, E] else [p, {}])(S), valid ONLY when c does not
+/// occur free in Q -- the freeness head routine the paper says cannot be
+/// replaced by unification over a variable-based representation.
+StatusOr<ExprPtr> AquaCodeMotion(const ExprPtr& expr,
+                                 AquaTransformStats* stats);
+
+/// The paper's Figure 2 queries A3 (predicate on the child c -- not
+/// hoistable) and A4 (predicate on the person p -- hoistable).
+ExprPtr QueryA3();
+ExprPtr QueryA4();
+
+/// The AQUA Garage Query of Section 3 (translated by the KOLA translator
+/// into exactly KG1; see translate/).
+ExprPtr AquaGarageQuery();
+
+}  // namespace aqua
+}  // namespace kola
+
+#endif  // KOLA_AQUA_TRANSFORM_H_

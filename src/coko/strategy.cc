@@ -1,0 +1,224 @@
+#include "coko/strategy.h"
+
+#include "common/macros.h"
+#include "rules/catalog.h"
+
+namespace kola {
+
+namespace {
+
+class OnceStrategy : public Strategy {
+ public:
+  explicit OnceStrategy(Rule rule) : rule_(std::move(rule)) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    RewriteStep step;
+    if (auto result = rewriter.ApplyOnce(rule_, term, &step)) {
+      if (trace != nullptr) {
+        if (trace->initial == nullptr) trace->initial = term;
+        trace->steps.push_back(std::move(step));
+      }
+      return StrategyResult{*result, true};
+    }
+    return StrategyResult{term, false};
+  }
+
+ private:
+  Rule rule_;
+};
+
+class FirstOfStrategy : public Strategy {
+ public:
+  explicit FirstOfStrategy(std::vector<Rule> rules)
+      : rules_(std::move(rules)) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    RewriteStep step;
+    if (auto result = rewriter.ApplyAnyOnce(rules_, term, &step)) {
+      if (trace != nullptr) {
+        if (trace->initial == nullptr) trace->initial = term;
+        trace->steps.push_back(std::move(step));
+      }
+      return StrategyResult{*result, true};
+    }
+    return StrategyResult{term, false};
+  }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+class SeqStrategy : public Strategy {
+ public:
+  explicit SeqStrategy(std::vector<StrategyPtr> strategies)
+      : strategies_(std::move(strategies)) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    StrategyResult accumulated{term, false};
+    for (const StrategyPtr& strategy : strategies_) {
+      KOLA_ASSIGN_OR_RETURN(StrategyResult result,
+                            strategy->Run(accumulated.term, rewriter, trace));
+      accumulated.term = result.term;
+      accumulated.changed = accumulated.changed || result.changed;
+    }
+    return accumulated;
+  }
+
+ private:
+  std::vector<StrategyPtr> strategies_;
+};
+
+class ExhaustStrategy : public Strategy {
+ public:
+  ExhaustStrategy(std::vector<Rule> rules, int max_steps)
+      : rules_(std::move(rules)), max_steps_(max_steps) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    size_t steps_before = trace == nullptr ? 0 : trace->steps.size();
+    KOLA_ASSIGN_OR_RETURN(
+        TermPtr result, rewriter.Fixpoint(rules_, term, trace, max_steps_));
+    bool changed = trace == nullptr ? !Term::Equal(result, term)
+                                    : trace->steps.size() > steps_before;
+    return StrategyResult{std::move(result), changed};
+  }
+
+ private:
+  std::vector<Rule> rules_;
+  int max_steps_;
+};
+
+class RepeatStrategy : public Strategy {
+ public:
+  RepeatStrategy(StrategyPtr body, int max_rounds)
+      : body_(std::move(body)), max_rounds_(max_rounds) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    StrategyResult accumulated{term, false};
+    for (int round = 0; round < max_rounds_; ++round) {
+      KOLA_ASSIGN_OR_RETURN(StrategyResult result,
+                            body_->Run(accumulated.term, rewriter, trace));
+      if (!result.changed) return accumulated;
+      accumulated.term = result.term;
+      accumulated.changed = true;
+    }
+    return ResourceExhaustedError("Repeat strategy exceeded " +
+                                  std::to_string(max_rounds_) + " rounds");
+  }
+
+ private:
+  StrategyPtr body_;
+  int max_rounds_;
+};
+
+class EverywhereStrategy : public Strategy {
+ public:
+  explicit EverywhereStrategy(std::vector<Rule> rules)
+      : rules_(std::move(rules)) {}
+
+  StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
+                               Trace* trace) const override {
+    bool changed = false;
+    TermPtr result = Sweep(term, rewriter, trace, &changed);
+    return StrategyResult{std::move(result), changed};
+  }
+
+ private:
+  TermPtr Sweep(const TermPtr& term, const Rewriter& rewriter, Trace* trace,
+                bool* changed) const {
+    // Children first.
+    TermPtr current = term;
+    if (!term->is_leaf()) {
+      bool child_changed = false;
+      std::vector<TermPtr> children;
+      children.reserve(term->arity());
+      for (const TermPtr& child : term->children()) {
+        TermPtr swept = Sweep(child, rewriter, trace, changed);
+        child_changed = child_changed || swept.get() != child.get();
+        children.push_back(std::move(swept));
+      }
+      if (child_changed) current = term->WithChildren(std::move(children));
+    }
+    // Then this position, once.
+    for (const Rule& rule : rules_) {
+      if (auto rewritten = rewriter.ApplyAtRoot(rule, current)) {
+        if (trace != nullptr) {
+          if (trace->initial == nullptr) trace->initial = term;
+          trace->steps.push_back(
+              RewriteStep{rule.id, {}, current, *rewritten, *rewritten});
+        }
+        *changed = true;
+        return *rewritten;
+      }
+    }
+    return current;
+  }
+
+  std::vector<Rule> rules_;
+};
+
+/// Collects the catalog rules with the given ids.
+std::vector<Rule> CatalogRules(const std::vector<std::string>& ids) {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<Rule> selected;
+  selected.reserve(ids.size());
+  for (const std::string& id : ids) selected.push_back(FindRule(all, id));
+  return selected;
+}
+
+}  // namespace
+
+StrategyPtr Once(Rule rule) {
+  return std::make_shared<OnceStrategy>(std::move(rule));
+}
+
+StrategyPtr FirstOf(std::vector<Rule> rules) {
+  return std::make_shared<FirstOfStrategy>(std::move(rules));
+}
+
+StrategyPtr Seq(std::vector<StrategyPtr> strategies) {
+  return std::make_shared<SeqStrategy>(std::move(strategies));
+}
+
+StrategyPtr Exhaust(std::vector<Rule> rules, int max_steps) {
+  return std::make_shared<ExhaustStrategy>(std::move(rules), max_steps);
+}
+
+StrategyPtr Repeat(StrategyPtr body, int max_rounds) {
+  return std::make_shared<RepeatStrategy>(std::move(body), max_rounds);
+}
+
+StrategyPtr Everywhere(std::vector<Rule> rules) {
+  return std::make_shared<EverywhereStrategy>(std::move(rules));
+}
+
+RuleBlock CnfBlock() {
+  return RuleBlock(
+      "convert predicates to CNF",
+      Exhaust(CatalogRules({"ext.not-not", "ext.demorgan-and",
+                            "ext.demorgan-or", "ext.cnf-dist-left",
+                            "ext.cnf-dist-right"})));
+}
+
+RuleBlock PushSelectsPastJoinsBlock() {
+  return RuleBlock("push selects past joins",
+                   Exhaust(CatalogRules({"ext.select-past-join-left",
+                                         "ext.select-past-join-right"})));
+}
+
+RuleBlock SimplifyBlock() {
+  return RuleBlock(
+      "simplify",
+      Exhaust(CatalogRules(
+          {"1", "2", "3", "4", "5", "6", "8", "9", "10", "18",
+           "ext.and-true-right", "ext.and-false", "ext.or-true",
+           "ext.or-false", "ext.product-id", "ext.con-true", "ext.con-false",
+           "ext.con-same", "ext.not-not", "ext.inv-inv", "ext.iterate-false",
+           "norm.id-apply"})));
+}
+
+}  // namespace kola

@@ -1,0 +1,51 @@
+#ifndef KOLA_COMMON_MACROS_H_
+#define KOLA_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status from the enclosing function.
+#define KOLA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::kola::Status kola_status_ = (expr);         \
+    if (!kola_status_.ok()) return kola_status_;  \
+  } while (false)
+
+#define KOLA_MACRO_CONCAT_INNER(x, y) x##y
+#define KOLA_MACRO_CONCAT(x, y) KOLA_MACRO_CONCAT_INNER(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns its status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define KOLA_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  KOLA_ASSIGN_OR_RETURN_IMPL(KOLA_MACRO_CONCAT(kola_sor_, __LINE__), lhs,  \
+                             rexpr)
+
+#define KOLA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Aborts the process when `cond` is false. For invariants whose violation
+/// means a bug inside this library, never for bad user input.
+#define KOLA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "KOLA_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << "\n";                                     \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define KOLA_CHECK_OK(expr)                                                  \
+  do {                                                                       \
+    ::kola::Status kola_status_ = (expr);                                    \
+    if (!kola_status_.ok()) {                                                \
+      std::cerr << "KOLA_CHECK_OK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " << kola_status_ << "\n";                             \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // KOLA_COMMON_MACROS_H_

@@ -1,0 +1,45 @@
+#include "common/random.h"
+
+#include "common/macros.h"
+
+namespace kola {
+
+uint64_t Rng::Next() {
+  // splitmix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  KOLA_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+size_t Rng::Index(size_t size) {
+  KOLA_CHECK(size > 0);
+  return static_cast<size_t>(Next() % size);
+}
+
+std::string Rng::Identifier(size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>('a' + Next() % 26));
+  }
+  return s;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace kola

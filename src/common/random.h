@@ -1,0 +1,45 @@
+#ifndef KOLA_COMMON_RANDOM_H_
+#define KOLA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kola {
+
+/// Deterministic pseudo-random generator (splitmix64 core). Every randomized
+/// component in the library (data generators, the rule verifier, benchmark
+/// workloads) takes an explicit Rng so runs are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p);
+
+  /// Picks a uniformly random element index for a container of `size`
+  /// elements. Requires size > 0.
+  size_t Index(size_t size);
+
+  /// Lowercase ASCII identifier of the given length.
+  std::string Identifier(size_t length);
+
+  /// Derives an independent child generator (for parallel determinism).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef KOLA_COMMON_STATUS_H_
+#define KOLA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kola {
+
+/// Error categories used throughout the library. Modeled after
+/// absl::StatusCode but reduced to the cases this codebase needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parser, bad former arity, ...)
+  kNotFound,          // unknown name (schema function, collection, rule)
+  kFailedPrecondition,// operation not valid in current state
+  kTypeError,         // runtime sort/type mismatch during evaluation
+  kUnimplemented,     // feature intentionally out of scope
+  kInternal,          // invariant violation (a bug in this library)
+  kResourceExhausted, // step/recursion budgets exceeded
+};
+
+/// Returns a stable human-readable name for a status code ("TYPE_ERROR"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Exception-free error propagation type. All fallible public APIs in this
+/// library return a Status or a StatusOr<T>. A default-constructed Status is
+/// OK. Statuses are cheap to copy in the OK case (no message allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "TYPE_ERROR: message".
+  std::string ToString() const;
+
+  /// Prefixes additional context onto the message, keeping the code.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status TypeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_STATUS_H_

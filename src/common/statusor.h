@@ -1,0 +1,78 @@
+#ifndef KOLA_COMMON_STATUSOR_H_
+#define KOLA_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kola {
+
+/// A union of a Status and a value of type T: either holds an OK status and
+/// a T, or a non-OK status and no T. The exception-free analogue of
+/// absl::StatusOr. Accessing the value of a non-OK StatusOr aborts, so
+/// callers must check ok() (or use the KOLA_ASSIGN_OR_RETURN macro).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status without
+  /// a value is a programming error and aborts.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed with OK status but no value\n";
+      std::abort();
+    }
+  }
+
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "StatusOr::value() on error status: " << status_ << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_STATUSOR_H_

@@ -1,0 +1,472 @@
+#include "eval/evaluator.h"
+
+#include <map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kola {
+
+namespace {
+
+/// Compares two values for the ordering predicates. Only ints and strings
+/// are ordered; comparing across kinds or unordered kinds is a TypeError.
+StatusOr<int> OrderedCompare(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    return a.int_value() == b.int_value() ? 0
+           : a.int_value() < b.int_value() ? -1
+                                           : 1;
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.string_value().compare(b.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return TypeError("ordering predicate on non-comparable values " +
+                   a.ToString() + " and " + b.ToString());
+}
+
+StatusOr<std::pair<Value, Value>> AsPair(const Value& v, const char* who) {
+  if (!v.is_pair()) {
+    return TypeError(std::string(who) + " expects a pair, got " +
+                     v.ToString());
+  }
+  return std::make_pair(v.first(), v.second());
+}
+
+Status NotASet(const char* who, const Value& v) {
+  return TypeError(std::string(who) + " expects a set or bag, got " +
+                   v.ToString());
+}
+
+/// Rebuilds a collection of the same kind as `like` (bag stays bag).
+Value MakeLike(const Value& like, std::vector<Value> elements) {
+  return like.is_bag() ? Value::MakeBag(std::move(elements))
+                       : Value::MakeSet(std::move(elements));
+}
+
+}  // namespace
+
+Status Evaluator::Tick() {
+  if (++steps_ > options_.max_steps) {
+    return ResourceExhaustedError("evaluation exceeded " +
+                                  std::to_string(options_.max_steps) +
+                                  " steps");
+  }
+  return Status::OK();
+}
+
+StatusOr<Value> Evaluator::EvalObject(const TermPtr& term) {
+  KOLA_CHECK(term != nullptr);
+  switch (term->kind()) {
+    case TermKind::kLiteral:
+      return term->literal();
+    case TermKind::kBoolConst:
+      return Value::Bool(term->bool_const());
+    case TermKind::kCollection:
+      return db_->Extent(term->name());
+    case TermKind::kPairObj: {
+      KOLA_ASSIGN_OR_RETURN(Value a, EvalObject(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(Value b, EvalObject(term->child(1)));
+      return Value::MakePair(std::move(a), std::move(b));
+    }
+    case TermKind::kApplyFn: {
+      KOLA_ASSIGN_OR_RETURN(Value arg, EvalObject(term->child(1)));
+      return Apply(term->child(0), arg);
+    }
+    case TermKind::kApplyPred: {
+      KOLA_ASSIGN_OR_RETURN(Value arg, EvalObject(term->child(1)));
+      KOLA_ASSIGN_OR_RETURN(bool holds, Holds(term->child(0), arg));
+      return Value::Bool(holds);
+    }
+    case TermKind::kMetaVar:
+      return FailedPreconditionError(
+          "cannot evaluate a pattern containing metavariable ?" +
+          term->name());
+    default:
+      return TypeError(std::string("term of kind ") +
+                       TermKindToString(term->kind()) +
+                       " is not an object: " + term->ToString());
+  }
+}
+
+StatusOr<Value> Evaluator::ApplyPrimitive(const std::string& name,
+                                          const Value& argument) {
+  if (name == "id") return argument;
+  if (name == "pi1") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "pi1"));
+    return pair.first;
+  }
+  if (name == "pi2") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "pi2"));
+    return pair.second;
+  }
+  if (name == "flat") {
+    if (!argument.is_collection()) return NotASet("flat", argument);
+    std::vector<Value> out;
+    for (const Value& inner : argument.elements()) {
+      if (!inner.is_collection()) return NotASet("flat (element)", inner);
+      for (const Value& x : inner.elements()) out.push_back(x);
+    }
+    return MakeLike(argument, std::move(out));
+  }
+  if (name == "distinct") {
+    if (!argument.is_collection()) return NotASet("distinct", argument);
+    return Value::MakeSet(argument.elements());
+  }
+  if (name == "tobag") {
+    if (!argument.is_collection()) return NotASet("tobag", argument);
+    return Value::MakeBag(argument.elements());
+  }
+  if (name == "card") {
+    if (!argument.is_collection()) return NotASet("card", argument);
+    return Value::Int(static_cast<int64_t>(argument.SetSize()));
+  }
+  if (name == "union" || name == "intersect" || name == "diff") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, name.c_str()));
+    if (!pair.first.is_collection()) return NotASet(name.c_str(), pair.first);
+    if (!pair.second.is_collection()) {
+      return NotASet(name.c_str(), pair.second);
+    }
+    bool bag = pair.first.is_bag() || pair.second.is_bag();
+    std::vector<Value> out;
+    if (name == "union") {
+      // Additive for bags, deduplicating for sets.
+      out = pair.first.elements();
+      for (const Value& x : pair.second.elements()) out.push_back(x);
+    } else if (name == "intersect") {
+      // Multiset semantics: min of multiplicities (equal to the set
+      // semantics when both sides are sets).
+      std::map<Value, int64_t> counts;
+      for (const Value& x : pair.second.elements()) ++counts[x];
+      for (const Value& x : pair.first.elements()) {
+        auto it = counts.find(x);
+        if (it != counts.end() && it->second > 0) {
+          --it->second;
+          out.push_back(x);
+        }
+      }
+    } else {
+      // Multiset difference: subtract multiplicities.
+      std::map<Value, int64_t> counts;
+      for (const Value& x : pair.second.elements()) ++counts[x];
+      for (const Value& x : pair.first.elements()) {
+        auto it = counts.find(x);
+        if (it != counts.end() && it->second > 0) {
+          --it->second;
+          continue;
+        }
+        out.push_back(x);
+      }
+    }
+    return bag ? Value::MakeBag(std::move(out))
+               : Value::MakeSet(std::move(out));
+  }
+  return db_->CallFunction(name, argument);
+}
+
+StatusOr<bool> Evaluator::HoldsPrimitive(const std::string& name,
+                                         const Value& argument) {
+  if (name == "eq") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "eq"));
+    return Value::Compare(pair.first, pair.second) == 0;
+  }
+  if (name == "neq") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "neq"));
+    return Value::Compare(pair.first, pair.second) != 0;
+  }
+  if (name == "lt" || name == "leq" || name == "gt" || name == "geq") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, name.c_str()));
+    KOLA_ASSIGN_OR_RETURN(int c, OrderedCompare(pair.first, pair.second));
+    if (name == "lt") return c < 0;
+    if (name == "leq") return c <= 0;
+    if (name == "gt") return c > 0;
+    return c >= 0;
+  }
+  if (name == "in") {
+    KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "in"));
+    if (!pair.second.is_collection()) return NotASet("in", pair.second);
+    return pair.second.SetContains(pair.first);
+  }
+  // Schema predicates resolve through the database and must yield a bool.
+  KOLA_ASSIGN_OR_RETURN(Value result, db_->CallFunction(name, argument));
+  KOLA_ASSIGN_OR_RETURN(bool b, result.AsBool());
+  return b;
+}
+
+StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
+  KOLA_CHECK(fn != nullptr);
+  KOLA_RETURN_IF_ERROR(Tick());
+  switch (fn->kind()) {
+    case TermKind::kPrimFn:
+      return ApplyPrimitive(fn->name(), argument);
+    case TermKind::kCompose: {
+      KOLA_ASSIGN_OR_RETURN(Value inner, Apply(fn->child(1), argument));
+      return Apply(fn->child(0), inner);
+    }
+    case TermKind::kPairFn: {
+      KOLA_ASSIGN_OR_RETURN(Value a, Apply(fn->child(0), argument));
+      KOLA_ASSIGN_OR_RETURN(Value b, Apply(fn->child(1), argument));
+      return Value::MakePair(std::move(a), std::move(b));
+    }
+    case TermKind::kProduct: {
+      KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "product"));
+      KOLA_ASSIGN_OR_RETURN(Value a, Apply(fn->child(0), pair.first));
+      KOLA_ASSIGN_OR_RETURN(Value b, Apply(fn->child(1), pair.second));
+      return Value::MakePair(std::move(a), std::move(b));
+    }
+    case TermKind::kConstFn:
+      return EvalObject(fn->child(0));
+    case TermKind::kCurryFn: {
+      KOLA_ASSIGN_OR_RETURN(Value v, EvalObject(fn->child(1)));
+      return Apply(fn->child(0), Value::MakePair(std::move(v), argument));
+    }
+    case TermKind::kCond: {
+      KOLA_ASSIGN_OR_RETURN(bool c, Holds(fn->child(0), argument));
+      return Apply(c ? fn->child(1) : fn->child(2), argument);
+    }
+    case TermKind::kIterate: {
+      // Polymorphic over the collection kind: iterating a bag yields a bag
+      // (duplicates preserved), the Section 6 deferred-duplicate-
+      // elimination extension.
+      if (!argument.is_collection()) return NotASet("iterate", argument);
+      std::vector<Value> out;
+      for (const Value& x : argument.elements()) {
+        KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), x));
+        if (!keep) continue;
+        KOLA_ASSIGN_OR_RETURN(Value y, Apply(fn->child(1), x));
+        out.push_back(std::move(y));
+      }
+      return MakeLike(argument, std::move(out));
+    }
+    case TermKind::kIter: {
+      KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "iter"));
+      if (!pair.second.is_collection()) return NotASet("iter", pair.second);
+      std::vector<Value> out;
+      for (const Value& y : pair.second.elements()) {
+        Value env = Value::MakePair(pair.first, y);
+        KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), env));
+        if (!keep) continue;
+        KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), env));
+        out.push_back(std::move(v));
+      }
+      return MakeLike(pair.second, std::move(out));
+    }
+    case TermKind::kJoin: {
+      KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "join"));
+      if (!pair.first.is_collection()) {
+        return NotASet("join (first)", pair.first);
+      }
+      if (!pair.second.is_collection()) {
+        return NotASet("join (second)", pair.second);
+      }
+      if (options_.physical_fastpaths && pair.first.is_set() &&
+          pair.second.is_set()) {
+        if (auto fast = TryFastJoin(fn, pair.first, pair.second)) {
+          return *std::move(fast);
+        }
+      }
+      std::vector<Value> out;
+      for (const Value& x : pair.first.elements()) {
+        for (const Value& y : pair.second.elements()) {
+          Value xy = Value::MakePair(x, y);
+          KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), xy));
+          if (!keep) continue;
+          KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), xy));
+          out.push_back(std::move(v));
+        }
+      }
+      return (pair.first.is_bag() || pair.second.is_bag())
+                 ? Value::MakeBag(std::move(out))
+                 : Value::MakeSet(std::move(out));
+    }
+    case TermKind::kNest: {
+      // nest(f, g) ! [A, B] = { [y, {g!x | x in A, f!x = y}] | y in B }.
+      // The paper's NULL-avoiding nest: grouping is relative to B, so
+      // elements of B with no matches map to the empty set.
+      KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "nest"));
+      if (!pair.first.is_collection()) {
+        return NotASet("nest (first)", pair.first);
+      }
+      if (!pair.second.is_collection()) {
+        return NotASet("nest (second)", pair.second);
+      }
+      if (options_.physical_fastpaths && pair.first.is_set() &&
+          pair.second.is_set()) {
+        if (auto fast = TryFastNest(fn, pair.first, pair.second)) {
+          return *std::move(fast);
+        }
+      }
+      std::vector<Value> out;
+      for (const Value& y : pair.second.elements()) {
+        std::vector<Value> group;
+        for (const Value& x : pair.first.elements()) {
+          KOLA_ASSIGN_OR_RETURN(Value key, Apply(fn->child(0), x));
+          if (Value::Compare(key, y) != 0) continue;
+          KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), x));
+          group.push_back(std::move(v));
+        }
+        out.push_back(
+            Value::MakePair(y, MakeLike(pair.first, std::move(group))));
+      }
+      return MakeLike(pair.second, std::move(out));
+    }
+    case TermKind::kUnnest: {
+      // unnest(f, g) ! A = { [f!x, y] | x in A, y in g!x }.
+      if (!argument.is_collection()) return NotASet("unnest", argument);
+      std::vector<Value> out;
+      for (const Value& x : argument.elements()) {
+        KOLA_ASSIGN_OR_RETURN(Value key, Apply(fn->child(0), x));
+        KOLA_ASSIGN_OR_RETURN(Value inner, Apply(fn->child(1), x));
+        if (!inner.is_collection()) return NotASet("unnest (inner)", inner);
+        for (const Value& y : inner.elements()) {
+          out.push_back(Value::MakePair(key, y));
+        }
+      }
+      return MakeLike(argument, std::move(out));
+    }
+    case TermKind::kMetaVar:
+      return FailedPreconditionError(
+          "cannot evaluate a pattern containing metavariable ?" + fn->name());
+    default:
+      return TypeError(std::string("term of kind ") +
+                       TermKindToString(fn->kind()) +
+                       " is not a function: " + fn->ToString());
+  }
+}
+
+StatusOr<bool> Evaluator::Holds(const TermPtr& pred, const Value& argument) {
+  KOLA_CHECK(pred != nullptr);
+  KOLA_RETURN_IF_ERROR(Tick());
+  switch (pred->kind()) {
+    case TermKind::kPrimPred:
+      return HoldsPrimitive(pred->name(), argument);
+    case TermKind::kOplus: {
+      KOLA_ASSIGN_OR_RETURN(Value inner, Apply(pred->child(1), argument));
+      return Holds(pred->child(0), inner);
+    }
+    case TermKind::kAndP: {
+      KOLA_ASSIGN_OR_RETURN(bool a, Holds(pred->child(0), argument));
+      if (!a) return false;
+      return Holds(pred->child(1), argument);
+    }
+    case TermKind::kOrP: {
+      KOLA_ASSIGN_OR_RETURN(bool a, Holds(pred->child(0), argument));
+      if (a) return true;
+      return Holds(pred->child(1), argument);
+    }
+    case TermKind::kInvP: {
+      KOLA_ASSIGN_OR_RETURN(auto pair, AsPair(argument, "inv"));
+      return Holds(pred->child(0),
+                   Value::MakePair(pair.second, pair.first));
+    }
+    case TermKind::kNotP: {
+      KOLA_ASSIGN_OR_RETURN(bool a, Holds(pred->child(0), argument));
+      return !a;
+    }
+    case TermKind::kConstPred: {
+      const TermPtr& b = pred->child(0);
+      if (b->kind() == TermKind::kBoolConst) return b->bool_const();
+      KOLA_ASSIGN_OR_RETURN(Value v, EvalObject(b));
+      KOLA_ASSIGN_OR_RETURN(bool result, v.AsBool());
+      return result;
+    }
+    case TermKind::kCurryPred: {
+      KOLA_ASSIGN_OR_RETURN(Value v, EvalObject(pred->child(1)));
+      return Holds(pred->child(0), Value::MakePair(std::move(v), argument));
+    }
+    case TermKind::kMetaVar:
+      return FailedPreconditionError(
+          "cannot evaluate a pattern containing metavariable ?" +
+          pred->name());
+    default:
+      return TypeError(std::string("term of kind ") +
+                       TermKindToString(pred->kind()) +
+                       " is not a predicate: " + pred->ToString());
+  }
+}
+
+std::optional<StatusOr<Value>> Evaluator::TryFastJoin(const TermPtr& join,
+                                                      const Value& lhs,
+                                                      const Value& rhs) {
+  // Recognize join(OP @ (f x g), h) with OP in {eq, in}.
+  const TermPtr& pred = join->child(0);
+  const TermPtr& h = join->child(1);
+  if (pred->kind() != TermKind::kOplus) return std::nullopt;
+  if (pred->child(0)->kind() != TermKind::kPrimPred) return std::nullopt;
+  const std::string& op = pred->child(0)->name();
+  if (op != "eq" && op != "in") return std::nullopt;
+  if (pred->child(1)->kind() != TermKind::kProduct) return std::nullopt;
+  const TermPtr& f = pred->child(1)->child(0);
+  const TermPtr& g = pred->child(1)->child(1);
+
+  auto run = [&]() -> StatusOr<Value> {
+    // Build an index over the right side: key -> elements. For eq the key
+    // is g!b itself; for in every member of the set g!b is a key.
+    std::map<Value, std::vector<Value>> index;
+    for (const Value& b : rhs.elements()) {
+      KOLA_RETURN_IF_ERROR(Tick());
+      KOLA_ASSIGN_OR_RETURN(Value key, Apply(g, b));
+      if (op == "eq") {
+        index[std::move(key)].push_back(b);
+      } else {
+        if (!key.is_set()) {
+          return TypeError("in-join expects a set key, got " +
+                           key.ToString());
+        }
+        for (const Value& member : key.elements()) {
+          index[member].push_back(b);
+        }
+      }
+    }
+    std::vector<Value> out;
+    for (const Value& a : lhs.elements()) {
+      KOLA_RETURN_IF_ERROR(Tick());
+      KOLA_ASSIGN_OR_RETURN(Value key, Apply(f, a));
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (const Value& b : it->second) {
+        KOLA_ASSIGN_OR_RETURN(Value v, Apply(h, Value::MakePair(a, b)));
+        out.push_back(std::move(v));
+      }
+    }
+    ++fastpath_hits_;
+    return Value::MakeSet(std::move(out));
+  };
+  return run();
+}
+
+std::optional<StatusOr<Value>> Evaluator::TryFastNest(const TermPtr& nest,
+                                                      const Value& lhs,
+                                                      const Value& rhs) {
+  if (!nest->child(0)->IsPrimFn("pi1") || !nest->child(1)->IsPrimFn("pi2")) {
+    return std::nullopt;
+  }
+  auto run = [&]() -> StatusOr<Value> {
+    std::map<Value, std::vector<Value>> groups;
+    for (const Value& x : lhs.elements()) {
+      KOLA_RETURN_IF_ERROR(Tick());
+      if (!x.is_pair()) {
+        return TypeError("nest(pi1, pi2) expects pairs, got " + x.ToString());
+      }
+      groups[x.first()].push_back(x.second());
+    }
+    std::vector<Value> out;
+    for (const Value& y : rhs.elements()) {
+      KOLA_RETURN_IF_ERROR(Tick());
+      auto it = groups.find(y);
+      std::vector<Value> members =
+          it == groups.end() ? std::vector<Value>{} : it->second;
+      out.push_back(Value::MakePair(y, Value::MakeSet(std::move(members))));
+    }
+    ++fastpath_hits_;
+    return Value::MakeSet(std::move(out));
+  };
+  return run();
+}
+
+StatusOr<Value> EvalQuery(const Database& db, const TermPtr& term) {
+  Evaluator evaluator(&db);
+  return evaluator.EvalObject(term);
+}
+
+}  // namespace kola

@@ -1,0 +1,81 @@
+#include "optimizer/code_motion.h"
+
+#include "common/macros.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+
+namespace kola {
+
+namespace {
+
+std::vector<Rule> Pick(const std::vector<Rule>& all,
+                       const std::vector<std::string>& ids) {
+  std::vector<Rule> rules;
+  rules.reserve(ids.size());
+  for (const std::string& id : ids) rules.push_back(FindRule(all, id));
+  return rules;
+}
+
+}  // namespace
+
+std::vector<RuleBlock> CodeMotionBlocks() {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<RuleBlock> blocks;
+  blocks.emplace_back(
+      "decompose-predicate",
+      Exhaust(Pick(all, {"13", "7", "ext.inv-lt", "ext.inv-leq",
+                         "ext.inv-geq", "ext.inv-eq", "ext.inv-neq",
+                         "14"})));
+  blocks.emplace_back("hoist-conditional", Exhaust(Pick(all, {"15"})));
+  blocks.emplace_back("distribute", Exhaust(Pick(all, {"16"})));
+  {
+    // Rule 14 right-to-left re-fuses the oplus chain so the projection
+    // rules can collapse it.
+    std::vector<Rule> cleanup = Pick(all, {"9", "10", "3", "8", "1", "2"});
+    auto rev14 = ReverseRule(FindRule(all, "14"));
+    KOLA_CHECK_OK(rev14.status());
+    cleanup.push_back(std::move(rev14).value());
+    blocks.emplace_back("cleanup", Exhaust(std::move(cleanup)));
+  }
+  return blocks;
+}
+
+StatusOr<CodeMotionResult> ApplyCodeMotion(const TermPtr& query,
+                                           const Rewriter& rewriter) {
+  CodeMotionResult result;
+  result.query = query;
+  result.trace.initial = query;
+  for (const RuleBlock& block : CodeMotionBlocks()) {
+    KOLA_ASSIGN_OR_RETURN(StrategyResult block_result,
+                          block.Apply(result.query, rewriter,
+                                      &result.trace));
+    result.query = block_result.term;
+  }
+  for (const RewriteStep& step : result.trace.steps) {
+    if (step.rule_id == "15") {
+      result.moved = true;
+      break;
+    }
+  }
+  return result;
+}
+
+TermPtr QueryK3() {
+  auto term = ParseTerm(
+      "iterate(Kp(T), (id, iter(gt @ (age o pi2, Kf(25)), pi2) o "
+      "(id, child))) ! P",
+      Sort::kObject);
+  KOLA_CHECK_OK(term.status());
+  return std::move(term).value();
+}
+
+TermPtr QueryK4() {
+  auto term = ParseTerm(
+      "iterate(Kp(T), (id, iter(gt @ (age o pi1, Kf(25)), pi2) o "
+      "(id, child))) ! P",
+      Sort::kObject);
+  KOLA_CHECK_OK(term.status());
+  return std::move(term).value();
+}
+
+}  // namespace kola

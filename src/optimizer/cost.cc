@@ -1,0 +1,331 @@
+#include "optimizer/cost.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace kola {
+
+namespace {
+
+/// Set-valued schema attributes and their default fanout source.
+bool IsSetValuedAttribute(const std::string& name) {
+  return name == "child" || name == "cars" || name == "grgs";
+}
+
+ShapePtr ElementOrScalar(const ShapePtr& shape) {
+  if (shape != nullptr && shape->kind == Shape::Kind::kSet &&
+      shape->element != nullptr) {
+    return shape->element;
+  }
+  return Shape::Scalar();
+}
+
+double CardOrOne(const ShapePtr& shape) {
+  return (shape != nullptr && shape->kind == Shape::Kind::kSet)
+             ? shape->card
+             : 1.0;
+}
+
+}  // namespace
+
+ShapePtr Shape::Scalar() {
+  auto s = std::make_shared<Shape>();
+  s->kind = Kind::kScalar;
+  return s;
+}
+
+ShapePtr Shape::Set(double card, ShapePtr element) {
+  auto s = std::make_shared<Shape>();
+  s->kind = Kind::kSet;
+  s->card = std::max(0.0, card);
+  s->element = std::move(element);
+  return s;
+}
+
+ShapePtr Shape::Pair(ShapePtr first, ShapePtr second) {
+  auto s = std::make_shared<Shape>();
+  s->kind = Kind::kPair;
+  s->first = std::move(first);
+  s->second = std::move(second);
+  return s;
+}
+
+StatusOr<double> CostModel::EstimateQueryCost(const TermPtr& query) const {
+  KOLA_ASSIGN_OR_RETURN(Estimate estimate, EstimateObject(query));
+  return estimate.cost;
+}
+
+StatusOr<CostModel::Estimate> CostModel::EstimateObject(
+    const TermPtr& term) const {
+  switch (term->kind()) {
+    case TermKind::kCollection: {
+      double card = 10.0;
+      if (db_ != nullptr) {
+        auto extent = db_->Extent(term->name());
+        if (extent.ok()) card = static_cast<double>(extent->SetSize());
+      }
+      return Estimate{1.0, Shape::Set(card, Shape::Scalar())};
+    }
+    case TermKind::kLiteral: {
+      const Value& v = term->literal();
+      if (v.is_set()) {
+        ShapePtr element = Shape::Scalar();
+        if (v.SetSize() > 0 && v.elements()[0].is_set()) {
+          element = Shape::Set(
+              static_cast<double>(v.elements()[0].SetSize()),
+              Shape::Scalar());
+        }
+        return Estimate{1.0, Shape::Set(static_cast<double>(v.SetSize()),
+                                        std::move(element))};
+      }
+      return Estimate{1.0, Shape::Scalar()};
+    }
+    case TermKind::kBoolConst:
+      return Estimate{1.0, Shape::Scalar()};
+    case TermKind::kPairObj: {
+      KOLA_ASSIGN_OR_RETURN(Estimate a, EstimateObject(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(Estimate b, EstimateObject(term->child(1)));
+      return Estimate{a.cost + b.cost,
+                      Shape::Pair(std::move(a.shape), std::move(b.shape))};
+    }
+    case TermKind::kApplyFn: {
+      KOLA_ASSIGN_OR_RETURN(Estimate arg, EstimateObject(term->child(1)));
+      KOLA_ASSIGN_OR_RETURN(Estimate fn,
+                            EstimateApply(term->child(0), arg.shape));
+      return Estimate{arg.cost + fn.cost, fn.shape};
+    }
+    case TermKind::kApplyPred: {
+      KOLA_ASSIGN_OR_RETURN(Estimate arg, EstimateObject(term->child(1)));
+      PredEstimate pred = EstimatePred(term->child(0), arg.shape);
+      return Estimate{arg.cost + pred.cost, Shape::Scalar()};
+    }
+    default:
+      return InvalidArgumentError(
+          std::string("cannot cost non-object term of kind ") +
+          TermKindToString(term->kind()));
+  }
+}
+
+StatusOr<CostModel::Estimate> CostModel::EstimateApply(
+    const TermPtr& fn, const ShapePtr& in) const {
+  ShapePtr input = in == nullptr ? Shape::Scalar() : in;
+  switch (fn->kind()) {
+    case TermKind::kPrimFn: {
+      const std::string& name = fn->name();
+      if (name == "id") return Estimate{0.5, input};
+      if (name == "pi1") {
+        return Estimate{1.0, input->kind == Shape::Kind::kPair &&
+                                     input->first != nullptr
+                                 ? input->first
+                                 : Shape::Scalar()};
+      }
+      if (name == "pi2") {
+        return Estimate{1.0, input->kind == Shape::Kind::kPair &&
+                                     input->second != nullptr
+                                 ? input->second
+                                 : Shape::Scalar()};
+      }
+      if (name == "flat") {
+        double outer = CardOrOne(input);
+        double inner = CardOrOne(ElementOrScalar(input));
+        return Estimate{outer * inner,
+                        Shape::Set(outer * inner,
+                                   ElementOrScalar(ElementOrScalar(input)))};
+      }
+      if (name == "union" || name == "intersect" || name == "diff") {
+        double a = input->kind == Shape::Kind::kPair
+                       ? CardOrOne(input->first)
+                       : 1.0;
+        double b = input->kind == Shape::Kind::kPair
+                       ? CardOrOne(input->second)
+                       : 1.0;
+        return Estimate{a + b, Shape::Set(std::max(a, b), Shape::Scalar())};
+      }
+      if (IsSetValuedAttribute(name)) {
+        return Estimate{1.0, Shape::Set(params_.default_fanout,
+                                        Shape::Scalar())};
+      }
+      return Estimate{1.0, Shape::Scalar()};
+    }
+    case TermKind::kCompose: {
+      KOLA_ASSIGN_OR_RETURN(Estimate g, EstimateApply(fn->child(1), input));
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(0), g.shape));
+      return Estimate{g.cost + f.cost, f.shape};
+    }
+    case TermKind::kPairFn: {
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(0), input));
+      KOLA_ASSIGN_OR_RETURN(Estimate g, EstimateApply(fn->child(1), input));
+      return Estimate{f.cost + g.cost,
+                      Shape::Pair(std::move(f.shape), std::move(g.shape))};
+    }
+    case TermKind::kProduct: {
+      ShapePtr a = input->kind == Shape::Kind::kPair && input->first
+                       ? input->first
+                       : Shape::Scalar();
+      ShapePtr b = input->kind == Shape::Kind::kPair && input->second
+                       ? input->second
+                       : Shape::Scalar();
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(0), a));
+      KOLA_ASSIGN_OR_RETURN(Estimate g, EstimateApply(fn->child(1), b));
+      return Estimate{f.cost + g.cost,
+                      Shape::Pair(std::move(f.shape), std::move(g.shape))};
+    }
+    case TermKind::kConstFn:
+      return EstimateObject(fn->child(0));
+    case TermKind::kCurryFn: {
+      KOLA_ASSIGN_OR_RETURN(Estimate k, EstimateObject(fn->child(1)));
+      KOLA_ASSIGN_OR_RETURN(
+          Estimate f,
+          EstimateApply(fn->child(0), Shape::Pair(k.shape, input)));
+      return Estimate{k.cost + f.cost, f.shape};
+    }
+    case TermKind::kCond: {
+      PredEstimate p = EstimatePred(fn->child(0), input);
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(1), input));
+      KOLA_ASSIGN_OR_RETURN(Estimate g, EstimateApply(fn->child(2), input));
+      return Estimate{p.cost + std::max(f.cost, g.cost),
+                      f.shape != nullptr ? f.shape : g.shape};
+    }
+    case TermKind::kIterate: {
+      double n = CardOrOne(input);
+      ShapePtr element = ElementOrScalar(input);
+      PredEstimate p = EstimatePred(fn->child(0), element);
+      KOLA_ASSIGN_OR_RETURN(Estimate f,
+                            EstimateApply(fn->child(1), element));
+      return Estimate{n * (p.cost + p.selectivity * f.cost),
+                      Shape::Set(n * p.selectivity, f.shape)};
+    }
+    case TermKind::kIter: {
+      ShapePtr env = input->kind == Shape::Kind::kPair && input->first
+                         ? input->first
+                         : Shape::Scalar();
+      ShapePtr set = input->kind == Shape::Kind::kPair && input->second
+                         ? input->second
+                         : Shape::Set(params_.default_fanout,
+                                      Shape::Scalar());
+      double n = CardOrOne(set);
+      ShapePtr pair = Shape::Pair(env, ElementOrScalar(set));
+      PredEstimate p = EstimatePred(fn->child(0), pair);
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(1), pair));
+      return Estimate{n * (p.cost + p.selectivity * f.cost),
+                      Shape::Set(n * p.selectivity, f.shape)};
+    }
+    case TermKind::kJoin: {
+      ShapePtr lhs = input->kind == Shape::Kind::kPair && input->first
+                         ? input->first
+                         : Shape::Set(10, Shape::Scalar());
+      ShapePtr rhs = input->kind == Shape::Kind::kPair && input->second
+                         ? input->second
+                         : Shape::Set(10, Shape::Scalar());
+      double a = CardOrOne(lhs);
+      double b = CardOrOne(rhs);
+      ShapePtr pair =
+          Shape::Pair(ElementOrScalar(lhs), ElementOrScalar(rhs));
+      PredEstimate p = EstimatePred(fn->child(0), pair);
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(1), pair));
+      double matches = a * b * p.selectivity;
+      // Hash-keyed joins (eq/in over a product) cost build + probe + output
+      // instead of the full cross product.
+      bool keyed = params_.assume_physical_fastpaths &&
+                   fn->child(0)->kind() == TermKind::kOplus &&
+                   fn->child(0)->child(0)->kind() == TermKind::kPrimPred &&
+                   (fn->child(0)->child(0)->name() == "eq" ||
+                    fn->child(0)->child(0)->name() == "in") &&
+                   fn->child(0)->child(1)->kind() == TermKind::kProduct;
+      double scan_cost = keyed
+                             ? (a + b * params_.default_fanout)
+                             : a * b * p.cost;
+      return Estimate{scan_cost + matches * f.cost,
+                      Shape::Set(matches, f.shape)};
+    }
+    case TermKind::kNest: {
+      ShapePtr lhs = input->kind == Shape::Kind::kPair && input->first
+                         ? input->first
+                         : Shape::Set(10, Shape::Scalar());
+      ShapePtr rhs = input->kind == Shape::Kind::kPair && input->second
+                         ? input->second
+                         : Shape::Set(10, Shape::Scalar());
+      double a = CardOrOne(lhs);
+      double b = CardOrOne(rhs);
+      bool keyed = params_.assume_physical_fastpaths &&
+                   fn->child(0)->IsPrimFn("pi1") &&
+                   fn->child(1)->IsPrimFn("pi2");
+      double cost = keyed ? (a + b) : a * b;
+      ShapePtr group_element = Shape::Scalar();
+      KOLA_ASSIGN_OR_RETURN(Estimate g,
+                            EstimateApply(fn->child(1),
+                                          ElementOrScalar(lhs)));
+      group_element = g.shape;
+      return Estimate{
+          cost, Shape::Set(b, Shape::Pair(ElementOrScalar(rhs),
+                                          Shape::Set(std::max(1.0, a / std::max(1.0, b)),
+                                                     group_element)))};
+    }
+    case TermKind::kUnnest: {
+      double n = CardOrOne(input);
+      ShapePtr element = ElementOrScalar(input);
+      KOLA_ASSIGN_OR_RETURN(Estimate f, EstimateApply(fn->child(0), element));
+      KOLA_ASSIGN_OR_RETURN(Estimate g, EstimateApply(fn->child(1), element));
+      double fanout = CardOrOne(g.shape);
+      return Estimate{n * (f.cost + g.cost + fanout),
+                      Shape::Set(n * fanout,
+                                 Shape::Pair(f.shape,
+                                             ElementOrScalar(g.shape)))};
+    }
+    default:
+      // Unknown function former: conservative constant.
+      return Estimate{1.0, Shape::Scalar()};
+  }
+}
+
+CostModel::PredEstimate CostModel::EstimatePred(const TermPtr& pred,
+                                                const ShapePtr& in) const {
+  switch (pred->kind()) {
+    case TermKind::kConstPred: {
+      bool truth = pred->child(0)->kind() == TermKind::kBoolConst &&
+                   pred->child(0)->bool_const();
+      bool falsity = pred->child(0)->kind() == TermKind::kBoolConst &&
+                     !pred->child(0)->bool_const();
+      return PredEstimate{0.5, truth ? 1.0 : (falsity ? 0.0 : 0.5)};
+    }
+    case TermKind::kAndP: {
+      PredEstimate a = EstimatePred(pred->child(0), in);
+      PredEstimate b = EstimatePred(pred->child(1), in);
+      return PredEstimate{a.cost + a.selectivity * b.cost,
+                          a.selectivity * b.selectivity};
+    }
+    case TermKind::kOrP: {
+      PredEstimate a = EstimatePred(pred->child(0), in);
+      PredEstimate b = EstimatePred(pred->child(1), in);
+      return PredEstimate{
+          a.cost + (1 - a.selectivity) * b.cost,
+          a.selectivity + b.selectivity - a.selectivity * b.selectivity};
+    }
+    case TermKind::kNotP: {
+      PredEstimate a = EstimatePred(pred->child(0), in);
+      return PredEstimate{a.cost, 1 - a.selectivity};
+    }
+    case TermKind::kInvP:
+      return EstimatePred(pred->child(0), in);
+    case TermKind::kOplus: {
+      auto f = EstimateApply(pred->child(1), in);
+      double fcost = f.ok() ? f->cost : 1.0;
+      PredEstimate p = EstimatePred(pred->child(0),
+                                    f.ok() ? f->shape : Shape::Scalar());
+      return PredEstimate{fcost + p.cost, p.selectivity};
+    }
+    case TermKind::kCurryPred: {
+      auto k = EstimateObject(pred->child(1));
+      double kcost = k.ok() ? k->cost : 1.0;
+      PredEstimate p = EstimatePred(
+          pred->child(0),
+          Shape::Pair(k.ok() ? k->shape : Shape::Scalar(), in));
+      return PredEstimate{kcost + p.cost, p.selectivity};
+    }
+    default:
+      return PredEstimate{1.0, params_.default_selectivity};
+  }
+}
+
+}  // namespace kola

@@ -1,0 +1,80 @@
+#ifndef KOLA_OPTIMIZER_COST_H_
+#define KOLA_OPTIMIZER_COST_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "term/term.h"
+#include "values/database.h"
+
+namespace kola {
+
+/// Tunables for the heuristic cost model.
+struct CostParams {
+  double default_selectivity = 0.5;  // unknown predicate pass rate
+  double default_fanout = 2.0;       // unknown set-valued attribute size
+  /// When true, equality/membership-keyed joins and pi-projected nests are
+  /// costed as hash operations (matching the evaluator's fast paths);
+  /// otherwise everything is nested loops.
+  bool assume_physical_fastpaths = true;
+};
+
+/// Abstract size description of a value: scalars, sets with expected
+/// cardinality, pairs with per-component shapes.
+struct Shape;
+using ShapePtr = std::shared_ptr<const Shape>;
+
+struct Shape {
+  enum class Kind { kScalar, kSet, kPair };
+  Kind kind = Kind::kScalar;
+  double card = 1.0;   // kSet: expected number of elements
+  ShapePtr element;    // kSet
+  ShapePtr first;      // kPair
+  ShapePtr second;     // kPair
+
+  static ShapePtr Scalar();
+  static ShapePtr Set(double card, ShapePtr element);
+  static ShapePtr Pair(ShapePtr first, ShapePtr second);
+};
+
+/// A cardinality-based cost estimator for KOLA queries: estimates the
+/// number of elementary operations the evaluator would perform, plus the
+/// shape of the result. Drives the optimizer's keep-or-revert decision and
+/// the cost columns of the benches. Heuristic by design -- unknown
+/// constructs degrade to conservative defaults rather than failing.
+class CostModel {
+ public:
+  explicit CostModel(const Database* db, CostParams params = CostParams())
+      : db_(db), params_(params) {}
+
+  /// Estimated cost of evaluating an object-sorted term (a full query).
+  StatusOr<double> EstimateQueryCost(const TermPtr& query) const;
+
+  struct Estimate {
+    double cost = 0;
+    ShapePtr shape;
+  };
+
+  /// Cost and result shape of an object term.
+  StatusOr<Estimate> EstimateObject(const TermPtr& term) const;
+
+  /// Cost and result shape of applying `fn` to an input of shape `in`.
+  StatusOr<Estimate> EstimateApply(const TermPtr& fn,
+                                   const ShapePtr& in) const;
+
+  /// Per-invocation cost of a predicate on inputs of shape `in`, plus its
+  /// estimated selectivity.
+  struct PredEstimate {
+    double cost = 1;
+    double selectivity = 0.5;
+  };
+  PredEstimate EstimatePred(const TermPtr& pred, const ShapePtr& in) const;
+
+ private:
+  const Database* db_;
+  CostParams params_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_OPTIMIZER_COST_H_

@@ -1,0 +1,94 @@
+#include "optimizer/explore.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/macros.h"
+#include "rules/catalog.h"
+
+namespace kola {
+
+namespace {
+
+/// Dedup key: structural hash + printed form (collision-safe enough for
+/// plan sets of this size, and avoids a deep-equality multimap).
+std::string PlanKey(const TermPtr& term) {
+  return std::to_string(term->hash()) + "|" + term->ToString();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
+                                                  const Rewriter& rewriter,
+                                                  const CostModel& model,
+                                                  int max_candidates) {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<Rule> exploration = {
+      FindRule(all, "ext.join-commute"),
+      FindRule(all, "ext.select-past-join-left"),
+      FindRule(all, "ext.select-past-join-right"),
+  };
+  std::vector<Rule> cleanup;
+  for (const char* id :
+       {"norm.assoc", "ext.swap-swap", "ext.swap-swap-chain",
+        "ext.inv-inv", "ext.inv-product",
+        "ext.inv-and", "7", "ext.inv-lt", "ext.inv-leq", "ext.inv-geq",
+        "ext.inv-eq", "ext.inv-neq", "1", "2", "3", "4", "5",
+        "ext.and-true-right", "ext.product-id"}) {
+    cleanup.push_back(FindRule(all, id));
+  }
+
+  std::vector<Candidate> candidates;
+  std::map<std::string, size_t> seen;
+
+  auto add = [&](TermPtr term,
+                 std::vector<std::string> derivation) -> bool {
+    std::string key = PlanKey(term);
+    if (seen.count(key) > 0) return false;
+    seen[key] = candidates.size();
+    auto cost = model.EstimateQueryCost(term);
+    candidates.push_back(Candidate{std::move(term),
+                                   cost.ok() ? cost.value() : 1e18,
+                                   std::move(derivation)});
+    return true;
+  };
+
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr normalized,
+      rewriter.Fixpoint(cleanup, query, nullptr));
+  add(normalized, {});
+
+  std::deque<size_t> frontier = {0};
+  while (!frontier.empty() &&
+         candidates.size() < static_cast<size_t>(max_candidates)) {
+    size_t index = frontier.front();
+    frontier.pop_front();
+    // Copy: `candidates` may reallocate inside the loop.
+    TermPtr base = candidates[index].query;
+    std::vector<std::string> base_derivation = candidates[index].derivation;
+
+    for (const Rule& rule : exploration) {
+      RewriteStep step;
+      auto rewritten = rewriter.ApplyOnce(rule, base, &step);
+      if (!rewritten) continue;
+      KOLA_ASSIGN_OR_RETURN(
+          TermPtr cleaned,
+          rewriter.Fixpoint(cleanup, *rewritten, nullptr));
+      std::vector<std::string> derivation = base_derivation;
+      derivation.push_back(rule.id);
+      if (add(std::move(cleaned), std::move(derivation))) {
+        frontier.push_back(candidates.size() - 1);
+        if (candidates.size() >= static_cast<size_t>(max_candidates)) break;
+      }
+    }
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cost < b.cost;
+                   });
+  return candidates;
+}
+
+}  // namespace kola

@@ -1,0 +1,45 @@
+#ifndef KOLA_OPTIMIZER_EXPLORE_H_
+#define KOLA_OPTIMIZER_EXPLORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "optimizer/cost.h"
+#include "rewrite/engine.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// A costed alternative plan produced by rule-based exploration.
+struct Candidate {
+  TermPtr query;
+  double cost = 0;
+  /// Rule ids applied to reach this plan from the input (empty for the
+  /// input itself).
+  std::vector<std::string> derivation;
+};
+
+/// Rule-based plan exploration over join queries (the Section 5 theme that
+/// join reordering and its predicate adjustment are "straightforward to
+/// express with KOLA rules"): breadth-first closure of the input under the
+/// exploration rules
+///
+///   ext.join-commute           swap a join's inputs
+///   ext.select-past-join-left  push a pi1-local selection below the join
+///   ext.select-past-join-right push a pi2-local selection below the join
+///
+/// with identity/involution cleanup after every step so commuting twice
+/// folds back onto an already-seen plan. Every candidate is costed; the
+/// result is sorted cheapest-first and always contains the input. Unlike a
+/// Starburst-style implementation there is no predicate-sorting body
+/// routine: which selections move is decided entirely by which rule
+/// matches.
+StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
+                                                  const Rewriter& rewriter,
+                                                  const CostModel& model,
+                                                  int max_candidates = 32);
+
+}  // namespace kola
+
+#endif  // KOLA_OPTIMIZER_EXPLORE_H_

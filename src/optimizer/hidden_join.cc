@@ -1,0 +1,158 @@
+#include "optimizer/hidden_join.h"
+
+#include "common/macros.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+
+namespace kola {
+
+namespace {
+
+/// Apply-level variant of a catalog rule (see ApplyLevelVariant).
+Rule AV(const std::vector<Rule>& all, const std::string& id) {
+  auto variant = ApplyLevelVariant(FindRule(all, id));
+  KOLA_CHECK_OK(variant.status());
+  return std::move(variant).value();
+}
+
+std::vector<Rule> Pick(const std::vector<Rule>& all,
+                       const std::vector<std::string>& ids) {
+  std::vector<Rule> rules;
+  rules.reserve(ids.size());
+  for (const std::string& id : ids) rules.push_back(FindRule(all, id));
+  return rules;
+}
+
+TermPtr MustParse(const std::string& text, Sort sort) {
+  auto term = ParseTerm(text, sort);
+  KOLA_CHECK_OK(term.status());
+  return std::move(term).value();
+}
+
+}  // namespace
+
+std::vector<RuleBlock> HiddenJoinBlocks() {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<RuleBlock> blocks;
+
+  // Step 0: right-associate and unfold into apply-nested form, so the
+  // apply-level rule variants can fire mid-chain.
+  {
+    std::vector<Rule> rules = Pick(all, {"norm.assoc", "norm.unfold",
+                                         "norm.id-apply"});
+    blocks.emplace_back("prep", Exhaust(std::move(rules)));
+  }
+  // Step 1: break up the monolithic iterate (rules 17/17b) and clean up the
+  // identity heads they leave behind (rules 2, 4, 18).
+  {
+    std::vector<Rule> rules = {AV(all, "17"), AV(all, "17b")};
+    for (Rule& r : Pick(all, {"2", "4", "18", "norm.id-apply"})) {
+      rules.push_back(std::move(r));
+    }
+    blocks.emplace_back("break-up", Exhaust(std::move(rules)));
+  }
+  // Step 2: bottom out with a nest of a join (rule 19); unfold the
+  // composition rule 19 introduces.
+  {
+    std::vector<Rule> rules = Pick(all, {"19", "norm.unfold"});
+    blocks.emplace_back("bottom-out", Exhaust(std::move(rules)));
+  }
+  // Step 3: pull nest to the top (rules 20, 21).
+  {
+    std::vector<Rule> rules = {AV(all, "20"), AV(all, "21")};
+    for (Rule& r : Pick(all, {"1", "2", "4"})) rules.push_back(std::move(r));
+    blocks.emplace_back("pull-up-nest", Exhaust(std::move(rules)));
+  }
+  // Step 4: pull unnests up just below nest (rules 22, 22b, 23).
+  {
+    std::vector<Rule> rules = {AV(all, "22"), AV(all, "22b"),
+                               AV(all, "23")};
+    for (Rule& r : Pick(all, {"1", "2", "4"})) rules.push_back(std::move(r));
+    blocks.emplace_back("pull-up-unnest", Exhaust(std::move(rules)));
+  }
+  // Step 5: absorb the remaining iterates into the join (rule 24) and
+  // simplify the predicates this builds up (rules 3, 5, 6).
+  {
+    std::vector<Rule> rules = {AV(all, "24")};
+    for (Rule& r :
+         Pick(all, {"3", "5", "6", "1", "2", "ext.and-true-right"})) {
+      rules.push_back(std::move(r));
+    }
+    blocks.emplace_back("absorb-join", Exhaust(std::move(rules)));
+  }
+  // Polish: rewrite componentwise pairs as products (the paper's KG2
+  // spelling) and refold the apply chain into a composition chain.
+  {
+    std::vector<Rule> rules =
+        Pick(all, {"ext.pair-to-product", "ext.pair-to-product-left",
+                   "ext.pair-to-product-right", "4", "1", "2", "norm.fold",
+                   "norm.assoc"});
+    blocks.emplace_back("polish", Exhaust(std::move(rules)));
+  }
+  return blocks;
+}
+
+StatusOr<HiddenJoinResult> UntangleHiddenJoin(const TermPtr& query,
+                                              const Rewriter& rewriter) {
+  HiddenJoinResult result;
+  result.query = query;
+  result.trace.initial = query;
+  for (const RuleBlock& block : HiddenJoinBlocks()) {
+    KOLA_ASSIGN_OR_RETURN(
+        StrategyResult block_result,
+        block.Apply(result.query, rewriter, &result.trace)
+            );
+    result.query = block_result.term;
+    if (block_result.changed) result.blocks_fired.push_back(block.name());
+  }
+  for (const RewriteStep& step : result.trace.steps) {
+    if (step.rule_id == "19") {
+      result.converted = true;
+      break;
+    }
+  }
+  return result;
+}
+
+StatusOr<TermPtr> MakeHiddenJoinQuery(int depth) {
+  if (depth < 1) return InvalidArgumentError("depth must be >= 1");
+  // Innermost: Kf(P). Levels are built outward; odd levels filter on the
+  // environment person's age, even levels flatten children sets.
+  TermPtr body = ConstFn(Collection("P"));
+  for (int level = depth; level >= 1; --level) {
+    TermPtr inner_pair = PairFn(Id(), std::move(body));
+    if (level % 2 == 0) {
+      // flat o iter(Kp(T), child o pi2) o (id, body): maps each person of
+      // the running set to its children and flattens.
+      body = ComposeChain(
+          {Flat(),
+           Iter(ConstPredTrue(), Compose(PrimFn("child"), Pi2())),
+           std::move(inner_pair)});
+    } else {
+      // iter(gt @ (age o pi1, age o pi2), pi2) o (id, body): keeps the
+      // persons younger than the environment person.
+      TermPtr pred = Oplus(
+          GtP(), PairFn(Compose(PrimFn("age"), Pi1()),
+                        Compose(PrimFn("age"), Pi2())));
+      body = Compose(Iter(std::move(pred), Pi2()), std::move(inner_pair));
+    }
+  }
+  return Apply(Iterate(ConstPredTrue(), PairFn(Id(), std::move(body))),
+               Collection("P"));
+}
+
+TermPtr GarageQueryKG1() {
+  return MustParse(
+      "iterate(Kp(T), (id, flat o iter(Kp(T), grgs o pi2) o (id, "
+      "iter(in @ (pi1, cars o pi2), pi2) o (id, Kf(P))))) ! V",
+      Sort::kObject);
+}
+
+TermPtr GarageQueryKG2() {
+  return MustParse(
+      "nest(pi1, pi2) o (unnest(pi1, pi2) x id) o "
+      "(join(in @ (id x cars), id x grgs), pi1) ! [V, P]",
+      Sort::kObject);
+}
+
+}  // namespace kola

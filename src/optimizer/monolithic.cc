@@ -1,0 +1,155 @@
+#include "optimizer/monolithic.h"
+
+#include "common/macros.h"
+
+namespace kola {
+
+namespace {
+
+/// Head-routine helpers. Each check counts the nodes it examines, the way a
+/// hand-written condition function walks a query representation.
+
+bool IsPrimFnNamed(const TermPtr& t, const char* name, MonolithicStats* s) {
+  ++s->head_nodes_visited;
+  return t->IsPrimFn(name);
+}
+
+bool IsKpTrue(const TermPtr& t, MonolithicStats* s) {
+  s->head_nodes_visited += 2;
+  return t->kind() == TermKind::kConstPred &&
+         t->child(0)->kind() == TermKind::kBoolConst &&
+         t->child(0)->bool_const();
+}
+
+/// Matches `g o pi2` and extracts g.
+bool MatchComposePi2(const TermPtr& t, TermPtr* g, MonolithicStats* s) {
+  ++s->head_nodes_visited;
+  if (t->kind() != TermKind::kCompose) return false;
+  if (!IsPrimFnNamed(t->child(1), "pi2", s)) return false;
+  *g = t->child(0);
+  s->head_nodes_visited += static_cast<int>(t->child(0)->node_count());
+  return true;
+}
+
+/// Matches `in @ (pi1, c o pi2)` and extracts c.
+bool MatchMembershipPredicate(const TermPtr& t, TermPtr* c,
+                              MonolithicStats* s) {
+  ++s->head_nodes_visited;
+  if (t->kind() != TermKind::kOplus) return false;
+  if (t->child(0)->kind() != TermKind::kPrimPred ||
+      t->child(0)->name() != "in") {
+    ++s->head_nodes_visited;
+    return false;
+  }
+  ++s->head_nodes_visited;
+  const TermPtr& pair = t->child(1);
+  ++s->head_nodes_visited;
+  if (pair->kind() != TermKind::kPairFn) return false;
+  if (!IsPrimFnNamed(pair->child(0), "pi1", s)) return false;
+  return MatchComposePi2(pair->child(1), c, s);
+}
+
+/// The "dive": counts every node under `t` as visited, modeling the head
+/// routine scanning an arbitrary-depth subtree before rejecting.
+void DiveAll(const TermPtr& t, MonolithicStats* s) {
+  s->head_nodes_visited += static_cast<int>(t->node_count());
+}
+
+}  // namespace
+
+StatusOr<TermPtr> MonolithicHiddenJoin(const TermPtr& query,
+                                       MonolithicStats* stats) {
+  KOLA_CHECK(stats != nullptr);
+  *stats = MonolithicStats{};
+  auto reject = [&](const TermPtr& rest) -> StatusOr<TermPtr> {
+    DiveAll(rest, stats);
+    stats->rejected_after_dive = true;
+    return FailedPreconditionError(
+        "monolithic hidden-join rule does not apply");
+  };
+
+  // iterate(Kp(T), (id, BODY)) ! A
+  ++stats->head_nodes_visited;
+  if (query->kind() != TermKind::kApplyFn) return reject(query);
+  const TermPtr& fn = query->child(0);
+  const TermPtr& a = query->child(1);
+  ++stats->head_nodes_visited;
+  if (fn->kind() != TermKind::kIterate || !IsKpTrue(fn->child(0), stats)) {
+    return reject(query);
+  }
+  const TermPtr& pair = fn->child(1);
+  ++stats->head_nodes_visited;
+  if (pair->kind() != TermKind::kPairFn ||
+      !IsPrimFnNamed(pair->child(0), "id", stats)) {
+    return reject(query);
+  }
+
+  // BODY = flat o iter(Kp(T), g o pi2) o (id, INNER)
+  const TermPtr& body = pair->child(1);
+  ++stats->head_nodes_visited;
+  if (body->kind() != TermKind::kCompose ||
+      !IsPrimFnNamed(body->child(0), "flat", stats)) {
+    return reject(body);
+  }
+  const TermPtr& after_flat = body->child(1);
+  ++stats->head_nodes_visited;
+  if (after_flat->kind() != TermKind::kCompose) return reject(after_flat);
+  const TermPtr& outer_iter = after_flat->child(0);
+  ++stats->head_nodes_visited;
+  if (outer_iter->kind() != TermKind::kIter ||
+      !IsKpTrue(outer_iter->child(0), stats)) {
+    return reject(after_flat);
+  }
+  TermPtr g;
+  if (!MatchComposePi2(outer_iter->child(1), &g, stats)) {
+    return reject(outer_iter);
+  }
+  const TermPtr& outer_pair = after_flat->child(1);
+  ++stats->head_nodes_visited;
+  if (outer_pair->kind() != TermKind::kPairFn ||
+      !IsPrimFnNamed(outer_pair->child(0), "id", stats)) {
+    return reject(outer_pair);
+  }
+
+  // INNER = iter(in @ (pi1, c o pi2), pi2) o (id, Kf(B))
+  const TermPtr& inner = outer_pair->child(1);
+  ++stats->head_nodes_visited;
+  if (inner->kind() != TermKind::kCompose) return reject(inner);
+  const TermPtr& inner_iter = inner->child(0);
+  ++stats->head_nodes_visited;
+  if (inner_iter->kind() != TermKind::kIter) return reject(inner);
+  TermPtr c;
+  if (!MatchMembershipPredicate(inner_iter->child(0), &c, stats)) {
+    return reject(inner_iter);
+  }
+  if (!IsPrimFnNamed(inner_iter->child(1), "pi2", stats)) {
+    return reject(inner_iter);
+  }
+  const TermPtr& inner_pair = inner->child(1);
+  ++stats->head_nodes_visited;
+  if (inner_pair->kind() != TermKind::kPairFn ||
+      !IsPrimFnNamed(inner_pair->child(0), "id", stats)) {
+    return reject(inner_pair);
+  }
+  const TermPtr& const_fn = inner_pair->child(1);
+  ++stats->head_nodes_visited;
+  if (const_fn->kind() != TermKind::kConstFn) return reject(inner_pair);
+  const TermPtr& b = const_fn->child(0);
+
+  // Body routine: build
+  //   nest(pi1, pi2) o (unnest(pi1, pi2) x id) o
+  //   (join(in @ (id x c), id x g), pi1) ! [A, B].
+  TermPtr join_pred = Oplus(InP(), Product(Id(), c));
+  TermPtr join_fn = Product(Id(), g);
+  TermPtr rebuilt = Apply(
+      Compose(Nest(Pi1(), Pi2()),
+              Compose(Product(Unnest(Pi1(), Pi2()), Id()),
+                      PairFn(Join(std::move(join_pred), std::move(join_fn)),
+                             Pi1()))),
+      PairObj(a, b));
+  stats->body_nodes_built = static_cast<int>(rebuilt->node_count());
+  stats->applied = true;
+  return rebuilt;
+}
+
+}  // namespace kola

@@ -1,0 +1,43 @@
+#ifndef KOLA_OPTIMIZER_MONOLITHIC_H_
+#define KOLA_OPTIMIZER_MONOLITHIC_H_
+
+#include "common/statusor.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// Instrumentation of the baseline monolithic transformer. The counters
+/// quantify the supplemental-code burden the paper attributes to
+/// variable-based systems (Section 4.2): the head routine must "dive" into
+/// the query to unbounded depth to decide applicability, and the body
+/// routine rebuilds the result wholesale.
+struct MonolithicStats {
+  int head_nodes_visited = 0;  // nodes examined by the applicability dive
+  int body_nodes_built = 0;    // nodes constructed by the body routine
+  bool applied = false;        // the single monolithic rule fired
+  bool rejected_after_dive = false;  // head dove deep, then gave up
+};
+
+/// The monolithic hidden-join rule, in the style the paper criticizes
+/// ([12]'s approach): ONE rule whose head routine recognizes exactly the
+/// garage-query shape
+///
+///   iterate(Kp(T), (id, flat o iter(Kp(T), g o pi2) o
+///                       (id, iter(in @ (pi1, c o pi2), pi2) o
+///                            (id, Kf(B))))) ! A
+///
+/// and whose body routine directly constructs
+///
+///   nest(pi1, pi2) o (unnest(pi1, pi2) x id) o
+///   (join(in @ (id x c), id x g), pi1) ! [A, B].
+///
+/// By design it handles ONLY this two-level shape -- deeper or differently
+/// wrapped hidden joins are rejected (after a full head dive), which is the
+/// generality deficit bench_hidden_join measures against the gradual
+/// five-step strategy.
+StatusOr<TermPtr> MonolithicHiddenJoin(const TermPtr& query,
+                                       MonolithicStats* stats);
+
+}  // namespace kola
+
+#endif  // KOLA_OPTIMIZER_MONOLITHIC_H_

@@ -1,0 +1,112 @@
+#include "optimizer/optimizer.h"
+
+#include <functional>
+
+#include "common/macros.h"
+#include "coko/strategy.h"
+#include "optimizer/code_motion.h"
+#include "optimizer/explore.h"
+#include "optimizer/hidden_join.h"
+#include "rules/catalog.h"
+
+namespace kola {
+
+StatusOr<OptimizeResult> Optimizer::Optimize(const TermPtr& query) const {
+  OptimizeResult result;
+  result.query = query;
+  result.trace.initial = query;
+
+  TermPtr current = query;
+
+  // Phase 1: general simplification.
+  {
+    RuleBlock simplify = SimplifyBlock();
+    KOLA_ASSIGN_OR_RETURN(StrategyResult r,
+                          simplify.Apply(current, rewriter_, &result.trace));
+    if (r.changed) result.applied_blocks.push_back(simplify.name());
+    current = r.term;
+  }
+
+  // Phase 2: code motion (Figure 6).
+  {
+    KOLA_ASSIGN_OR_RETURN(CodeMotionResult r,
+                          ApplyCodeMotion(current, rewriter_));
+    if (r.moved) result.applied_blocks.push_back("code-motion");
+    for (RewriteStep& step : r.trace.steps) {
+      result.trace.steps.push_back(std::move(step));
+    }
+    current = r.query;
+  }
+
+  // Phase 3: hidden-join untangling (Section 4.1).
+  {
+    KOLA_ASSIGN_OR_RETURN(HiddenJoinResult r,
+                          UntangleHiddenJoin(current, rewriter_));
+    for (const std::string& name : r.blocks_fired) {
+      result.applied_blocks.push_back("hidden-join/" + name);
+    }
+    for (RewriteStep& step : r.trace.steps) {
+      result.trace.steps.push_back(std::move(step));
+    }
+    current = r.query;
+  }
+
+  // Phase 4: loop fusion -- adjacent iterates collapse into one pass
+  // (rule 11 plus predicate/identity cleanup). The hidden-join pipeline
+  // leaves queries in composition-chain form, which is what rule 11
+  // matches.
+  {
+    std::vector<Rule> all = AllCatalogRules();
+    std::vector<Rule> rules;
+    for (const char* id : {"norm.fold", "norm.assoc", "11", "6", "5", "1",
+                           "2", "ext.and-true-right"}) {
+      rules.push_back(FindRule(all, id));
+    }
+    RuleBlock fusion("loop-fusion", Exhaust(std::move(rules)));
+    KOLA_ASSIGN_OR_RETURN(StrategyResult r,
+                          fusion.Apply(current, rewriter_, &result.trace));
+    if (r.changed) result.applied_blocks.push_back(fusion.name());
+    current = r.term;
+  }
+
+  // Phase 5: cost-ranked join exploration (commutation, selection
+  // pushdown) when the plan contains a join.
+  {
+    std::function<bool(const TermPtr&)> has_join =
+        [&](const TermPtr& t) -> bool {
+      if (t->kind() == TermKind::kJoin) return true;
+      for (const TermPtr& child : t->children()) {
+        if (has_join(child)) return true;
+      }
+      return false;
+    };
+    if (has_join(current)) {
+      KOLA_ASSIGN_OR_RETURN(
+          std::vector<Candidate> plans,
+          ExploreJoinPlans(current, rewriter_, cost_model_));
+      if (!plans.empty() && !plans.front().derivation.empty()) {
+        result.applied_blocks.push_back("join-exploration");
+        current = plans.front().query;
+      }
+    }
+  }
+
+  result.rewritten = current;
+
+  // Cost-based acceptance.
+  auto before = cost_model_.EstimateQueryCost(query);
+  auto after = cost_model_.EstimateQueryCost(current);
+  result.cost_before = before.ok() ? before.value() : 0;
+  result.cost_after = after.ok() ? after.value() : 0;
+  if (before.ok() && after.ok()) {
+    result.kept_rewrite = result.cost_after <= result.cost_before;
+  } else {
+    // Cost model could not rank the plans; keep the rewrite (rules are
+    // semantics-preserving, and simplified form is preferable).
+    result.kept_rewrite = true;
+  }
+  result.query = result.kept_rewrite ? current : query;
+  return result;
+}
+
+}  // namespace kola

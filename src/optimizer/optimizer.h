@@ -1,0 +1,47 @@
+#ifndef KOLA_OPTIMIZER_OPTIMIZER_H_
+#define KOLA_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "optimizer/cost.h"
+#include "rewrite/engine.h"
+#include "rewrite/properties.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// Result of a full optimization pass.
+struct OptimizeResult {
+  TermPtr query;                       // chosen plan
+  TermPtr rewritten;                   // fully transformed candidate
+  double cost_before = 0;              // estimated cost of the input
+  double cost_after = 0;               // estimated cost of the candidate
+  bool kept_rewrite = false;           // candidate won on estimated cost
+  std::vector<std::string> applied_blocks;
+  Trace trace;                         // every rule firing
+};
+
+/// The end-to-end rule-driven optimizer: simplification, code motion,
+/// hidden-join untangling, final cleanup -- all of it rules + strategies,
+/// no head or body routines. Cost-based acceptance uses the CostModel.
+class Optimizer {
+ public:
+  /// `properties` enables precondition-guarded rules (may be nullptr).
+  /// `db` grounds extent cardinalities for the cost model (may be nullptr).
+  Optimizer(const PropertyStore* properties, const Database* db)
+      : rewriter_(properties), cost_model_(db) {}
+
+  StatusOr<OptimizeResult> Optimize(const TermPtr& query) const;
+
+  const Rewriter& rewriter() const { return rewriter_; }
+
+ private:
+  Rewriter rewriter_;
+  CostModel cost_model_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_OPTIMIZER_OPTIMIZER_H_

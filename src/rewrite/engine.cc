@@ -1,0 +1,110 @@
+#include "rewrite/engine.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "rewrite/match.h"
+
+namespace kola {
+
+std::vector<std::string> Trace::RuleIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(steps.size());
+  for (const RewriteStep& step : steps) ids.push_back(step.rule_id);
+  return ids;
+}
+
+std::string Trace::ToString() const {
+  std::ostringstream os;
+  if (initial != nullptr) os << initial->ToString() << "\n";
+  for (const RewriteStep& step : steps) {
+    os << "  --[" << step.rule_id << "]--> " << step.result->ToString()
+       << "\n";
+  }
+  return os.str();
+}
+
+bool Rewriter::ConditionsHold(const Rule& rule,
+                              const Bindings& bindings) const {
+  if (rule.conditions.empty()) return true;
+  if (properties_ == nullptr) return false;
+  for (const PropertyAtom& condition : rule.conditions) {
+    auto goal = Substitute(condition.pattern, bindings);
+    if (!goal.ok()) return false;
+    if (!properties_->Holds(condition.property, goal.value())) return false;
+  }
+  return true;
+}
+
+std::optional<TermPtr> Rewriter::ApplyAtRoot(const Rule& rule,
+                                             const TermPtr& term) const {
+  Bindings bindings;
+  if (!MatchTerm(rule.lhs, term, &bindings)) return std::nullopt;
+  if (!ConditionsHold(rule, bindings)) return std::nullopt;
+  auto result = Substitute(rule.rhs, bindings);
+  // Rules are validated at construction (rhs variables bound by lhs), so
+  // substitution cannot fail; a failure here is a library bug.
+  KOLA_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
+                                               const TermPtr& term,
+                                               std::vector<size_t>* path,
+                                               RewriteStep* step) const {
+  if (auto rewritten = ApplyAtRoot(rule, term)) {
+    if (step != nullptr) {
+      step->rule_id = rule.id;
+      step->path = *path;
+      step->before = term;
+      step->after = *rewritten;
+    }
+    return rewritten;
+  }
+  for (size_t i = 0; i < term->arity(); ++i) {
+    path->push_back(i);
+    if (auto rewritten = ApplyOnceImpl(rule, term->child(i), path, step)) {
+      std::vector<TermPtr> children = term->children();
+      children[i] = std::move(*rewritten);
+      path->pop_back();
+      return term->WithChildren(std::move(children));
+    }
+    path->pop_back();
+  }
+  return std::nullopt;
+}
+
+std::optional<TermPtr> Rewriter::ApplyOnce(const Rule& rule,
+                                           const TermPtr& term,
+                                           RewriteStep* step) const {
+  std::vector<size_t> path;
+  auto result = ApplyOnceImpl(rule, term, &path, step);
+  if (result && step != nullptr) step->result = *result;
+  return result;
+}
+
+std::optional<TermPtr> Rewriter::ApplyAnyOnce(const std::vector<Rule>& rules,
+                                              const TermPtr& term,
+                                              RewriteStep* step) const {
+  for (const Rule& rule : rules) {
+    if (auto result = ApplyOnce(rule, term, step)) return result;
+  }
+  return std::nullopt;
+}
+
+StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
+                                     TermPtr term, Trace* trace,
+                                     int max_steps) const {
+  if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
+  for (int i = 0; i < max_steps; ++i) {
+    RewriteStep step;
+    auto result = ApplyAnyOnce(rules, term, &step);
+    if (!result) return term;
+    term = std::move(*result);
+    if (trace != nullptr) trace->steps.push_back(std::move(step));
+  }
+  return ResourceExhaustedError("rewrite fixpoint exceeded " +
+                                std::to_string(max_steps) + " steps");
+}
+
+}  // namespace kola

@@ -1,0 +1,81 @@
+#ifndef KOLA_REWRITE_ENGINE_H_
+#define KOLA_REWRITE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "rewrite/properties.h"
+#include "rewrite/rule.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// One fired rewrite, recorded for derivation traces (Figures 4 and 6 of
+/// the paper are reproduced by asserting on these).
+struct RewriteStep {
+  std::string rule_id;
+  std::vector<size_t> path;  // child indices from the root to the redex
+  TermPtr before;            // the redex before rewriting
+  TermPtr after;             // the redex after rewriting
+  TermPtr result;            // the whole term after this step
+};
+
+/// A derivation: the starting term plus every fired step.
+struct Trace {
+  TermPtr initial;
+  std::vector<RewriteStep> steps;
+
+  /// Rule ids in firing order, e.g. {"11", "13", "7", "12~"}.
+  std::vector<std::string> RuleIds() const;
+
+  /// Multi-line rendering in the style of the paper's Figure 4.
+  std::string ToString() const;
+};
+
+/// Applies declarative rules to terms. Pure matching plus substitution --
+/// no code hooks; conditions resolve through the PropertyStore.
+class Rewriter {
+ public:
+  /// `properties` may be nullptr, in which case conditional rules never
+  /// fire.
+  explicit Rewriter(const PropertyStore* properties = nullptr)
+      : properties_(properties) {}
+
+  /// Applies `rule` at the root only. nullopt when the lhs does not match
+  /// or a condition fails.
+  std::optional<TermPtr> ApplyAtRoot(const Rule& rule,
+                                     const TermPtr& term) const;
+
+  /// Applies `rule` once at the leftmost-outermost matching position.
+  /// `step` (optional) receives the details.
+  std::optional<TermPtr> ApplyOnce(const Rule& rule, const TermPtr& term,
+                                   RewriteStep* step) const;
+
+  /// Tries each rule in order at leftmost-outermost; first success wins.
+  std::optional<TermPtr> ApplyAnyOnce(const std::vector<Rule>& rules,
+                                      const TermPtr& term,
+                                      RewriteStep* step) const;
+
+  /// Repeats ApplyAnyOnce until no rule fires. RESOURCE_EXHAUSTED after
+  /// `max_steps` firings (non-terminating rule sets are a bug in the
+  /// caller's rule selection, but must not hang the optimizer).
+  StatusOr<TermPtr> Fixpoint(const std::vector<Rule>& rules, TermPtr term,
+                             Trace* trace, int max_steps = 10'000) const;
+
+  const PropertyStore* properties() const { return properties_; }
+
+ private:
+  bool ConditionsHold(const Rule& rule, const Bindings& bindings) const;
+
+  std::optional<TermPtr> ApplyOnceImpl(const Rule& rule, const TermPtr& term,
+                                       std::vector<size_t>* path,
+                                       RewriteStep* step) const;
+
+  const PropertyStore* properties_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_ENGINE_H_

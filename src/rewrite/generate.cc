@@ -1,0 +1,287 @@
+#include "rewrite/generate.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kola {
+
+namespace {
+
+/// Finds an extent whose elements are instances of `class_name` by
+/// inspecting the database (schema-independent: works for any world).
+StatusOr<Value> ExtentForClass(const Database& db,
+                               const std::string& class_name) {
+  for (const std::string& extent_name : db.ExtentNames()) {
+    auto extent = db.Extent(extent_name);
+    if (!extent.ok() || extent->SetSize() == 0) continue;
+    const Value& first = extent->elements()[0];
+    if (!first.is_object()) continue;
+    auto name = db.ClassName(first.object_class());
+    if (name.ok() && name.value() == class_name) return *extent;
+  }
+  return NotFoundError("no extent holds instances of class " + class_name);
+}
+
+}  // namespace
+
+TypePtr TermGenerator::RandomType(int depth) {
+  // Weighted toward scalars; composite only with remaining depth.
+  int64_t pick = rng_->Uniform(0, depth > 0 ? 5 : 2);
+  switch (pick) {
+    case 0:
+      return Type::Int();
+    case 1:
+      return Type::Str();
+    case 2:
+      return Type::Bool();
+    case 3:
+      return Type::Pair(RandomType(depth - 1), RandomType(depth - 1));
+    case 4:
+      return Type::Set(RandomType(depth - 1));
+    default:
+      return Type::Int();
+  }
+}
+
+TypePtr TermGenerator::Concretize(const TypePtr& type,
+                                  std::map<int, TypePtr>* assignments,
+                                  int depth) {
+  switch (type->tag()) {
+    case TypeTag::kVar: {
+      auto it = assignments->find(type->var_id());
+      if (it != assignments->end()) return it->second;
+      TypePtr concrete = RandomType(depth);
+      (*assignments)[type->var_id()] = concrete;
+      return concrete;
+    }
+    case TypeTag::kPair:
+      return Type::Pair(Concretize(type->first(), assignments, depth),
+                        Concretize(type->second(), assignments, depth));
+    case TypeTag::kSet:
+      return Type::Set(Concretize(type->element(), assignments, depth));
+    default:
+      return type;
+  }
+}
+
+StatusOr<Value> TermGenerator::RandomValue(const TypePtr& type) {
+  switch (type->tag()) {
+    case TypeTag::kInt:
+      return Value::Int(rng_->Uniform(-20, 40));
+    case TypeTag::kString:
+      return Value::Str(rng_->Identifier(1 + rng_->Index(4)));
+    case TypeTag::kBool:
+      return Value::Bool(rng_->Chance(0.5));
+    case TypeTag::kClass: {
+      if (db_ == nullptr) {
+        return FailedPreconditionError(
+            "class-typed value requested without a database");
+      }
+      KOLA_ASSIGN_OR_RETURN(Value extent,
+                            ExtentForClass(*db_, type->class_name()));
+      return extent.elements()[rng_->Index(extent.SetSize())];
+    }
+    case TypeTag::kPair: {
+      KOLA_ASSIGN_OR_RETURN(Value a, RandomValue(type->first()));
+      KOLA_ASSIGN_OR_RETURN(Value b, RandomValue(type->second()));
+      return Value::MakePair(std::move(a), std::move(b));
+    }
+    case TypeTag::kSet: {
+      std::vector<Value> elements;
+      int64_t n = rng_->Uniform(0, options_.max_set_size);
+      for (int64_t i = 0; i < n; ++i) {
+        KOLA_ASSIGN_OR_RETURN(Value e, RandomValue(type->element()));
+        elements.push_back(std::move(e));
+      }
+      return Value::MakeSet(std::move(elements));
+    }
+    case TypeTag::kVar:
+      return FailedPreconditionError("cannot generate value of unresolved "
+                                     "type variable");
+  }
+  return InternalError("unhandled type tag");
+}
+
+StatusOr<TermPtr> TermGenerator::RandomFn(const TypePtr& from,
+                                          const TypePtr& to, int depth) {
+  // Collect all constructors valid at this signature, then pick uniformly.
+  std::vector<std::function<StatusOr<TermPtr>()>> options;
+
+  // Kf(constant) is always available and serves as the depth-0 fallback.
+  auto constant = [this, to]() -> StatusOr<TermPtr> {
+    KOLA_ASSIGN_OR_RETURN(Value v, RandomValue(to));
+    return ConstFn(Lit(std::move(v)));
+  };
+
+  if (Type::Equal(from, to)) {
+    options.push_back([]() -> StatusOr<TermPtr> { return Id(); });
+  }
+  for (const std::string& name : schema_->FunctionsWithType(from, to)) {
+    options.push_back(
+        [name]() -> StatusOr<TermPtr> { return PrimFn(name); });
+  }
+  if (from->tag() == TypeTag::kPair) {
+    if (Type::Equal(from->first(), to)) {
+      options.push_back([]() -> StatusOr<TermPtr> { return Pi1(); });
+    }
+    if (Type::Equal(from->second(), to)) {
+      options.push_back([]() -> StatusOr<TermPtr> { return Pi2(); });
+    }
+  }
+  if (depth > 0) {
+    options.push_back(constant);
+    if (to->tag() == TypeTag::kPair) {
+      options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+        KOLA_ASSIGN_OR_RETURN(TermPtr f,
+                              RandomFn(from, to->first(), depth - 1));
+        KOLA_ASSIGN_OR_RETURN(TermPtr g,
+                              RandomFn(from, to->second(), depth - 1));
+        return PairFn(std::move(f), std::move(g));
+      });
+    }
+    if (from->tag() == TypeTag::kPair && to->tag() == TypeTag::kPair) {
+      options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+        KOLA_ASSIGN_OR_RETURN(
+            TermPtr f, RandomFn(from->first(), to->first(), depth - 1));
+        KOLA_ASSIGN_OR_RETURN(
+            TermPtr g, RandomFn(from->second(), to->second(), depth - 1));
+        return Product(std::move(f), std::move(g));
+      });
+    }
+    options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+      TypePtr mid = RandomType(depth - 1);
+      KOLA_ASSIGN_OR_RETURN(TermPtr f, RandomFn(mid, to, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr g, RandomFn(from, mid, depth - 1));
+      return Compose(std::move(f), std::move(g));
+    });
+    options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+      KOLA_ASSIGN_OR_RETURN(TermPtr p, RandomPred(from, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr f, RandomFn(from, to, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr g, RandomFn(from, to, depth - 1));
+      return Cond(std::move(p), std::move(f), std::move(g));
+    });
+    options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+      TypePtr c = RandomType(depth - 1);
+      KOLA_ASSIGN_OR_RETURN(TermPtr f,
+                            RandomFn(Type::Pair(c, from), to, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(Value v, RandomValue(c));
+      return CurryFn(std::move(f), Lit(std::move(v)));
+    });
+    if (from->tag() == TypeTag::kSet && to->tag() == TypeTag::kSet) {
+      options.push_back([this, from, to, depth]() -> StatusOr<TermPtr> {
+        KOLA_ASSIGN_OR_RETURN(TermPtr p,
+                              RandomPred(from->element(), depth - 1));
+        KOLA_ASSIGN_OR_RETURN(
+            TermPtr f,
+            RandomFn(from->element(), to->element(), depth - 1));
+        return Iterate(std::move(p), std::move(f));
+      });
+      if (from->element()->tag() == TypeTag::kSet &&
+          Type::Equal(from->element(), to)) {
+        options.push_back([]() -> StatusOr<TermPtr> { return Flat(); });
+      }
+    }
+  }
+
+  if (options.empty()) return constant();
+  // A failed sub-generation falls back to a constant of the target type.
+  auto result = options[rng_->Index(options.size())]();
+  if (result.ok()) return result;
+  return constant();
+}
+
+StatusOr<TermPtr> TermGenerator::RandomPred(const TypePtr& on, int depth) {
+  std::vector<std::function<StatusOr<TermPtr>()>> options;
+
+  auto constant = [this]() -> StatusOr<TermPtr> {
+    return ConstPred(BoolConst(rng_->Chance(0.5)));
+  };
+
+  if (on->tag() == TypeTag::kPair) {
+    const TypePtr& a = on->first();
+    const TypePtr& b = on->second();
+    if (Type::Equal(a, b)) {
+      options.push_back([]() -> StatusOr<TermPtr> { return EqP(); });
+      options.push_back(
+          []() -> StatusOr<TermPtr> { return PrimPred("neq"); });
+    }
+    if (a->tag() == TypeTag::kInt && b->tag() == TypeTag::kInt) {
+      options.push_back([this]() -> StatusOr<TermPtr> {
+        const char* names[] = {"lt", "leq", "gt", "geq"};
+        return PrimPred(names[rng_->Index(4)]);
+      });
+    }
+    if (b->tag() == TypeTag::kSet && Type::Equal(a, b->element())) {
+      options.push_back([]() -> StatusOr<TermPtr> { return InP(); });
+    }
+    if (depth > 0) {
+      options.push_back([this, a, b, depth]() -> StatusOr<TermPtr> {
+        KOLA_ASSIGN_OR_RETURN(TermPtr p,
+                              RandomPred(Type::Pair(b, a), depth - 1));
+        return InvP(std::move(p));
+      });
+    }
+  }
+  if (depth > 0) {
+    options.push_back(constant);
+    options.push_back([this, on, depth]() -> StatusOr<TermPtr> {
+      KOLA_ASSIGN_OR_RETURN(TermPtr p, RandomPred(on, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr q, RandomPred(on, depth - 1));
+      return rng_->Chance(0.5) ? AndP(std::move(p), std::move(q))
+                               : OrP(std::move(p), std::move(q));
+    });
+    options.push_back([this, on, depth]() -> StatusOr<TermPtr> {
+      KOLA_ASSIGN_OR_RETURN(TermPtr p, RandomPred(on, depth - 1));
+      return NotP(std::move(p));
+    });
+    options.push_back([this, on, depth]() -> StatusOr<TermPtr> {
+      TypePtr mid = RandomType(depth - 1);
+      KOLA_ASSIGN_OR_RETURN(TermPtr p, RandomPred(mid, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr f, RandomFn(on, mid, depth - 1));
+      return Oplus(std::move(p), std::move(f));
+    });
+    options.push_back([this, on, depth]() -> StatusOr<TermPtr> {
+      TypePtr c = RandomType(depth - 1);
+      KOLA_ASSIGN_OR_RETURN(TermPtr p,
+                            RandomPred(Type::Pair(c, on), depth - 1));
+      KOLA_ASSIGN_OR_RETURN(Value v, RandomValue(c));
+      return CurryPred(std::move(p), Lit(std::move(v)));
+    });
+  }
+
+  if (options.empty()) return constant();
+  auto result = options[rng_->Index(options.size())]();
+  if (result.ok()) return result;
+  return constant();
+}
+
+StatusOr<TermPtr> TermGenerator::RandomInjectiveFn(const TypePtr& from,
+                                                   const TypePtr& to,
+                                                   int depth) {
+  bool same = Type::Equal(from, to);
+  bool ints = from->tag() == TypeTag::kInt && to->tag() == TypeTag::kInt;
+  if (!same && !ints) {
+    return NotFoundError("no injective generator for " + from->ToString() +
+                         " -> " + to->ToString());
+  }
+  if (!ints || depth <= 0) return Id();
+  switch (rng_->Index(4)) {
+    case 0:
+      return Id();
+    case 1:
+      return PrimFn("succ");
+    case 2:
+      return PrimFn("neg");
+    default: {
+      KOLA_ASSIGN_OR_RETURN(TermPtr f,
+                            RandomInjectiveFn(from, to, depth - 1));
+      KOLA_ASSIGN_OR_RETURN(TermPtr g,
+                            RandomInjectiveFn(from, to, depth - 1));
+      return Compose(std::move(f), std::move(g));
+    }
+  }
+}
+
+}  // namespace kola

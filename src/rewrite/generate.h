@@ -1,0 +1,65 @@
+#ifndef KOLA_REWRITE_GENERATE_H_
+#define KOLA_REWRITE_GENERATE_H_
+
+#include <map>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "rewrite/types.h"
+#include "term/term.h"
+#include "values/database.h"
+
+namespace kola {
+
+/// Tunables for randomized term/value generation.
+struct GenOptions {
+  int max_depth = 3;     // recursion depth of generated combinator trees
+  int max_set_size = 4;  // elements per generated set value
+};
+
+/// Generates random well-typed ground KOLA terms and runtime values. Used
+/// by the rule verifier to instantiate a rule's metavariables at the types
+/// inferred for them, so that both rule sides evaluate without type errors
+/// and disagreement means genuine unsoundness.
+class TermGenerator {
+ public:
+  /// `db` may be nullptr when no class-typed values are needed.
+  TermGenerator(const SchemaTypes* schema, const Database* db, Rng* rng,
+                GenOptions options = GenOptions())
+      : schema_(schema), db_(db), rng_(rng), options_(options) {}
+
+  /// A random concrete (variable-free, class-free) type.
+  TypePtr RandomType(int depth);
+
+  /// Replaces every type variable in `type` with a random concrete type,
+  /// consistently across calls sharing the same `assignments` map.
+  TypePtr Concretize(const TypePtr& type, std::map<int, TypePtr>* assignments,
+                     int depth);
+
+  /// A random runtime value of the given concrete type. Class types draw
+  /// from the database's extent for that class.
+  StatusOr<Value> RandomValue(const TypePtr& type);
+
+  /// A random ground function term of type `from -> to` (concrete types).
+  StatusOr<TermPtr> RandomFn(const TypePtr& from, const TypePtr& to,
+                             int depth);
+
+  /// A random ground predicate term over `on`.
+  StatusOr<TermPtr> RandomPred(const TypePtr& on, int depth);
+
+  /// A random *injective* function of type `from -> to`. Supports identity
+  /// (from == to) and int -> int chains of succ/neg/dbl; NOT_FOUND when no
+  /// injective menu exists at this type.
+  StatusOr<TermPtr> RandomInjectiveFn(const TypePtr& from, const TypePtr& to,
+                                      int depth);
+
+ private:
+  const SchemaTypes* schema_;
+  const Database* db_;
+  Rng* rng_;
+  GenOptions options_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_GENERATE_H_

@@ -1,0 +1,93 @@
+#include "rewrite/match.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace kola {
+
+bool Bindings::Bind(const std::string& name, TermPtr term) {
+  auto it = bindings_.find(name);
+  if (it != bindings_.end()) return Term::Equal(it->second, term);
+  bindings_.emplace(name, std::move(term));
+  return true;
+}
+
+const TermPtr* Bindings::Lookup(const std::string& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+std::string Bindings::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, term] : bindings_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '?' << name << " -> " << term->ToString();
+  }
+  os << '}';
+  return os.str();
+}
+
+bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
+               Bindings* bindings) {
+  KOLA_CHECK(pattern != nullptr && term != nullptr && bindings != nullptr);
+  if (pattern->is_metavar()) {
+    if (!SortMatches(pattern->sort(), term->sort())) return false;
+    return bindings->Bind(pattern->name(), term);
+  }
+  // A [x, y] pattern decomposes a pair-valued literal (the parser folds
+  // literal pairs into single literal nodes).
+  if (pattern->kind() == TermKind::kPairObj &&
+      term->kind() == TermKind::kLiteral && term->literal().is_pair()) {
+    return MatchTerm(pattern->child(0), Lit(term->literal().first()),
+                     bindings) &&
+           MatchTerm(pattern->child(1), Lit(term->literal().second()),
+                     bindings);
+  }
+  if (pattern->kind() != term->kind()) return false;
+  switch (pattern->kind()) {
+    case TermKind::kPrimFn:
+    case TermKind::kPrimPred:
+    case TermKind::kCollection:
+      return pattern->name() == term->name();
+    case TermKind::kLiteral:
+      return Value::Compare(pattern->literal(), term->literal()) == 0;
+    case TermKind::kBoolConst:
+      return pattern->bool_const() == term->bool_const();
+    default:
+      break;
+  }
+  KOLA_CHECK(pattern->arity() == term->arity());
+  for (size_t i = 0; i < pattern->arity(); ++i) {
+    if (!MatchTerm(pattern->child(i), term->child(i), bindings)) return false;
+  }
+  return true;
+}
+
+StatusOr<TermPtr> Substitute(const TermPtr& pattern,
+                             const Bindings& bindings) {
+  KOLA_CHECK(pattern != nullptr);
+  if (pattern->is_metavar()) {
+    const TermPtr* bound = bindings.Lookup(pattern->name());
+    if (bound == nullptr) {
+      return FailedPreconditionError("unbound metavariable ?" +
+                                     pattern->name());
+    }
+    return *bound;
+  }
+  if (!pattern->has_metavars()) return pattern;
+  std::vector<TermPtr> children;
+  children.reserve(pattern->arity());
+  for (const TermPtr& child : pattern->children()) {
+    KOLA_ASSIGN_OR_RETURN(TermPtr replaced, Substitute(child, bindings));
+    children.push_back(std::move(replaced));
+  }
+  return Term::Make(pattern->kind(), std::move(children), pattern->name(),
+                    pattern->literal(), pattern->bool_const(),
+                    pattern->sort());
+}
+
+}  // namespace kola

@@ -1,0 +1,47 @@
+#ifndef KOLA_REWRITE_MATCH_H_
+#define KOLA_REWRITE_MATCH_H_
+
+#include <map>
+#include <string>
+
+#include "common/statusor.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// A set of metavariable bindings produced by matching a pattern against a
+/// ground (or partially ground) term. Non-linear patterns (a metavariable
+/// occurring twice) bind once and require structural equality on reuse.
+class Bindings {
+ public:
+  /// Binds `name` to `term`. Returns false when `name` is already bound to
+  /// a structurally different term (match failure), true otherwise.
+  bool Bind(const std::string& name, TermPtr term);
+
+  /// Returns nullptr when unbound.
+  const TermPtr* Lookup(const std::string& name) const;
+
+  size_t size() const { return bindings_.size(); }
+  const std::map<std::string, TermPtr>& map() const { return bindings_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, TermPtr> bindings_;
+};
+
+/// One-way first-order matching: succeeds iff substituting the resulting
+/// bindings into `pattern` yields `term`. Metavariables match any subterm of
+/// a compatible sort. `bindings` may carry pre-existing bindings (used for
+/// conditional rewriting); on failure its contents are unspecified.
+bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
+               Bindings* bindings);
+
+/// Replaces every metavariable in `pattern` by its binding. Fails with
+/// FAILED_PRECONDITION if any metavariable is unbound (a rule whose rhs
+/// mentions variables absent from the lhs is malformed).
+StatusOr<TermPtr> Substitute(const TermPtr& pattern, const Bindings& bindings);
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_MATCH_H_

@@ -1,0 +1,73 @@
+#include "rewrite/properties.h"
+
+#include "common/macros.h"
+
+namespace kola {
+
+PropertyStore PropertyStore::Default() {
+  PropertyStore store;
+  // Ground annotations (schema knowledge an administrator would declare).
+  store.AddFact("injective", Id());
+  store.AddFact("injective", PrimFn("succ"));
+  store.AddFact("injective", PrimFn("neg"));
+  store.AddFact("injective", PrimFn("dbl"));
+  store.AddFact("injective", PrimFn("name"));  // name is a key in car-world
+
+  // Inference rules (the paper's example plus natural companions):
+  //   injective(f) and injective(g) => injective(f o g)
+  store.AddRule(PropertyRule{
+      "inj-compose",
+      {"injective", Compose(FnVar("f"), FnVar("g"))},
+      {{"injective", FnVar("f")}, {"injective", FnVar("g")}}});
+  //   injective(f) => injective((f, g))   (a pair is determined by either
+  //   injective component)
+  store.AddRule(PropertyRule{"inj-pair-left",
+                             {"injective", PairFn(FnVar("f"), FnVar("g"))},
+                             {{"injective", FnVar("f")}}});
+  store.AddRule(PropertyRule{"inj-pair-right",
+                             {"injective", PairFn(FnVar("f"), FnVar("g"))},
+                             {{"injective", FnVar("g")}}});
+  //   injective(f) and injective(g) => injective(f x g)
+  store.AddRule(PropertyRule{
+      "inj-product",
+      {"injective", Product(FnVar("f"), FnVar("g"))},
+      {{"injective", FnVar("f")}, {"injective", FnVar("g")}}});
+  return store;
+}
+
+void PropertyStore::AddFact(const std::string& property, TermPtr term) {
+  KOLA_CHECK(!term->has_metavars());
+  facts_.push_back(PropertyAtom{property, std::move(term)});
+}
+
+void PropertyStore::AddRule(PropertyRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool PropertyStore::Holds(const std::string& property, const TermPtr& term,
+                          int max_depth) const {
+  if (max_depth <= 0) return false;
+  for (const PropertyAtom& fact : facts_) {
+    if (fact.property == property && Term::Equal(fact.pattern, term)) {
+      return true;
+    }
+  }
+  for (const PropertyRule& rule : rules_) {
+    if (rule.head.property != property) continue;
+    Bindings bindings;
+    if (!MatchTerm(rule.head.pattern, term, &bindings)) continue;
+    bool all = true;
+    for (const PropertyAtom& atom : rule.body) {
+      auto subgoal = Substitute(atom.pattern, bindings);
+      if (!subgoal.ok() ||
+          !Holds(atom.property, subgoal.value(), max_depth - 1)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace kola

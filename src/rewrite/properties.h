@@ -1,0 +1,61 @@
+#ifndef KOLA_REWRITE_PROPERTIES_H_
+#define KOLA_REWRITE_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "rewrite/match.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// A property applied to a term pattern, e.g. injective(?f o ?g).
+struct PropertyAtom {
+  std::string property;
+  TermPtr pattern;
+};
+
+/// A Horn inference rule over properties:
+///   head.property(head.pattern) <= body[0] and body[1] and ...
+/// e.g.  injective(?f o ?g) <= injective(?f), injective(?g).
+/// This realizes the paper's Section 4.2 mechanism: rule preconditions are
+/// "expressed as attributes whose values are determined not with code, but
+/// with annotations and additional rules".
+struct PropertyRule {
+  std::string id;
+  PropertyAtom head;
+  std::vector<PropertyAtom> body;
+};
+
+/// Facts (ground annotations such as injective(age)) plus inference rules,
+/// queried by backward chaining with a depth bound.
+class PropertyStore {
+ public:
+  /// Base store with the standard annotations for the car-world schema:
+  /// injectivity facts for id / succ / neg / name (a key), and the paper's
+  /// inference rules for composition, pairing and product of injective
+  /// functions.
+  static PropertyStore Default();
+
+  /// Declares a ground fact, e.g. AddFact("injective", PrimFn("name")).
+  void AddFact(const std::string& property, TermPtr term);
+
+  /// Adds a Horn inference rule.
+  void AddRule(PropertyRule rule);
+
+  /// True when `property(term)` is derivable within `max_depth` chaining
+  /// steps. Conservative: undecided queries answer false.
+  bool Holds(const std::string& property, const TermPtr& term,
+             int max_depth = 8) const;
+
+  size_t fact_count() const { return facts_.size(); }
+  size_t rule_count() const { return rules_.size(); }
+
+ private:
+  std::vector<PropertyAtom> facts_;
+  std::vector<PropertyRule> rules_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_PROPERTIES_H_

@@ -1,0 +1,564 @@
+#include "rewrite/types.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace kola {
+
+// -- Type factories ----------------------------------------------------------
+
+TypePtr Type::Int() {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kInt;
+  return t;
+}
+
+TypePtr Type::Str() {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kString;
+  return t;
+}
+
+TypePtr Type::Bool() {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kBool;
+  return t;
+}
+
+TypePtr Type::Class(const std::string& name) {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kClass;
+  t->name_ = name;
+  return t;
+}
+
+TypePtr Type::Pair(TypePtr first, TypePtr second) {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kPair;
+  t->children_ = {std::move(first), std::move(second)};
+  return t;
+}
+
+TypePtr Type::Set(TypePtr element) {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kSet;
+  t->children_ = {std::move(element)};
+  return t;
+}
+
+TypePtr Type::Var(int id) {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->tag_ = TypeTag::kVar;
+  t->var_id_ = id;
+  return t;
+}
+
+bool Type::Equal(const TypePtr& a, const TypePtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->tag_ != b->tag_) return false;
+  switch (a->tag_) {
+    case TypeTag::kInt:
+    case TypeTag::kString:
+    case TypeTag::kBool:
+      return true;
+    case TypeTag::kClass:
+      return a->name_ == b->name_;
+    case TypeTag::kVar:
+      return a->var_id_ == b->var_id_;
+    case TypeTag::kPair:
+      return Equal(a->children_[0], b->children_[0]) &&
+             Equal(a->children_[1], b->children_[1]);
+    case TypeTag::kSet:
+      return Equal(a->children_[0], b->children_[0]);
+  }
+  return false;
+}
+
+std::string Type::ToString() const {
+  switch (tag_) {
+    case TypeTag::kInt:
+      return "int";
+    case TypeTag::kString:
+      return "string";
+    case TypeTag::kBool:
+      return "bool";
+    case TypeTag::kClass:
+      return name_;
+    case TypeTag::kVar:
+      return "'t" + std::to_string(var_id_);
+    case TypeTag::kPair:
+      return "pair<" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ">";
+    case TypeTag::kSet:
+      return "set<" + children_[0]->ToString() + ">";
+  }
+  return "?";
+}
+
+// -- Substitution and unification --------------------------------------------
+
+TypePtr TypeSubst::Apply(const TypePtr& type) const {
+  KOLA_CHECK(type != nullptr);
+  switch (type->tag()) {
+    case TypeTag::kVar: {
+      auto it = bindings_.find(type->var_id());
+      if (it == bindings_.end()) return type;
+      return Apply(it->second);
+    }
+    case TypeTag::kPair: {
+      TypePtr a = Apply(type->first());
+      TypePtr b = Apply(type->second());
+      if (a.get() == type->first().get() && b.get() == type->second().get()) {
+        return type;
+      }
+      return Type::Pair(std::move(a), std::move(b));
+    }
+    case TypeTag::kSet: {
+      TypePtr e = Apply(type->element());
+      if (e.get() == type->element().get()) return type;
+      return Type::Set(std::move(e));
+    }
+    default:
+      return type;
+  }
+}
+
+void TypeSubst::Bind(int var_id, TypePtr type) {
+  KOLA_CHECK(bindings_.count(var_id) == 0);
+  bindings_[var_id] = std::move(type);
+}
+
+namespace {
+
+bool Occurs(int var_id, const TypePtr& type) {
+  switch (type->tag()) {
+    case TypeTag::kVar:
+      return type->var_id() == var_id;
+    case TypeTag::kPair:
+      return Occurs(var_id, type->first()) || Occurs(var_id, type->second());
+    case TypeTag::kSet:
+      return Occurs(var_id, type->element());
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Unify(const TypePtr& a_in, const TypePtr& b_in, TypeSubst* subst) {
+  TypePtr a = subst->Apply(a_in);
+  TypePtr b = subst->Apply(b_in);
+  if (Type::Equal(a, b)) return Status::OK();
+  if (a->is_var()) {
+    if (Occurs(a->var_id(), b)) {
+      return TypeError("occurs check: " + a->ToString() + " in " +
+                       b->ToString());
+    }
+    subst->Bind(a->var_id(), b);
+    return Status::OK();
+  }
+  if (b->is_var()) return Unify(b, a, subst);
+  if (a->tag() != b->tag()) {
+    return TypeError("cannot unify " + a->ToString() + " with " +
+                     b->ToString());
+  }
+  switch (a->tag()) {
+    case TypeTag::kClass:
+      return TypeError("cannot unify " + a->ToString() + " with " +
+                       b->ToString());
+    case TypeTag::kPair:
+      KOLA_RETURN_IF_ERROR(Unify(a->first(), b->first(), subst));
+      return Unify(a->second(), b->second(), subst);
+    case TypeTag::kSet:
+      return Unify(a->element(), b->element(), subst);
+    default:
+      return TypeError("cannot unify " + a->ToString() + " with " +
+                       b->ToString());
+  }
+}
+
+// -- Schema typing environment -----------------------------------------------
+
+SchemaTypes SchemaTypes::CarWorld() {
+  SchemaTypes schema;
+  TypePtr person = Type::Class("Person");
+  TypePtr address = Type::Class("Address");
+  TypePtr vehicle = Type::Class("Vehicle");
+  schema.AddFunction("age", person, Type::Int());
+  schema.AddFunction("name", person, Type::Str());
+  schema.AddFunction("addr", person, address);
+  schema.AddFunction("child", person, Type::Set(person));
+  schema.AddFunction("cars", person, Type::Set(vehicle));
+  schema.AddFunction("grgs", person, Type::Set(address));
+  schema.AddFunction("city", address, Type::Str());
+  schema.AddFunction("street", address, Type::Str());
+  schema.AddFunction("make", vehicle, Type::Str());
+  schema.AddFunction("year", vehicle, Type::Int());
+  // Arithmetic helper primitives registered on car-world databases by the
+  // verifier's fixture (see generate.cc).
+  schema.AddFunction("succ", Type::Int(), Type::Int());
+  schema.AddFunction("dbl", Type::Int(), Type::Int());
+  schema.AddFunction("neg", Type::Int(), Type::Int());
+  schema.AddCollection("P", person);
+  schema.AddCollection("V", vehicle);
+  schema.AddCollection("A", address);
+  schema.AddCollection("Nums", Type::Int());
+  return schema;
+}
+
+SchemaTypes SchemaTypes::CompanyWorld() {
+  SchemaTypes schema;
+  TypePtr dept = Type::Class("Dept");
+  TypePtr emp = Type::Class("Emp");
+  TypePtr proj = Type::Class("Proj");
+  schema.AddFunction("dname", dept, Type::Str());
+  schema.AddFunction("head", dept, emp);
+  schema.AddFunction("ename", emp, Type::Str());
+  schema.AddFunction("salary", emp, Type::Int());
+  schema.AddFunction("dept", emp, dept);
+  schema.AddFunction("skills", emp, Type::Set(Type::Str()));
+  schema.AddFunction("pname", proj, Type::Str());
+  schema.AddFunction("budget", proj, Type::Int());
+  schema.AddFunction("members", proj, Type::Set(emp));
+  schema.AddCollection("D", dept);
+  schema.AddCollection("E", emp);
+  schema.AddCollection("Proj", proj);
+  return schema;
+}
+
+void SchemaTypes::AddFunction(const std::string& name, TypePtr from,
+                              TypePtr to) {
+  functions_[name] = {std::move(from), std::move(to)};
+}
+
+void SchemaTypes::AddCollection(const std::string& name, TypePtr element) {
+  collections_[name] = std::move(element);
+}
+
+const std::pair<TypePtr, TypePtr>* SchemaTypes::FunctionType(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+const TypePtr* SchemaTypes::CollectionElement(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SchemaTypes::FunctionsWithType(
+    const TypePtr& from, const TypePtr& to) const {
+  std::vector<std::string> names;
+  for (const auto& [name, sig] : functions_) {
+    if (Type::Equal(sig.first, from) && Type::Equal(sig.second, to)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+// -- Inference ---------------------------------------------------------------
+
+TypePtr TypeInferencer::FreshVar() { return Type::Var(next_var_++); }
+
+StatusOr<TermType> TypeInferencer::Infer(const TermPtr& term) {
+  KOLA_ASSIGN_OR_RETURN(TermType t, InferImpl(term));
+  t.from = t.from == nullptr ? nullptr : subst_.Apply(t.from);
+  t.to = t.to == nullptr ? nullptr : subst_.Apply(t.to);
+  return t;
+}
+
+Status TypeInferencer::UnifyTermTypes(const TermType& a, const TermType& b) {
+  if (a.sort != b.sort &&
+      !(SortMatches(a.sort, b.sort) || SortMatches(b.sort, a.sort))) {
+    return TypeError("sort mismatch between rule sides");
+  }
+  if (a.from != nullptr && b.from != nullptr) {
+    KOLA_RETURN_IF_ERROR(Unify(a.from, b.from, &subst_));
+  }
+  if (a.to != nullptr && b.to != nullptr) {
+    KOLA_RETURN_IF_ERROR(Unify(a.to, b.to, &subst_));
+  }
+  return Status::OK();
+}
+
+std::map<std::string, TermType> TypeInferencer::MetaVarTypes() const {
+  std::map<std::string, TermType> resolved;
+  for (const auto& [name, type] : metavars_) {
+    TermType t = type;
+    t.from = t.from == nullptr ? nullptr : subst_.Apply(t.from);
+    t.to = t.to == nullptr ? nullptr : subst_.Apply(t.to);
+    resolved[name] = t;
+  }
+  return resolved;
+}
+
+namespace {
+
+/// Type of a runtime literal. Empty sets get the provided fresh element
+/// type; heterogeneous sets are a type error.
+StatusOr<TypePtr> TypeOfValue(const Value& value, TypeInferencer* inferencer,
+                              TypeSubst* subst) {
+  switch (value.kind()) {
+    case ValueKind::kInt:
+      return Type::Int();
+    case ValueKind::kString:
+      return Type::Str();
+    case ValueKind::kBool:
+      return Type::Bool();
+    case ValueKind::kPair: {
+      KOLA_ASSIGN_OR_RETURN(TypePtr a,
+                            TypeOfValue(value.first(), inferencer, subst));
+      KOLA_ASSIGN_OR_RETURN(TypePtr b,
+                            TypeOfValue(value.second(), inferencer, subst));
+      return Type::Pair(std::move(a), std::move(b));
+    }
+    case ValueKind::kSet: {
+      TypePtr element = inferencer->FreshVar();
+      for (const Value& e : value.elements()) {
+        KOLA_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(e, inferencer, subst));
+        KOLA_RETURN_IF_ERROR(Unify(element, t, subst));
+      }
+      return Type::Set(subst->Apply(element));
+    }
+    default:
+      return TypeError("cannot type literal " + value.ToString());
+  }
+}
+
+}  // namespace
+
+StatusOr<TermType> TypeInferencer::InferImpl(const TermPtr& term) {
+  KOLA_CHECK(term != nullptr);
+  auto fn = [](TypePtr from, TypePtr to) {
+    return TermType{Sort::kFunction, std::move(from), std::move(to)};
+  };
+  auto pred = [](TypePtr on) {
+    return TermType{Sort::kPredicate, std::move(on), nullptr};
+  };
+  auto obj = [](TypePtr t) {
+    return TermType{Sort::kObject, nullptr, std::move(t)};
+  };
+
+  switch (term->kind()) {
+    case TermKind::kPrimFn: {
+      const std::string& name = term->name();
+      if (name == "id") {
+        TypePtr a = FreshVar();
+        return fn(a, a);
+      }
+      if (name == "pi1") {
+        TypePtr a = FreshVar(), b = FreshVar();
+        return fn(Type::Pair(a, b), a);
+      }
+      if (name == "pi2") {
+        TypePtr a = FreshVar(), b = FreshVar();
+        return fn(Type::Pair(a, b), b);
+      }
+      if (name == "flat") {
+        TypePtr a = FreshVar();
+        return fn(Type::Set(Type::Set(a)), Type::Set(a));
+      }
+      if (name == "union" || name == "intersect" || name == "diff") {
+        TypePtr s = Type::Set(FreshVar());
+        return fn(Type::Pair(s, s), s);
+      }
+      if (name == "card") {
+        return fn(Type::Set(FreshVar()), Type::Int());
+      }
+      const auto* sig = schema_->FunctionType(name);
+      if (sig == nullptr) {
+        return NotFoundError("no typing for primitive function " + name);
+      }
+      return fn(sig->first, sig->second);
+    }
+    case TermKind::kPrimPred: {
+      const std::string& name = term->name();
+      if (name == "eq" || name == "neq") {
+        TypePtr a = FreshVar();
+        return pred(Type::Pair(a, a));
+      }
+      if (name == "lt" || name == "leq" || name == "gt" || name == "geq") {
+        return pred(Type::Pair(Type::Int(), Type::Int()));
+      }
+      if (name == "in") {
+        TypePtr a = FreshVar();
+        return pred(Type::Pair(a, Type::Set(a)));
+      }
+      return NotFoundError("no typing for primitive predicate " + name);
+    }
+    case TermKind::kLiteral: {
+      KOLA_ASSIGN_OR_RETURN(TypePtr t,
+                            TypeOfValue(term->literal(), this, &subst_));
+      return obj(t);
+    }
+    case TermKind::kBoolConst:
+      return obj(Type::Bool());
+    case TermKind::kCollection: {
+      const TypePtr* element = schema_->CollectionElement(term->name());
+      if (element == nullptr) {
+        return NotFoundError("no typing for collection " + term->name());
+      }
+      return obj(Type::Set(*element));
+    }
+    case TermKind::kMetaVar: {
+      auto it = metavars_.find(term->name());
+      if (it != metavars_.end()) {
+        if (it->second.sort != term->sort()) {
+          return TypeError("metavariable ?" + term->name() +
+                           " used at two sorts");
+        }
+        return it->second;
+      }
+      TermType t;
+      switch (term->sort()) {
+        case Sort::kFunction:
+          t = fn(FreshVar(), FreshVar());
+          break;
+        case Sort::kPredicate:
+          t = pred(FreshVar());
+          break;
+        case Sort::kObject:
+          t = obj(FreshVar());
+          break;
+        case Sort::kBool:
+          t = obj(Type::Bool());
+          break;
+      }
+      t.sort = term->sort();
+      metavars_[term->name()] = t;
+      return t;
+    }
+    case TermKind::kCompose: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, g.to, &subst_));
+      return fn(g.from, f.to);
+    }
+    case TermKind::kPairFn: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, g.from, &subst_));
+      return fn(f.from, Type::Pair(f.to, g.to));
+    }
+    case TermKind::kProduct: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(1)));
+      return fn(Type::Pair(f.from, g.from), Type::Pair(f.to, g.to));
+    }
+    case TermKind::kConstFn: {
+      KOLA_ASSIGN_OR_RETURN(TermType x, InferImpl(term->child(0)));
+      return fn(FreshVar(), x.to);
+    }
+    case TermKind::kCurryFn: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType x, InferImpl(term->child(1)));
+      TypePtr a = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(f.from, Type::Pair(x.to, a), &subst_));
+      return fn(a, f.to);
+    }
+    case TermKind::kCond: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(1)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(2)));
+      KOLA_RETURN_IF_ERROR(Unify(p.from, f.from, &subst_));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, g.from, &subst_));
+      KOLA_RETURN_IF_ERROR(Unify(f.to, g.to, &subst_));
+      return fn(f.from, f.to);
+    }
+    case TermKind::kOplus: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(p.from, f.to, &subst_));
+      return pred(f.from);
+    }
+    case TermKind::kAndP:
+    case TermKind::kOrP: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType q, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(p.from, q.from, &subst_));
+      return pred(p.from);
+    }
+    case TermKind::kInvP: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      TypePtr a = FreshVar(), b = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(p.from, Type::Pair(a, b), &subst_));
+      return pred(Type::Pair(b, a));
+    }
+    case TermKind::kNotP: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      return pred(p.from);
+    }
+    case TermKind::kConstPred: {
+      KOLA_ASSIGN_OR_RETURN(TermType b, InferImpl(term->child(0)));
+      KOLA_RETURN_IF_ERROR(Unify(b.to, Type::Bool(), &subst_));
+      return pred(FreshVar());
+    }
+    case TermKind::kCurryPred: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType x, InferImpl(term->child(1)));
+      TypePtr a = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(p.from, Type::Pair(x.to, a), &subst_));
+      return pred(a);
+    }
+    case TermKind::kIterate: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(p.from, f.from, &subst_));
+      return fn(Type::Set(f.from), Type::Set(f.to));
+    }
+    case TermKind::kIter: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(1)));
+      TypePtr e = FreshVar(), y = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(p.from, Type::Pair(e, y), &subst_));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, Type::Pair(e, y), &subst_));
+      return fn(Type::Pair(e, Type::Set(y)), Type::Set(f.to));
+    }
+    case TermKind::kJoin: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(1)));
+      TypePtr a = FreshVar(), b = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(p.from, Type::Pair(a, b), &subst_));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, Type::Pair(a, b), &subst_));
+      return fn(Type::Pair(Type::Set(a), Type::Set(b)), Type::Set(f.to));
+    }
+    case TermKind::kNest: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, g.from, &subst_));
+      return fn(Type::Pair(Type::Set(f.from), Type::Set(f.to)),
+                Type::Set(Type::Pair(f.to, Type::Set(g.to))));
+    }
+    case TermKind::kUnnest: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType g, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, g.from, &subst_));
+      TypePtr v = FreshVar();
+      KOLA_RETURN_IF_ERROR(Unify(g.to, Type::Set(v), &subst_));
+      return fn(Type::Set(f.from), Type::Set(Type::Pair(f.to, v)));
+    }
+    case TermKind::kApplyFn: {
+      KOLA_ASSIGN_OR_RETURN(TermType f, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType x, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(f.from, x.to, &subst_));
+      return obj(f.to);
+    }
+    case TermKind::kApplyPred: {
+      KOLA_ASSIGN_OR_RETURN(TermType p, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType x, InferImpl(term->child(1)));
+      KOLA_RETURN_IF_ERROR(Unify(p.from, x.to, &subst_));
+      return obj(Type::Bool());
+    }
+    case TermKind::kPairObj: {
+      KOLA_ASSIGN_OR_RETURN(TermType a, InferImpl(term->child(0)));
+      KOLA_ASSIGN_OR_RETURN(TermType b, InferImpl(term->child(1)));
+      return obj(Type::Pair(a.to, b.to));
+    }
+  }
+  return InternalError("unhandled term kind in type inference");
+}
+
+}  // namespace kola

@@ -1,0 +1,153 @@
+#ifndef KOLA_REWRITE_TYPES_H_
+#define KOLA_REWRITE_TYPES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "term/term.h"
+
+namespace kola {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Structural types for KOLA values. Used by the rule verifier to infer the
+/// shapes a rewrite rule quantifies over, so that randomized instantiation
+/// produces well-typed (and therefore evaluable) instances. Not part of the
+/// optimizer's hot path: rules themselves are untyped term rewrites.
+enum class TypeTag {
+  kInt,
+  kString,
+  kBool,
+  kClass,  // a schema class, e.g. Person
+  kPair,
+  kSet,
+  kVar,  // inference variable
+};
+
+class Type {
+ public:
+  static TypePtr Int();
+  static TypePtr Str();
+  static TypePtr Bool();
+  static TypePtr Class(const std::string& name);
+  static TypePtr Pair(TypePtr first, TypePtr second);
+  static TypePtr Set(TypePtr element);
+  static TypePtr Var(int id);
+
+  TypeTag tag() const { return tag_; }
+  const std::string& class_name() const { return name_; }
+  int var_id() const { return var_id_; }
+  const TypePtr& first() const { return children_[0]; }
+  const TypePtr& second() const { return children_[1]; }
+  const TypePtr& element() const { return children_[0]; }
+
+  bool is_var() const { return tag_ == TypeTag::kVar; }
+
+  static bool Equal(const TypePtr& a, const TypePtr& b);
+
+  /// e.g. "set<pair<int, Person>>", "'a".
+  std::string ToString() const;
+
+ private:
+  Type() = default;
+  TypeTag tag_ = TypeTag::kInt;
+  std::string name_;
+  int var_id_ = -1;
+  std::vector<TypePtr> children_;
+};
+
+/// A substitution from inference variables to types, built up by Unify.
+class TypeSubst {
+ public:
+  /// Resolves `type` under the substitution (deep).
+  TypePtr Apply(const TypePtr& type) const;
+
+  /// Binds a variable (no occurs check here; Unify performs it).
+  void Bind(int var_id, TypePtr type);
+
+  bool IsBound(int var_id) const { return bindings_.count(var_id) > 0; }
+
+ private:
+  std::map<int, TypePtr> bindings_;
+};
+
+/// Unifies two types under `subst`, extending it. TypeError on clash or
+/// occurs-check failure.
+Status Unify(const TypePtr& a, const TypePtr& b, TypeSubst* subst);
+
+/// The inferred "kind" of a KOLA term: functions have an argument and a
+/// result type; predicates have an argument type; objects have a type.
+struct TermType {
+  Sort sort;
+  TypePtr from;  // functions, predicates (argument type)
+  TypePtr to;    // functions (result), objects (the type itself)
+};
+
+/// Typing environment for schema primitives and collections.
+class SchemaTypes {
+ public:
+  /// Returns the environment for the car-world schema (Person / Address /
+  /// Vehicle) plus the arithmetic helper primitives (succ, dbl, neg).
+  static SchemaTypes CarWorld();
+
+  /// The environment for the company-world schema (Dept / Emp / Proj).
+  static SchemaTypes CompanyWorld();
+
+  void AddFunction(const std::string& name, TypePtr from, TypePtr to);
+  void AddCollection(const std::string& name, TypePtr element);
+
+  /// Returns nullptr when unknown.
+  const std::pair<TypePtr, TypePtr>* FunctionType(
+      const std::string& name) const;
+  const TypePtr* CollectionElement(const std::string& name) const;
+
+  /// All schema functions whose signature is (from -> to); used by the
+  /// random generator.
+  std::vector<std::string> FunctionsWithType(const TypePtr& from,
+                                             const TypePtr& to) const;
+
+ private:
+  std::map<std::string, std::pair<TypePtr, TypePtr>> functions_;
+  std::map<std::string, TypePtr> collections_;
+};
+
+/// Infers structural types for a KOLA term (which may contain sorted
+/// metavariables). Metavariables get fresh type variables on first use and
+/// are unified on reuse, so inference over a rule's two sides under one
+/// inferencer yields a consistent typing of the rule's metavariables.
+class TypeInferencer {
+ public:
+  explicit TypeInferencer(const SchemaTypes* schema) : schema_(schema) {}
+
+  /// Infers the term's type. For rule checking, call on both sides and then
+  /// unify the results via UnifyTermTypes.
+  StatusOr<TermType> Infer(const TermPtr& term);
+
+  /// Unifies two TermTypes (same sort required).
+  Status UnifyTermTypes(const TermType& a, const TermType& b);
+
+  /// Resolves a type under the current substitution.
+  TypePtr Resolve(const TypePtr& type) const { return subst_.Apply(type); }
+
+  /// The (resolved) types of the metavariables seen so far.
+  std::map<std::string, TermType> MetaVarTypes() const;
+
+  TypePtr FreshVar();
+
+ private:
+  StatusOr<TermType> InferImpl(const TermPtr& term);
+
+  const SchemaTypes* schema_;
+  TypeSubst subst_;
+  std::map<std::string, TermType> metavars_;
+  int next_var_ = 0;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_TYPES_H_

@@ -1,0 +1,195 @@
+#include "rewrite/verifier.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "eval/evaluator.h"
+#include "rewrite/generate.h"
+#include "rewrite/match.h"
+
+namespace kola {
+
+namespace {
+
+/// Result of evaluating one side of an instantiated rule.
+struct SideResult {
+  Status status;
+  Value value;  // meaningful only when status.ok()
+};
+
+SideResult EvalSide(const Database& db, const TermPtr& side, Sort sort,
+                    const Value& argument, int64_t max_steps) {
+  Evaluator evaluator(&db, EvalOptions{max_steps});
+  switch (sort) {
+    case Sort::kFunction: {
+      auto result = evaluator.Apply(side, argument);
+      if (!result.ok()) return {result.status(), Value::Null()};
+      return {Status::OK(), std::move(result).value()};
+    }
+    case Sort::kPredicate: {
+      auto result = evaluator.Holds(side, argument);
+      if (!result.ok()) return {result.status(), Value::Null()};
+      return {Status::OK(), Value::Bool(result.value())};
+    }
+    default: {
+      auto result = evaluator.EvalObject(side);
+      if (!result.ok()) return {result.status(), Value::Null()};
+      return {Status::OK(), std::move(result).value()};
+    }
+  }
+}
+
+/// True when the metavariable is required injective by a rule condition.
+bool RequiresInjective(const Rule& rule, const std::string& var) {
+  for (const PropertyAtom& condition : rule.conditions) {
+    if (condition.property == "injective" &&
+        condition.pattern->is_metavar() && condition.pattern->name() == var) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string VerifyOutcome::Summary() const {
+  std::ostringstream os;
+  os << (sound() ? "SOUND" : (disagreed > 0 ? "UNSOUND" : "INCONCLUSIVE"))
+     << " (" << agreed << " agree, " << disagreed << " disagree, "
+     << one_failed << " one-sided errors, " << both_failed
+     << " both-error, " << skipped << " skipped / " << trials << " trials)";
+  return os.str();
+}
+
+StatusOr<VerifyOutcome> VerifyRule(const Rule& rule, const Database& db,
+                                   const SchemaTypes& schema,
+                                   const VerifyOptions& options) {
+  // Type the rule: both sides under one inferencer, then unify the side
+  // types. Failure here means the catalog entry is ill-formed (the static
+  // check the paper gets from LSL sort-checking).
+  TypeInferencer inferencer(&schema);
+  auto lhs_type = inferencer.Infer(rule.lhs);
+  if (!lhs_type.ok()) {
+    return lhs_type.status().WithContext("typing lhs of rule " + rule.id);
+  }
+  auto rhs_type = inferencer.Infer(rule.rhs);
+  if (!rhs_type.ok()) {
+    return rhs_type.status().WithContext("typing rhs of rule " + rule.id);
+  }
+  KOLA_RETURN_IF_ERROR(
+      inferencer.UnifyTermTypes(lhs_type.value(), rhs_type.value())
+          .WithContext("unifying side types of rule " + rule.id));
+
+  Sort sort = rule.lhs->sort();
+  Rng rng(options.seed);
+  VerifyOutcome outcome;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    ++outcome.trials;
+    Rng trial_rng = rng.Fork();
+    TermGenerator gen(&schema, &db, &trial_rng,
+                      GenOptions{options.gen_depth, 4});
+
+    // One shared type-variable assignment per trial keeps metavariable
+    // types and the argument type consistent.
+    std::map<int, TypePtr> assignments;
+
+    Bindings bindings;
+    bool skip = false;
+    for (const auto& [name, var_type] : inferencer.MetaVarTypes()) {
+      StatusOr<TermPtr> ground = InternalError("unset");
+      switch (var_type.sort) {
+        case Sort::kFunction: {
+          TypePtr from = gen.Concretize(inferencer.Resolve(var_type.from),
+                                        &assignments, 2);
+          TypePtr to = gen.Concretize(inferencer.Resolve(var_type.to),
+                                      &assignments, 2);
+          ground = RequiresInjective(rule, name)
+                       ? gen.RandomInjectiveFn(from, to, options.gen_depth)
+                       : gen.RandomFn(from, to, options.gen_depth);
+          break;
+        }
+        case Sort::kPredicate: {
+          TypePtr on = gen.Concretize(inferencer.Resolve(var_type.from),
+                                      &assignments, 2);
+          ground = gen.RandomPred(on, options.gen_depth);
+          break;
+        }
+        case Sort::kObject: {
+          TypePtr t = gen.Concretize(inferencer.Resolve(var_type.to),
+                                     &assignments, 2);
+          auto value = gen.RandomValue(t);
+          if (value.ok()) ground = Lit(std::move(value).value());
+          else ground = value.status();
+          break;
+        }
+        case Sort::kBool:
+          ground = BoolConst(trial_rng.Chance(0.5));
+          break;
+      }
+      if (!ground.ok()) {
+        skip = true;
+        break;
+      }
+      KOLA_CHECK(bindings.Bind(name, std::move(ground).value()));
+    }
+    if (skip) {
+      ++outcome.skipped;
+      continue;
+    }
+
+    auto lhs_ground = Substitute(rule.lhs, bindings);
+    auto rhs_ground = Substitute(rule.rhs, bindings);
+    KOLA_CHECK(lhs_ground.ok() && rhs_ground.ok());
+
+    // Argument for function/predicate rules.
+    Value argument = Value::Null();
+    if (sort == Sort::kFunction || sort == Sort::kPredicate) {
+      TypePtr arg_type = gen.Concretize(
+          inferencer.Resolve(lhs_type.value().from), &assignments, 2);
+      auto value = gen.RandomValue(arg_type);
+      if (!value.ok()) {
+        ++outcome.skipped;
+        continue;
+      }
+      argument = std::move(value).value();
+    }
+
+    SideResult lhs = EvalSide(db, lhs_ground.value(), sort, argument,
+                              options.max_eval_steps);
+    SideResult rhs = EvalSide(db, rhs_ground.value(), sort, argument,
+                              options.max_eval_steps);
+
+    if (lhs.status.ok() && rhs.status.ok()) {
+      if (lhs.value == rhs.value) {
+        ++outcome.agreed;
+      } else {
+        ++outcome.disagreed;
+        if (outcome.counterexample.empty()) {
+          std::ostringstream os;
+          os << "rule " << rule.id << " with " << bindings.ToString();
+          if (sort != Sort::kObject) os << " on " << argument.ToString();
+          os << ": lhs = " << lhs.value.ToString()
+             << ", rhs = " << rhs.value.ToString();
+          outcome.counterexample = os.str();
+        }
+      }
+    } else if (!lhs.status.ok() && !rhs.status.ok()) {
+      ++outcome.both_failed;
+    } else {
+      ++outcome.one_failed;
+      if (outcome.counterexample.empty()) {
+        std::ostringstream os;
+        os << "rule " << rule.id << " one-sided error with "
+           << bindings.ToString() << ": lhs status "
+           << lhs.status.ToString() << ", rhs status "
+           << rhs.status.ToString();
+        outcome.counterexample = os.str();
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace kola

@@ -1,0 +1,53 @@
+#ifndef KOLA_REWRITE_VERIFIER_H_
+#define KOLA_REWRITE_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "rewrite/rule.h"
+#include "rewrite/types.h"
+#include "values/database.h"
+
+namespace kola {
+
+struct VerifyOptions {
+  int trials = 200;
+  uint64_t seed = 1234;
+  int gen_depth = 3;
+  int64_t max_eval_steps = 200'000;
+};
+
+/// Outcome of randomized soundness checking of one rule. Our stand-in for
+/// the paper's Larch Prover verification (see DESIGN.md): each trial
+/// instantiates the rule's metavariables with random well-typed ground
+/// terms, evaluates both sides on a random argument, and compares.
+struct VerifyOutcome {
+  int trials = 0;        // trials attempted
+  int agreed = 0;        // both sides evaluated and were equal
+  int disagreed = 0;     // both sides evaluated and DIFFERED (unsound!)
+  int one_failed = 0;    // exactly one side errored (strictness mismatch)
+  int both_failed = 0;   // both sides errored (indeterminate)
+  int skipped = 0;       // instantiation not possible (e.g. no injective
+                         // generator at the drawn type)
+  std::string counterexample;  // first disagreement, human readable
+
+  /// Sound under randomized testing: positive evidence and no
+  /// counterexample. (one_failed trials are strictness differences --
+  /// reported but not counted as unsoundness, matching the paper's
+  /// total-semantics reading.)
+  bool sound() const { return disagreed == 0 && agreed > 0; }
+
+  std::string Summary() const;
+};
+
+/// Verifies `rule` against the operational semantics. Returns an error only
+/// when the rule cannot be typed at all (ill-formed catalog entry); an
+/// unsound rule yields ok() with disagreed > 0.
+StatusOr<VerifyOutcome> VerifyRule(const Rule& rule, const Database& db,
+                                   const SchemaTypes& schema,
+                                   const VerifyOptions& options);
+
+}  // namespace kola
+
+#endif  // KOLA_REWRITE_VERIFIER_H_

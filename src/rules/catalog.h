@@ -1,0 +1,58 @@
+#ifndef KOLA_RULES_CATALOG_H_
+#define KOLA_RULES_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "rewrite/rule.h"
+
+namespace kola {
+
+/// The paper's rules 1-24 (Figures 4, 5 and 8), under their original
+/// numbering, plus "17b" (the g = id reading of rule 17 that the paper
+/// obtains by first applying rule 2 right-to-left; see Section 4.1,
+/// footnote 4).
+///
+/// One deliberate correction: the paper states rule 7 as `inv(gt) => leq`.
+/// Rule 13 forces `inv` to denote the *converse* (argument swap) -- that is
+/// the only reading under which rule 13 holds for every predicate -- and the
+/// converse of `gt` is `lt`, not `leq` (they differ exactly on equal
+/// arguments). We ship the sound `inv(gt) => lt`; the as-published variant
+/// is available from PaperRule7AsPublished() and is flagged UNSOUND by the
+/// verifier (bench_rule_pool reproduces this).
+std::vector<Rule> PaperRules();
+
+/// The as-published (unsound) reading of rule 7, for the verifier demo.
+Rule PaperRule7AsPublished();
+
+/// Structural normalization rules used by strategies:
+///   norm.assoc        (f o g) o h => f o (g o h)
+///   norm.unfold       (f o g) ! x => f ! (g ! x)
+///   norm.fold         f ! (g ! x) => (f o g) ! x
+///   norm.id-apply     id ! x => x
+std::vector<Rule> NormalizationRules();
+
+/// Extended pool of generally applicable algebraic rules (ext.*): pair /
+/// product laws, predicate logic (including the CNF distribution rules),
+/// inverse and complement facts, conditional laws, iterate and set-operator
+/// laws, join commutation and selection pushdown, and the
+/// injectivity-guarded intersection rule from Section 4.2.
+std::vector<Rule> ExtendedRules();
+
+/// The Section 6 bag-extension rules (bag.*): duplicate-elimination
+/// deferral via `distinct` / `tobag` over the run-time collection-
+/// polymorphic formers. Verified by dedicated property tests (bag_test)
+/// rather than the typed verifier; NOT included in AllCatalogRules.
+std::vector<Rule> BagRules();
+
+/// PaperRules + NormalizationRules + ExtendedRules (the typed-verifiable
+/// pool).
+std::vector<Rule> AllCatalogRules();
+
+/// Finds a rule by id; aborts if absent (catalog ids are compile-time
+/// constants, so a miss is a library bug).
+const Rule& FindRule(const std::vector<Rule>& rules, const std::string& id);
+
+}  // namespace kola
+
+#endif  // KOLA_RULES_CATALOG_H_

@@ -1,0 +1,47 @@
+#ifndef KOLA_TERM_PARSER_H_
+#define KOLA_TERM_PARSER_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "term/term.h"
+
+namespace kola {
+
+/// Parses the library's concrete KOLA syntax (the output of
+/// Term::ToString). Grammar, loosest binding first:
+///
+///   expr   := cmp ( ('!' | '?') expr )?            -- apply, right assoc
+///   cmp    := orp
+///   orp    := andp ( '|' andp )*
+///   andp   := oplus ( '&' oplus )*
+///   oplus  := prod ( '@' prod )*
+///   prod   := comp ( 'x' comp )*
+///   comp   := atom ( 'o' comp )?                   -- right assoc
+///   atom   := INT | STRING | IDENT | '?' IDENT
+///           | FORMER '(' expr (',' expr)* ')'
+///           | '(' expr ')' | '(' expr ',' expr ')' -- group / pair-former
+///           | '[' expr ',' expr ']'                -- object pair
+///           | '{' (literal (',' literal)*)? '}'    -- set literal
+///
+/// FORMER is one of: Kf Cf con Kp Cp inv not iterate iter join nest unnest.
+/// Elaboration is sort-directed: the same identifier is a primitive
+/// function in function position, a primitive predicate in predicate
+/// position, and a collection reference in object position. `T`/`F` denote
+/// the boolean constants (only valid where a bool is expected, e.g. inside
+/// `Kp`). Metavariables `?name` take their sort from the first letter of
+/// the name, following the paper's conventions: f g h j -> function,
+/// p q -> predicate, b -> bool, anything else -> object.
+///
+/// Note the identifiers `o` and `x` are reserved as infix operators.
+StatusOr<TermPtr> ParseTerm(std::string_view text, Sort expected);
+
+/// Convenience wrappers.
+StatusOr<TermPtr> ParseFunction(std::string_view text);
+StatusOr<TermPtr> ParsePredicate(std::string_view text);
+/// Object-sorted terms, e.g. full queries `iterate(...) ! P`.
+StatusOr<TermPtr> ParseQuery(std::string_view text);
+
+}  // namespace kola
+
+#endif  // KOLA_TERM_PARSER_H_

@@ -1,0 +1,164 @@
+#include <sstream>
+
+#include "common/macros.h"
+#include "term/term.h"
+
+namespace kola {
+
+namespace {
+
+// Binding strength used for parenthesization. Mirrors the parser's grammar:
+//   0: ! ?   (right associative, loosest)
+//   1: |
+//   2: &
+//   3: @     (left associative)
+//   4: x     (left associative)
+//   5: o     (right associative)
+//   6: atoms
+int Level(TermKind kind) {
+  switch (kind) {
+    case TermKind::kApplyFn:
+    case TermKind::kApplyPred:
+      return 0;
+    case TermKind::kOrP:
+      return 1;
+    case TermKind::kAndP:
+      return 2;
+    case TermKind::kOplus:
+      return 3;
+    case TermKind::kProduct:
+      return 4;
+    case TermKind::kCompose:
+      return 5;
+    default:
+      return 6;
+  }
+}
+
+void Print(const Term& term, int min_level, std::ostream& os);
+
+void PrintChild(const TermPtr& child, int min_level, std::ostream& os) {
+  bool parens = Level(child->kind()) < min_level;
+  if (parens) os << '(';
+  Print(*child, parens ? 0 : min_level, os);
+  if (parens) os << ')';
+}
+
+void PrintBinary(const Term& term, const char* op, int level, bool right_assoc,
+                 std::ostream& os) {
+  int left_min = right_assoc ? level + 1 : level;
+  int right_min = right_assoc ? level : level + 1;
+  PrintChild(term.child(0), left_min, os);
+  os << ' ' << op << ' ';
+  PrintChild(term.child(1), right_min, os);
+}
+
+void PrintCall(const char* name, const Term& term, std::ostream& os) {
+  os << name << '(';
+  for (size_t i = 0; i < term.arity(); ++i) {
+    if (i > 0) os << ", ";
+    Print(*term.child(i), 0, os);
+  }
+  os << ')';
+}
+
+void Print(const Term& term, int min_level, std::ostream& os) {
+  switch (term.kind()) {
+    case TermKind::kPrimFn:
+    case TermKind::kPrimPred:
+    case TermKind::kCollection:
+      os << term.name();
+      return;
+    case TermKind::kLiteral:
+      os << term.literal().ToString();
+      return;
+    case TermKind::kBoolConst:
+      os << (term.bool_const() ? 'T' : 'F');
+      return;
+    case TermKind::kMetaVar:
+      os << '?' << term.name();
+      return;
+    case TermKind::kCompose:
+      PrintBinary(term, "o", 5, /*right_assoc=*/true, os);
+      return;
+    case TermKind::kProduct:
+      PrintBinary(term, "x", 4, /*right_assoc=*/false, os);
+      return;
+    case TermKind::kOplus:
+      PrintBinary(term, "@", 3, /*right_assoc=*/false, os);
+      return;
+    case TermKind::kAndP:
+      PrintBinary(term, "&", 2, /*right_assoc=*/false, os);
+      return;
+    case TermKind::kOrP:
+      PrintBinary(term, "|", 1, /*right_assoc=*/false, os);
+      return;
+    case TermKind::kApplyFn:
+      PrintBinary(term, "!", 0, /*right_assoc=*/true, os);
+      return;
+    case TermKind::kApplyPred:
+      PrintBinary(term, "?", 0, /*right_assoc=*/true, os);
+      return;
+    case TermKind::kPairFn:
+      os << '(';
+      Print(*term.child(0), 0, os);
+      os << ", ";
+      Print(*term.child(1), 0, os);
+      os << ')';
+      return;
+    case TermKind::kPairObj:
+      os << '[';
+      Print(*term.child(0), 0, os);
+      os << ", ";
+      Print(*term.child(1), 0, os);
+      os << ']';
+      return;
+    case TermKind::kConstFn:
+      PrintCall("Kf", term, os);
+      return;
+    case TermKind::kCurryFn:
+      PrintCall("Cf", term, os);
+      return;
+    case TermKind::kCond:
+      PrintCall("con", term, os);
+      return;
+    case TermKind::kInvP:
+      PrintCall("inv", term, os);
+      return;
+    case TermKind::kNotP:
+      PrintCall("not", term, os);
+      return;
+    case TermKind::kConstPred:
+      PrintCall("Kp", term, os);
+      return;
+    case TermKind::kCurryPred:
+      PrintCall("Cp", term, os);
+      return;
+    case TermKind::kIterate:
+      PrintCall("iterate", term, os);
+      return;
+    case TermKind::kIter:
+      PrintCall("iter", term, os);
+      return;
+    case TermKind::kJoin:
+      PrintCall("join", term, os);
+      return;
+    case TermKind::kNest:
+      PrintCall("nest", term, os);
+      return;
+    case TermKind::kUnnest:
+      PrintCall("unnest", term, os);
+      return;
+  }
+  KOLA_CHECK(false);
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  std::ostringstream os;
+  Print(*this, 0, os);
+  return os.str();
+}
+
+}  // namespace kola

@@ -1,0 +1,126 @@
+#include "values/car_world.h"
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kola {
+
+namespace {
+
+const char* const kCities[] = {"Providence", "Boston",  "Montreal",
+                               "New Haven",  "Cambridge", "Worcester"};
+const char* const kMakes[] = {"Saab", "Volvo", "Honda", "Ford", "Fiat"};
+
+}  // namespace
+
+std::unique_ptr<Database> BuildCarWorld(const CarWorldOptions& options) {
+  auto db = std::make_unique<Database>();
+  Rng rng(options.seed);
+
+  int32_t person = db->DefineClass("Person");
+  int32_t address = db->DefineClass("Address");
+  int32_t vehicle = db->DefineClass("Vehicle");
+
+  KOLA_CHECK_OK(db->DefineAttribute(person, "addr"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "age"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "name"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "child"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "cars"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "grgs"));
+  KOLA_CHECK_OK(db->DefineAttribute(address, "city"));
+  KOLA_CHECK_OK(db->DefineAttribute(address, "street"));
+  KOLA_CHECK_OK(db->DefineAttribute(vehicle, "make"));
+  KOLA_CHECK_OK(db->DefineAttribute(vehicle, "year"));
+
+  std::vector<Value> addresses;
+  addresses.reserve(options.num_addresses);
+  for (int64_t i = 0; i < options.num_addresses; ++i) {
+    Value a = db->NewObject(address);
+    KOLA_CHECK_OK(db->SetAttribute(
+        a, "city",
+        Value::Str(kCities[rng.Index(std::size(kCities))])));
+    KOLA_CHECK_OK(db->SetAttribute(
+        a, "street", Value::Str(rng.Identifier(6) + " st")));
+    addresses.push_back(a);
+  }
+
+  std::vector<Value> vehicles;
+  vehicles.reserve(options.num_vehicles);
+  for (int64_t i = 0; i < options.num_vehicles; ++i) {
+    Value v = db->NewObject(vehicle);
+    KOLA_CHECK_OK(db->SetAttribute(
+        v, "make", Value::Str(kMakes[rng.Index(std::size(kMakes))])));
+    KOLA_CHECK_OK(
+        db->SetAttribute(v, "year", Value::Int(rng.Uniform(1970, 1996))));
+    vehicles.push_back(v);
+  }
+
+  std::vector<Value> persons;
+  persons.reserve(options.num_persons);
+  for (int64_t i = 0; i < options.num_persons; ++i) {
+    persons.push_back(db->NewObject(person));
+  }
+  for (const Value& p : persons) {
+    KOLA_CHECK_OK(db->SetAttribute(
+        p, "age", Value::Int(rng.Uniform(options.min_age, options.max_age))));
+    KOLA_CHECK_OK(db->SetAttribute(p, "name", Value::Str(rng.Identifier(5))));
+    if (!addresses.empty()) {
+      KOLA_CHECK_OK(db->SetAttribute(p, "addr",
+                                     addresses[rng.Index(addresses.size())]));
+    }
+
+    std::vector<Value> children;
+    if (!persons.empty()) {
+      int64_t n = rng.Uniform(0, options.max_children);
+      for (int64_t c = 0; c < n; ++c) {
+        children.push_back(persons[rng.Index(persons.size())]);
+      }
+    }
+    KOLA_CHECK_OK(db->SetAttribute(p, "child", Value::MakeSet(children)));
+
+    std::vector<Value> cars;
+    if (!vehicles.empty()) {
+      int64_t n = rng.Uniform(0, options.max_cars);
+      for (int64_t c = 0; c < n; ++c) {
+        cars.push_back(vehicles[rng.Index(vehicles.size())]);
+      }
+    }
+    KOLA_CHECK_OK(db->SetAttribute(p, "cars", Value::MakeSet(cars)));
+
+    std::vector<Value> garages;
+    if (!addresses.empty()) {
+      int64_t n = rng.Uniform(0, options.max_garages);
+      for (int64_t g = 0; g < n; ++g) {
+        garages.push_back(addresses[rng.Index(addresses.size())]);
+      }
+    }
+    KOLA_CHECK_OK(db->SetAttribute(p, "grgs", Value::MakeSet(garages)));
+  }
+
+  KOLA_CHECK_OK(db->DefineExtent("P", Value::MakeSet(persons)));
+  KOLA_CHECK_OK(db->DefineExtent("V", Value::MakeSet(vehicles)));
+  KOLA_CHECK_OK(db->DefineExtent("A", Value::MakeSet(addresses)));
+
+  std::vector<Value> nums;
+  for (int64_t i = 0; i < 10; ++i) nums.push_back(Value::Int(i));
+  KOLA_CHECK_OK(db->DefineExtent("Nums", Value::MakeSet(nums)));
+
+  // Arithmetic helper primitives used by tests and the rule verifier's
+  // random function generator (they give int -> int functions some variety
+  // beyond constants and identity).
+  auto int_fn = [](int64_t (*op)(int64_t)) {
+    return [op](const Database&, const Value& v) -> StatusOr<Value> {
+      KOLA_ASSIGN_OR_RETURN(int64_t i, v.AsInt());
+      return Value::Int(op(i));
+    };
+  };
+  db->RegisterFunction("succ", int_fn([](int64_t i) { return i + 1; }));
+  db->RegisterFunction("dbl", int_fn([](int64_t i) { return i * 2; }));
+  db->RegisterFunction("neg", int_fn([](int64_t i) { return -i; }));
+
+  return db;
+}
+
+}  // namespace kola

@@ -1,0 +1,41 @@
+#ifndef KOLA_VALUES_CAR_WORLD_H_
+#define KOLA_VALUES_CAR_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "values/database.h"
+
+namespace kola {
+
+/// Parameters for the synthetic instance of the paper's example schema
+/// (Person / Address / Vehicle, Section 2.1). All sizes are upper bounds on
+/// per-object fan-out; actual fan-outs are drawn uniformly.
+struct CarWorldOptions {
+  int64_t num_persons = 50;
+  int64_t num_addresses = 30;
+  int64_t num_vehicles = 40;
+  int64_t max_children = 3;
+  int64_t max_cars = 2;
+  int64_t max_garages = 2;
+  int64_t min_age = 1;
+  int64_t max_age = 90;
+  uint64_t seed = 42;
+};
+
+/// Builds a Database implementing the paper's schema:
+///
+///   Person:  addr -> Address, age -> int, name -> string,
+///            child -> set<Person>, cars -> set<Vehicle>,
+///            grgs -> set<Address>
+///   Address: city -> string, street -> string
+///   Vehicle: make -> string, year -> int
+///
+/// with extents "P" (all persons), "V" (all vehicles), "A" (all addresses),
+/// plus small fixed extents "Nums" (integers) useful in tests.
+std::unique_ptr<Database> BuildCarWorld(const CarWorldOptions& options);
+
+}  // namespace kola
+
+#endif  // KOLA_VALUES_CAR_WORLD_H_

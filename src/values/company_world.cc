@@ -1,0 +1,102 @@
+#include "values/company_world.h"
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace kola {
+
+namespace {
+
+const char* const kSkills[] = {"c++",  "sql",    "ml",
+                               "rust", "devops", "frontend"};
+const char* const kDeptNames[] = {"engineering", "sales",   "research",
+                                  "support",     "finance", "operations"};
+
+}  // namespace
+
+std::unique_ptr<Database> BuildCompanyWorld(
+    const CompanyWorldOptions& options) {
+  auto db = std::make_unique<Database>();
+  Rng rng(options.seed);
+
+  int32_t dept = db->DefineClass("Dept");
+  int32_t emp = db->DefineClass("Emp");
+  int32_t proj = db->DefineClass("Proj");
+
+  KOLA_CHECK_OK(db->DefineAttribute(dept, "dname"));
+  KOLA_CHECK_OK(db->DefineAttribute(dept, "head"));
+  KOLA_CHECK_OK(db->DefineAttribute(emp, "ename"));
+  KOLA_CHECK_OK(db->DefineAttribute(emp, "salary"));
+  KOLA_CHECK_OK(db->DefineAttribute(emp, "dept"));
+  KOLA_CHECK_OK(db->DefineAttribute(emp, "skills"));
+  KOLA_CHECK_OK(db->DefineAttribute(proj, "pname"));
+  KOLA_CHECK_OK(db->DefineAttribute(proj, "budget"));
+  KOLA_CHECK_OK(db->DefineAttribute(proj, "members"));
+
+  std::vector<Value> departments;
+  for (int64_t i = 0; i < options.num_departments; ++i) {
+    Value d = db->NewObject(dept);
+    KOLA_CHECK_OK(db->SetAttribute(
+        d, "dname",
+        Value::Str(std::string(kDeptNames[i % std::size(kDeptNames)]) +
+                   (i < static_cast<int64_t>(std::size(kDeptNames))
+                        ? ""
+                        : "-" + std::to_string(i)))));
+    departments.push_back(d);
+  }
+
+  std::vector<Value> employees;
+  for (int64_t i = 0; i < options.num_employees; ++i) {
+    Value e = db->NewObject(emp);
+    KOLA_CHECK_OK(db->SetAttribute(e, "ename",
+                                   Value::Str(rng.Identifier(6))));
+    KOLA_CHECK_OK(db->SetAttribute(
+        e, "salary",
+        Value::Int(rng.Uniform(options.min_salary, options.max_salary))));
+    if (!departments.empty()) {
+      KOLA_CHECK_OK(db->SetAttribute(
+          e, "dept", departments[rng.Index(departments.size())]));
+    }
+    std::vector<Value> skills;
+    for (int64_t s = rng.Uniform(0, options.max_skills); s-- > 0;) {
+      skills.push_back(Value::Str(kSkills[rng.Index(std::size(kSkills))]));
+    }
+    KOLA_CHECK_OK(db->SetAttribute(e, "skills",
+                                   Value::MakeSet(std::move(skills))));
+    employees.push_back(e);
+  }
+  for (const Value& d : departments) {
+    if (!employees.empty()) {
+      KOLA_CHECK_OK(db->SetAttribute(
+          d, "head", employees[rng.Index(employees.size())]));
+    }
+  }
+
+  std::vector<Value> projects;
+  for (int64_t i = 0; i < options.num_projects; ++i) {
+    Value p = db->NewObject(proj);
+    KOLA_CHECK_OK(db->SetAttribute(p, "pname",
+                                   Value::Str("proj-" + std::to_string(i))));
+    KOLA_CHECK_OK(db->SetAttribute(
+        p, "budget", Value::Int(rng.Uniform(10'000, 5'000'000))));
+    std::vector<Value> members;
+    if (!employees.empty()) {
+      for (int64_t m = rng.Uniform(1, options.max_members); m-- > 0;) {
+        members.push_back(employees[rng.Index(employees.size())]);
+      }
+    }
+    KOLA_CHECK_OK(db->SetAttribute(p, "members",
+                                   Value::MakeSet(std::move(members))));
+    projects.push_back(p);
+  }
+
+  KOLA_CHECK_OK(db->DefineExtent("D", Value::MakeSet(departments)));
+  KOLA_CHECK_OK(db->DefineExtent("E", Value::MakeSet(employees)));
+  KOLA_CHECK_OK(db->DefineExtent("Proj", Value::MakeSet(projects)));
+  return db;
+}
+
+}  // namespace kola

@@ -1,0 +1,36 @@
+#ifndef KOLA_VALUES_COMPANY_WORLD_H_
+#define KOLA_VALUES_COMPANY_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "values/database.h"
+
+namespace kola {
+
+/// A second, independent schema. Nothing in the optimizer, translator or
+/// rule catalog references car-world names, and the company-world tests
+/// prove it: same rules, same strategies, different schema.
+struct CompanyWorldOptions {
+  int64_t num_departments = 6;
+  int64_t num_employees = 40;
+  int64_t num_projects = 10;
+  int64_t max_skills = 3;
+  int64_t max_members = 6;
+  int64_t min_salary = 30'000;
+  int64_t max_salary = 200'000;
+  uint64_t seed = 7;
+};
+
+/// Schema:
+///   Dept: dname -> string, head -> Emp
+///   Emp:  ename -> string, salary -> int, dept -> Dept,
+///         skills -> set<string>
+///   Proj: pname -> string, budget -> int, members -> set<Emp>
+/// Extents: "D" (departments), "E" (employees), "Proj" (projects).
+std::unique_ptr<Database> BuildCompanyWorld(
+    const CompanyWorldOptions& options);
+
+}  // namespace kola
+
+#endif  // KOLA_VALUES_COMPANY_WORLD_H_

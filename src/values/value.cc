@@ -1,0 +1,287 @@
+#include "values/value.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace kola {
+
+struct Value::PairRep {
+  Value first;
+  Value second;
+};
+
+const char* ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kPair:
+      return "pair";
+    case ValueKind::kSet:
+      return "set";
+    case ValueKind::kBag:
+      return "bag";
+    case ValueKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+Value::Value() : kind_(ValueKind::kNull) {}
+
+Value Value::Null() { return Value(); }
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = ValueKind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.kind_ = ValueKind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.kind_ = ValueKind::kString;
+  v.string_ = std::make_shared<const std::string>(std::move(s));
+  return v;
+}
+
+Value Value::MakePair(Value first, Value second) {
+  Value v;
+  v.kind_ = ValueKind::kPair;
+  v.pair_ = std::make_shared<const PairRep>(
+      PairRep{std::move(first), std::move(second)});
+  return v;
+}
+
+Value Value::MakeSet(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  elements.erase(std::unique(elements.begin(), elements.end(),
+                             [](const Value& a, const Value& b) {
+                               return Compare(a, b) == 0;
+                             }),
+                 elements.end());
+  Value v;
+  v.kind_ = ValueKind::kSet;
+  v.set_ = std::make_shared<const std::vector<Value>>(std::move(elements));
+  return v;
+}
+
+Value Value::EmptySet() { return MakeSet({}); }
+
+Value Value::MakeBag(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  Value v;
+  v.kind_ = ValueKind::kBag;
+  v.set_ = std::make_shared<const std::vector<Value>>(std::move(elements));
+  return v;
+}
+
+Value Value::Object(int32_t class_id, int64_t object_id) {
+  Value v;
+  v.kind_ = ValueKind::kObject;
+  v.class_id_ = class_id;
+  v.int_ = object_id;
+  return v;
+}
+
+bool Value::bool_value() const {
+  KOLA_CHECK(is_bool());
+  return bool_;
+}
+
+int64_t Value::int_value() const {
+  KOLA_CHECK(is_int());
+  return int_;
+}
+
+const std::string& Value::string_value() const {
+  KOLA_CHECK(is_string());
+  return *string_;
+}
+
+const Value& Value::first() const {
+  KOLA_CHECK(is_pair());
+  return pair_->first;
+}
+
+const Value& Value::second() const {
+  KOLA_CHECK(is_pair());
+  return pair_->second;
+}
+
+const std::vector<Value>& Value::elements() const {
+  KOLA_CHECK(is_collection());
+  return *set_;
+}
+
+int32_t Value::object_class() const {
+  KOLA_CHECK(is_object());
+  return class_id_;
+}
+
+int64_t Value::object_id() const {
+  KOLA_CHECK(is_object());
+  return int_;
+}
+
+StatusOr<bool> Value::AsBool() const {
+  if (!is_bool()) {
+    return TypeError(std::string("expected bool, got ") +
+                     ValueKindToString(kind_) + ": " + ToString());
+  }
+  return bool_;
+}
+
+StatusOr<int64_t> Value::AsInt() const {
+  if (!is_int()) {
+    return TypeError(std::string("expected int, got ") +
+                     ValueKindToString(kind_) + ": " + ToString());
+  }
+  return int_;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_) ? -1 : 1;
+  }
+  switch (a.kind_) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return (a.bool_ == b.bool_) ? 0 : (a.bool_ ? 1 : -1);
+    case ValueKind::kInt:
+      return (a.int_ == b.int_) ? 0 : (a.int_ < b.int_ ? -1 : 1);
+    case ValueKind::kString: {
+      int c = a.string_->compare(*b.string_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kPair: {
+      int c = Compare(a.pair_->first, b.pair_->first);
+      if (c != 0) return c;
+      return Compare(a.pair_->second, b.pair_->second);
+    }
+    case ValueKind::kSet:
+    case ValueKind::kBag: {
+      const auto& ae = *a.set_;
+      const auto& be = *b.set_;
+      size_t n = std::min(ae.size(), be.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(ae[i], be[i]);
+        if (c != 0) return c;
+      }
+      if (ae.size() == be.size()) return 0;
+      return ae.size() < be.size() ? -1 : 1;
+    }
+    case ValueKind::kObject: {
+      if (a.class_id_ != b.class_id_) {
+        return a.class_id_ < b.class_id_ ? -1 : 1;
+      }
+      return (a.int_ == b.int_) ? 0 : (a.int_ < b.int_ ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+bool Value::SetContains(const Value& element) const {
+  KOLA_CHECK(is_collection());
+  return std::binary_search(
+      set_->begin(), set_->end(), element,
+      [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+}
+
+size_t Value::SetSize() const {
+  KOLA_CHECK(is_collection());
+  return set_->size();
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ValueKind::kNull:
+      os << "null";
+      break;
+    case ValueKind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case ValueKind::kInt:
+      os << int_;
+      break;
+    case ValueKind::kString:
+      os << '"' << *string_ << '"';
+      break;
+    case ValueKind::kPair:
+      os << '[' << pair_->first.ToString() << ", " << pair_->second.ToString()
+         << ']';
+      break;
+    case ValueKind::kSet:
+    case ValueKind::kBag: {
+      os << (kind_ == ValueKind::kSet ? "{" : "{|");
+      for (size_t i = 0; i < set_->size(); ++i) {
+        if (i > 0) os << ", ";
+        os << (*set_)[i].ToString();
+      }
+      os << (kind_ == ValueKind::kSet ? "}" : "|}");
+      break;
+    }
+    case ValueKind::kObject:
+      os << "obj<" << class_id_ << ">#" << int_;
+      break;
+  }
+  return os.str();
+}
+
+size_t Value::Hash() const {
+  auto combine = [](size_t seed, size_t h) {
+    return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  };
+  size_t h = static_cast<size_t>(kind_) * 0x100000001b3ULL;
+  switch (kind_) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      h = combine(h, bool_ ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+      h = combine(h, std::hash<int64_t>{}(int_));
+      break;
+    case ValueKind::kString:
+      h = combine(h, std::hash<std::string>{}(*string_));
+      break;
+    case ValueKind::kPair:
+      h = combine(h, pair_->first.Hash());
+      h = combine(h, pair_->second.Hash());
+      break;
+    case ValueKind::kSet:
+    case ValueKind::kBag:
+      for (const Value& e : *set_) h = combine(h, e.Hash());
+      break;
+    case ValueKind::kObject:
+      h = combine(h, static_cast<size_t>(class_id_));
+      h = combine(h, std::hash<int64_t>{}(int_));
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace kola

@@ -1,0 +1,118 @@
+#ifndef KOLA_VALUES_VALUE_H_
+#define KOLA_VALUES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace kola {
+
+class Value;
+
+/// Discriminator for runtime values flowing through the KOLA and AQUA
+/// evaluators.
+enum class ValueKind {
+  kNull = 0,  // used only as an internal placeholder / error sentinel
+  kBool,
+  kInt,
+  kString,
+  kPair,    // the paper's [x, y] objects
+  kSet,     // canonical: sorted, duplicate-free
+  kBag,     // multiset: sorted, duplicates kept (Section 6 extension)
+  kObject,  // reference to a schema object: (class id, object id)
+};
+
+const char* ValueKindToString(ValueKind kind);
+
+/// An immutable runtime value. Values have value semantics; pair and set
+/// payloads are shared (copy is O(1)). Sets are kept canonical (sorted by
+/// Value::Compare and duplicate-free) so equality is structural.
+class Value {
+ public:
+  /// Constructs the null value (kind kNull).
+  Value();
+
+  static Value Null();
+  static Value Bool(bool b);
+  static Value Int(int64_t v);
+  static Value Str(std::string s);
+  static Value MakePair(Value first, Value second);
+  /// Canonicalizes: sorts and removes duplicates.
+  static Value MakeSet(std::vector<Value> elements);
+  static Value EmptySet();
+  /// Canonicalizes: sorts, KEEPS duplicates (a multiset).
+  static Value MakeBag(std::vector<Value> elements);
+  static Value Object(int32_t class_id, int64_t object_id);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_bool() const { return kind_ == ValueKind::kBool; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_string() const { return kind_ == ValueKind::kString; }
+  bool is_pair() const { return kind_ == ValueKind::kPair; }
+  bool is_set() const { return kind_ == ValueKind::kSet; }
+  bool is_bag() const { return kind_ == ValueKind::kBag; }
+  /// Set or bag.
+  bool is_collection() const { return is_set() || is_bag(); }
+  bool is_object() const { return kind_ == ValueKind::kObject; }
+
+  // Accessors abort on kind mismatch (library bug); use the As* variants for
+  // user-facing paths that must produce a TypeError instead.
+  bool bool_value() const;
+  int64_t int_value() const;
+  const std::string& string_value() const;
+  const Value& first() const;
+  const Value& second() const;
+  const std::vector<Value>& elements() const;
+  int32_t object_class() const;
+  int64_t object_id() const;
+
+  StatusOr<bool> AsBool() const;
+  StatusOr<int64_t> AsInt() const;
+
+  /// Total order over all values: by kind rank, then content. Gives sets a
+  /// canonical element order and makes Value usable as a map key.
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+  /// True when `element` is a member of this set or bag. Requires
+  /// is_collection().
+  bool SetContains(const Value& element) const;
+
+  /// Number of elements (with multiplicity for bags); requires
+  /// is_collection().
+  size_t SetSize() const;
+
+  /// Renders a readable literal, e.g. `[1, {"a", "b"}]`, `Person#3`.
+  std::string ToString() const;
+
+  /// Stable hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  struct PairRep;  // {first, second}; defined in value.cc
+
+  ValueKind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  int32_t class_id_ = -1;
+  std::shared_ptr<const std::string> string_;
+  std::shared_ptr<const PairRep> pair_;
+  std::shared_ptr<const std::vector<Value>> set_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace kola
+
+#endif  // KOLA_VALUES_VALUE_H_

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/string_util.h"
+
+namespace kola {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = TypeError("bad kind");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "bad kind");
+  EXPECT_EQ(s.ToString(), "TYPE_ERROR: bad kind");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = NotFoundError("no extent Q").WithContext("EvalObject");
+  EXPECT_EQ(s.message(), "EvalObject: no extent Q");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x"), InvalidArgumentError("x"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InvalidArgumentError("y"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InternalError("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TYPE_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> Doubled(int x) {
+  KOLA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(99), 99);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(4).value(), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(StatusOrTest, WorksWithMoveOnlyValueSemantics) {
+  StatusOr<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int distinct = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++distinct;
+  }
+  EXPECT_GT(distinct, 15);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(7, 7), 7);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, IdentifierHasRequestedLength) {
+  Rng rng(8);
+  EXPECT_EQ(rng.Identifier(12).size(), 12u);
+  for (char c : rng.Identifier(64)) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(9);
+  Rng fork1 = a.Fork();
+  Rng b(9);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("iterate", "iter"));
+  EXPECT_FALSE(StartsWith("it", "iter"));
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cost.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  CostTest() {
+    CarWorldOptions options;
+    options.num_persons = 100;
+    options.num_vehicles = 40;
+    options.num_addresses = 20;
+    db_ = BuildCarWorld(options);
+    model_ = std::make_unique<CostModel>(db_.get());
+  }
+
+  double Cost(const char* text) {
+    auto term = ParseTerm(text, Sort::kObject);
+    EXPECT_TRUE(term.ok()) << term.status();
+    auto cost = model_->EstimateQueryCost(term.value());
+    EXPECT_TRUE(cost.ok()) << cost.status();
+    return cost.ok() ? cost.value() : -1;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_F(CostTest, ShapesConstruct) {
+  ShapePtr s = Shape::Set(10, Shape::Pair(Shape::Scalar(), Shape::Scalar()));
+  EXPECT_EQ(s->kind, Shape::Kind::kSet);
+  EXPECT_EQ(s->card, 10);
+  EXPECT_EQ(s->element->kind, Shape::Kind::kPair);
+  // Negative cardinalities clamp to zero.
+  EXPECT_EQ(Shape::Set(-3, Shape::Scalar())->card, 0);
+}
+
+TEST_F(CostTest, ExtentCardinalityGroundsEstimates) {
+  // Scanning a bigger extent costs more.
+  EXPECT_GT(Cost("iterate(Kp(T), age) ! P"),
+            Cost("iterate(Kp(T), make) ! V"));
+}
+
+TEST_F(CostTest, ComposedScansCostMoreThanOne) {
+  EXPECT_GT(Cost("iterate(Kp(T), city) ! (iterate(Kp(T), addr) ! P)"),
+            Cost("iterate(Kp(T), city o addr) ! P"));
+}
+
+TEST_F(CostTest, SelectivityReducesDownstreamCost) {
+  // A Kp(F) filter zeroes the downstream map cost.
+  EXPECT_LT(Cost("iterate(Kp(T), age) ! (iterate(Kp(F), id) ! P)"),
+            Cost("iterate(Kp(T), age) ! (iterate(Kp(T), id) ! P)"));
+}
+
+TEST_F(CostTest, HashJoinBeatsUnkeyedJoin) {
+  double keyed = Cost("join(eq @ (age x age), pi1) ! [P, P]");
+  double unkeyed = Cost("join(gt @ (age x age), pi1) ! [P, P]");
+  EXPECT_LT(keyed, unkeyed);
+}
+
+TEST_F(CostTest, FastpathAssumptionIsSwitchable) {
+  CostParams params;
+  params.assume_physical_fastpaths = false;
+  CostModel naive(db_.get(), params);
+  auto term = ParseTerm("join(eq @ (age x age), pi1) ! [P, P]",
+                        Sort::kObject);
+  ASSERT_TRUE(term.ok());
+  auto with = model_->EstimateQueryCost(term.value());
+  auto without = naive.EstimateQueryCost(term.value());
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_LT(with.value(), without.value());
+}
+
+TEST_F(CostTest, PredicateEstimates) {
+  CostModel::PredEstimate t =
+      model_->EstimatePred(ConstPredTrue(), Shape::Scalar());
+  EXPECT_EQ(t.selectivity, 1.0);
+  CostModel::PredEstimate f =
+      model_->EstimatePred(ConstPredFalse(), Shape::Scalar());
+  EXPECT_EQ(f.selectivity, 0.0);
+  CostModel::PredEstimate both = model_->EstimatePred(
+      AndP(ConstPredTrue(), ConstPredFalse()), Shape::Scalar());
+  EXPECT_EQ(both.selectivity, 0.0);
+  CostModel::PredEstimate either = model_->EstimatePred(
+      OrP(ConstPredTrue(), ConstPredFalse()), Shape::Scalar());
+  EXPECT_EQ(either.selectivity, 1.0);
+  CostModel::PredEstimate neither =
+      model_->EstimatePred(NotP(ConstPredTrue()), Shape::Scalar());
+  EXPECT_EQ(neither.selectivity, 0.0);
+}
+
+TEST_F(CostTest, UnknownExtentFallsBackGracefully) {
+  // Unknown collections get a default cardinality rather than failing --
+  // the cost model is heuristic by contract.
+  EXPECT_GT(Cost("iterate(Kp(T), id) ! Unknown"), 0);
+}
+
+TEST_F(CostTest, NonObjectTermIsError) {
+  auto fn = ParseTerm("age", Sort::kFunction);
+  ASSERT_TRUE(fn.ok());
+  EXPECT_FALSE(model_->EstimateQueryCost(fn.value()).ok());
+}
+
+TEST_F(CostTest, SetValuedAttributesCarryFanout) {
+  // flat(map child) should cost more than map age (fanout multiplies).
+  EXPECT_GT(Cost("flat ! (iterate(Kp(T), child) ! P)"),
+            Cost("iterate(Kp(T), age) ! P"));
+}
+
+TEST_F(CostTest, PushdownLooksCheaperToTheModel) {
+  // The exploration rules' value is visible to the model: selection below
+  // the join beats selection inside the join predicate.
+  double inside = Cost(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1, (pi1, pi2)) "
+      "! [P, P]");
+  double below = Cost(
+      "join(gt @ (age x age), (pi1, pi2)) o "
+      "(iterate(Cp(lt, 60) @ age, id) x id) ! [P, P]");
+  EXPECT_LT(below, inside);
+}
+
+}  // namespace
+}  // namespace kola

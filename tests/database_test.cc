@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "values/car_world.h"
+#include "values/database.h"
+
+namespace kola {
+namespace {
+
+TEST(DatabaseTest, DefineClassIsIdempotent) {
+  Database db;
+  int32_t a = db.DefineClass("Person");
+  int32_t b = db.DefineClass("Person");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.ClassId("Person").value(), a);
+  EXPECT_EQ(db.ClassName(a).value(), "Person");
+}
+
+TEST(DatabaseTest, UnknownClassIsNotFound) {
+  Database db;
+  EXPECT_EQ(db.ClassId("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(db.ClassName(42).ok());
+}
+
+TEST(DatabaseTest, AttributesRoundTrip) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  ASSERT_TRUE(db.DefineAttribute(person, "age").ok());
+  Value p = db.NewObject(person);
+  ASSERT_TRUE(db.SetAttribute(p, "age", Value::Int(30)).ok());
+  EXPECT_EQ(db.GetAttribute(p, "age").value(), Value::Int(30));
+}
+
+TEST(DatabaseTest, AttributeDefinedAfterObjectsStillWorks) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  Value p = db.NewObject(person);
+  ASSERT_TRUE(db.DefineAttribute(person, "age").ok());
+  ASSERT_TRUE(db.SetAttribute(p, "age", Value::Int(5)).ok());
+  EXPECT_EQ(db.GetAttribute(p, "age").value(), Value::Int(5));
+}
+
+TEST(DatabaseTest, UnknownAttributeIsNotFound) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  Value p = db.NewObject(person);
+  EXPECT_EQ(db.GetAttribute(p, "ssn").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(db.HasAttribute(p, "ssn"));
+}
+
+TEST(DatabaseTest, GetAttributeOnNonObjectIsTypeError) {
+  Database db;
+  EXPECT_EQ(db.GetAttribute(Value::Int(1), "age").status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(DatabaseTest, DanglingObjectReferenceIsNotFound) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  (void)db.DefineAttribute(person, "age");
+  Value bogus = Value::Object(person, 17);
+  EXPECT_EQ(db.GetAttribute(bogus, "age").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ExtentsMustBeSets) {
+  Database db;
+  EXPECT_EQ(db.DefineExtent("P", Value::Int(1)).code(),
+            StatusCode::kTypeError);
+  ASSERT_TRUE(db.DefineExtent("P", Value::EmptySet()).ok());
+  EXPECT_TRUE(db.HasExtent("P"));
+  EXPECT_EQ(db.Extent("P").value().SetSize(), 0u);
+  EXPECT_FALSE(db.Extent("Q").ok());
+}
+
+TEST(DatabaseTest, ComputedFunctionShadowsAttribute) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  (void)db.DefineAttribute(person, "age");
+  Value p = db.NewObject(person);
+  (void)db.SetAttribute(p, "age", Value::Int(10));
+  db.RegisterFunction("age", [](const Database&, const Value&) {
+    return StatusOr<Value>(Value::Int(99));
+  });
+  EXPECT_EQ(db.CallFunction("age", p).value(), Value::Int(99));
+}
+
+TEST(DatabaseTest, CallFunctionFallsBackToAttribute) {
+  Database db;
+  int32_t person = db.DefineClass("Person");
+  (void)db.DefineAttribute(person, "age");
+  Value p = db.NewObject(person);
+  (void)db.SetAttribute(p, "age", Value::Int(10));
+  EXPECT_EQ(db.CallFunction("age", p).value(), Value::Int(10));
+  EXPECT_FALSE(db.CallFunction("age", Value::Int(3)).ok());
+}
+
+TEST(CarWorldTest, BuildsRequestedCardinalities) {
+  CarWorldOptions options;
+  options.num_persons = 20;
+  options.num_vehicles = 15;
+  options.num_addresses = 10;
+  auto db = BuildCarWorld(options);
+  EXPECT_EQ(db->Extent("P").value().SetSize(), 20u);
+  EXPECT_EQ(db->Extent("V").value().SetSize(), 15u);
+  EXPECT_EQ(db->Extent("A").value().SetSize(), 10u);
+  EXPECT_EQ(db->Extent("Nums").value().SetSize(), 10u);
+}
+
+TEST(CarWorldTest, PersonsHaveWellFormedAttributes) {
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Value persons = db->Extent("P").value();
+  for (const Value& p : persons.elements()) {
+    Value age = db->GetAttribute(p, "age").value();
+    ASSERT_TRUE(age.is_int());
+    EXPECT_GE(age.int_value(), 1);
+    EXPECT_LE(age.int_value(), 90);
+    Value addr = db->GetAttribute(p, "addr").value();
+    ASSERT_TRUE(addr.is_object());
+    EXPECT_TRUE(db->GetAttribute(addr, "city").value().is_string());
+    EXPECT_TRUE(db->GetAttribute(p, "child").value().is_set());
+    EXPECT_TRUE(db->GetAttribute(p, "cars").value().is_set());
+    EXPECT_TRUE(db->GetAttribute(p, "grgs").value().is_set());
+  }
+}
+
+TEST(CarWorldTest, DeterministicForSeed) {
+  CarWorldOptions options;
+  options.seed = 123;
+  auto db1 = BuildCarWorld(options);
+  auto db2 = BuildCarWorld(options);
+  Value p1 = db1->Extent("P").value();
+  Value p2 = db2->Extent("P").value();
+  ASSERT_EQ(p1.SetSize(), p2.SetSize());
+  for (const Value& p : p1.elements()) {
+    EXPECT_EQ(db1->GetAttribute(p, "age").value(),
+              db2->GetAttribute(p, "age").value());
+  }
+}
+
+TEST(CarWorldTest, CarsReferenceVehicleExtent) {
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Value persons = db->Extent("P").value();
+  Value vehicles = db->Extent("V").value();
+  for (const Value& p : persons.elements()) {
+    for (const Value& car : db->GetAttribute(p, "cars").value().elements()) {
+      EXPECT_TRUE(vehicles.SetContains(car));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kola

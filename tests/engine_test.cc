@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/engine.h"
+#include "rewrite/rule.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+
+namespace kola {
+namespace {
+
+TermPtr Q(const char* text, Sort sort = Sort::kFunction) {
+  auto t = ParseTerm(text, sort);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+Rule MustRule(const char* id, const char* lhs, const char* rhs,
+              Sort sort = Sort::kFunction) {
+  auto r = MakeRule(id, "", lhs, rhs, sort);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(RuleTest, MakeRuleValidates) {
+  EXPECT_TRUE(MakeRule("a", "", "?f o id", "?f", Sort::kFunction).ok());
+  // rhs variable not bound on lhs.
+  auto bad = MakeRule("b", "", "?f o id", "?g", Sort::kFunction);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // trivial rule.
+  EXPECT_FALSE(MakeRule("c", "", "?f", "?f", Sort::kFunction).ok());
+  // unparseable side.
+  EXPECT_FALSE(MakeRule("d", "", "?f o", "?f", Sort::kFunction).ok());
+}
+
+TEST(RuleTest, ReverseSwapsSides) {
+  Rule r = MustRule("1", "?f o id", "?f");
+  auto rev = ReverseRule(r);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(rev->id, "1~");
+  EXPECT_TRUE(Term::Equal(rev->lhs, r.rhs));
+  EXPECT_TRUE(Term::Equal(rev->rhs, r.lhs));
+}
+
+TEST(RuleTest, ApplyLevelVariantSplitsChains) {
+  Rule r = MustRule("x", "iterate(?p, ?f) o iterate(?q, ?g)",
+                    "iterate(?q & ?p @ ?g, ?f o ?g)");
+  auto v = ApplyLevelVariant(r);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->id, "x!");
+  EXPECT_TRUE(Term::Equal(
+      v->lhs, Q("iterate(?p, ?f) ! iterate(?q, ?g) ! ?xx", Sort::kObject)));
+  EXPECT_TRUE(Term::Equal(
+      v->rhs, Q("iterate(?q & ?p @ ?g, ?f o ?g) ! ?xx", Sort::kObject)));
+}
+
+TEST(RuleTest, ApplyLevelVariantRejectsNonFunctionRules) {
+  Rule r = MustRule("p", "?p @ id", "?p", Sort::kPredicate);
+  EXPECT_FALSE(ApplyLevelVariant(r).ok());
+}
+
+TEST(RewriterTest, ApplyAtRootOnlyAtRoot) {
+  Rewriter rewriter;
+  Rule r = MustRule("1", "?f o id", "?f");
+  auto hit = rewriter.ApplyAtRoot(r, Q("age o id"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(Term::Equal(*hit, Q("age")));
+  // Redex is nested: root application must fail.
+  EXPECT_FALSE(rewriter.ApplyAtRoot(r, Q("city o (age o id)")).has_value());
+}
+
+TEST(RewriterTest, ApplyOnceFindsNestedRedex) {
+  Rewriter rewriter;
+  Rule r = MustRule("1", "?f o id", "?f");
+  RewriteStep step;
+  auto result = rewriter.ApplyOnce(r, Q("city o (age o id)"), &step);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(Term::Equal(*result, Q("city o age")));
+  EXPECT_EQ(step.rule_id, "1");
+  EXPECT_EQ(step.path, (std::vector<size_t>{1}));
+  EXPECT_TRUE(Term::Equal(step.before, Q("age o id")));
+  EXPECT_TRUE(Term::Equal(step.after, Q("age")));
+}
+
+TEST(RewriterTest, ApplyOnceIsLeftmostOutermost) {
+  Rewriter rewriter;
+  Rule r = MustRule("1", "?f o id", "?f");
+  // Both the whole term and a subterm are redexes; the root wins.
+  auto result = rewriter.ApplyOnce(r, Q("(age o id) o id"), nullptr);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(Term::Equal(*result, Q("age o id")));
+}
+
+TEST(RewriterTest, FixpointTerminatesAndTraces) {
+  Rewriter rewriter;
+  std::vector<Rule> rules = {MustRule("1", "?f o id", "?f")};
+  Trace trace;
+  auto result = rewriter.Fixpoint(rules, Q("(age o id) o id"), &trace);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Term::Equal(result.value(), Q("age")));
+  EXPECT_EQ(trace.steps.size(), 2u);
+  EXPECT_EQ(trace.RuleIds(), (std::vector<std::string>{"1", "1"}));
+}
+
+TEST(RewriterTest, FixpointBudgetIsEnforced) {
+  Rewriter rewriter;
+  // A deliberately looping rule pair.
+  std::vector<Rule> rules = {MustRule("swap", "?f o ?g", "?g o ?f")};
+  auto result = rewriter.Fixpoint(rules, Q("age o name"), nullptr, 50);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RewriterTest, ConditionalRuleNeedsPropertyStore) {
+  std::vector<Rule> all = AllCatalogRules();
+  const Rule& inj = FindRule(all, "ext.injective-intersect");
+  TermPtr query =
+      Q("intersect o (iterate(Kp(T), succ) x iterate(Kp(T), succ))");
+
+  // Without a property store the conditional rule must not fire.
+  Rewriter bare;
+  EXPECT_FALSE(bare.ApplyAtRoot(inj, query).has_value());
+
+  // With the default store, succ is injective and the rule fires.
+  PropertyStore store = PropertyStore::Default();
+  Rewriter rewriter(&store);
+  auto result = rewriter.ApplyAtRoot(inj, query);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(Term::Equal(*result, Q("iterate(Kp(T), succ) o intersect")));
+
+  // age is not known injective: the rule must not fire.
+  TermPtr age_query =
+      Q("intersect o (iterate(Kp(T), age) x iterate(Kp(T), age))");
+  EXPECT_FALSE(rewriter.ApplyAtRoot(inj, age_query).has_value());
+}
+
+TEST(RewriterTest, InferredInjectivityFiresConditionalRule) {
+  // succ o neg is injective only via the inference rule.
+  std::vector<Rule> all = AllCatalogRules();
+  const Rule& inj = FindRule(all, "ext.injective-intersect");
+  PropertyStore store = PropertyStore::Default();
+  Rewriter rewriter(&store);
+  TermPtr query = Q(
+      "intersect o (iterate(Kp(T), succ o neg) x iterate(Kp(T), succ o "
+      "neg))");
+  EXPECT_TRUE(rewriter.ApplyAtRoot(inj, query).has_value());
+}
+
+TEST(TraceTest, ToStringShowsDerivation) {
+  Rewriter rewriter;
+  std::vector<Rule> rules = {MustRule("1", "?f o id", "?f")};
+  Trace trace;
+  auto result = rewriter.Fixpoint(rules, Q("age o id"), &trace);
+  ASSERT_TRUE(result.ok());
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("age o id"), std::string::npos);
+  EXPECT_NE(rendered.find("--[1]-->"), std::string::npos);
+}
+
+TEST(PropertyStoreTest, FactsAndInference) {
+  PropertyStore store = PropertyStore::Default();
+  EXPECT_TRUE(store.Holds("injective", Id()));
+  EXPECT_TRUE(store.Holds("injective", PrimFn("succ")));
+  EXPECT_FALSE(store.Holds("injective", PrimFn("age")));
+  // Chained inference: (succ o neg) o succ.
+  EXPECT_TRUE(store.Holds(
+      "injective",
+      Compose(Compose(PrimFn("succ"), PrimFn("neg")), PrimFn("succ"))));
+  // Pair with one injective component.
+  EXPECT_TRUE(store.Holds("injective", PairFn(PrimFn("succ"),
+                                              PrimFn("age"))));
+  EXPECT_FALSE(store.Holds("injective", PairFn(PrimFn("age"),
+                                               PrimFn("age"))));
+  // Unknown property.
+  EXPECT_FALSE(store.Holds("monotone", Id()));
+}
+
+TEST(PropertyStoreTest, DepthBoundTerminates) {
+  PropertyStore store = PropertyStore::Default();
+  // Build a compose chain deeper than the default bound.
+  TermPtr chain = PrimFn("succ");
+  for (int i = 0; i < 20; ++i) chain = Compose(chain, PrimFn("succ"));
+  EXPECT_FALSE(store.Holds("injective", chain, /*max_depth=*/3));
+  EXPECT_TRUE(store.Holds("injective", chain, /*max_depth=*/64));
+}
+
+}  // namespace
+}  // namespace kola

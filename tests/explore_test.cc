@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "coko/parser.h"
+#include "coko/strategy.h"
+#include "eval/evaluator.h"
+#include "optimizer/explore.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class ExploreTest : public ::testing::Test {
+ protected:
+  ExploreTest() {
+    CarWorldOptions options;
+    options.num_persons = 60;   // asymmetric sizes make pushdown matter
+    options.num_vehicles = 12;
+    options.num_addresses = 10;
+    options.seed = 9;
+    db_ = BuildCarWorld(options);
+    model_ = std::make_unique<CostModel>(db_.get());
+  }
+
+  TermPtr Q(const char* text) {
+    auto t = ParseTerm(text, Sort::kObject);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return t.value();
+  }
+
+  Value Eval(const TermPtr& query) {
+    auto v = EvalQuery(*db_, query);
+    EXPECT_TRUE(v.ok()) << v.status() << "\n" << query->ToString();
+    return v.ok() ? std::move(v).value() : Value::Null();
+  }
+
+  Rewriter rewriter_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_F(ExploreTest, InputAlwaysPresentAndSorted) {
+  TermPtr query = Q("join(gt @ (age x age), (pi1, pi2)) ! [P, P]");
+  auto plans = ExploreJoinPlans(query, rewriter_, *model_);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  ASSERT_FALSE(plans->empty());
+  for (size_t i = 1; i < plans->size(); ++i) {
+    EXPECT_LE((*plans)[i - 1].cost, (*plans)[i].cost);
+  }
+  bool has_input = false;
+  for (const Candidate& c : *plans) {
+    if (c.derivation.empty()) has_input = true;
+  }
+  EXPECT_TRUE(has_input);
+}
+
+TEST_F(ExploreTest, SelectionPushdownWinsOnSelectiveJoin) {
+  // join over P x P with a selection on the first component: pushing it
+  // below the join shrinks the cross product.
+  TermPtr query = Q(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1, (pi1, pi2)) "
+      "! [P, P]");
+  auto plans = ExploreJoinPlans(query, rewriter_, *model_);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_GT(plans->size(), 1u);
+
+  // Some candidate was derived via selection pushdown and is the best.
+  const Candidate& best = plans->front();
+  bool derived = !best.derivation.empty();
+  EXPECT_TRUE(derived) << "input unexpectedly optimal";
+  bool pushed = false;
+  for (const std::string& id : best.derivation) {
+    if (id.find("select-past-join") != std::string::npos) pushed = true;
+  }
+  EXPECT_TRUE(pushed) << best.query->ToString();
+  auto input_cost = model_->EstimateQueryCost(query);
+  ASSERT_TRUE(input_cost.ok());
+  EXPECT_LT(best.cost, input_cost.value());
+}
+
+TEST_F(ExploreTest, AllCandidatesAreEquivalent) {
+  TermPtr query = Q(
+      "join(in @ (id x cars) & Cp(lt, 50) @ age @ pi2, (pi1, pi2)) "
+      "! [V, P]");
+  auto plans = ExploreJoinPlans(query, rewriter_, *model_);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_GT(plans->size(), 2u);
+  Value reference = Eval(query);
+  for (const Candidate& candidate : *plans) {
+    EXPECT_EQ(Eval(candidate.query), reference)
+        << candidate.query->ToString();
+  }
+}
+
+TEST_F(ExploreTest, CommutationFoldsBackToSeenPlan) {
+  // Without the involution cleanup, commuting twice would generate an
+  // ever-growing family; the candidate set must stay small.
+  TermPtr query = Q("join(eq @ (age x age), (pi1, pi2)) ! [P, P]");
+  auto plans = ExploreJoinPlans(query, rewriter_, *model_, 64);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_LE(plans->size(), 8u);
+}
+
+TEST_F(ExploreTest, CapIsHonored) {
+  TermPtr query = Q(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1 & "
+      "Cp(lt, 70) @ age @ pi2, (pi1, pi2)) ! [P, P]");
+  auto plans = ExploreJoinPlans(query, rewriter_, *model_, 3);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_LE(plans->size(), 3u);
+}
+
+TEST_F(ExploreTest, EverywhereStrategySweepsOnce) {
+  std::vector<Rule> all = AllCatalogRules();
+  auto sweep = Everywhere({FindRule(all, "1"), FindRule(all, "2")});
+  // Multiple nested redexes all reduce in one sweep.
+  auto term = ParseTerm("(id o age) o ((name o id) o id)", Sort::kFunction);
+  ASSERT_TRUE(term.ok());
+  auto result = sweep->Run(term.value(), rewriter_, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+  // One sweep fires at each position once (children first), so nested
+  // leftovers may remain -- repeating reaches the fixpoint.
+  auto repeat = Repeat(sweep);
+  auto fixed = repeat->Run(term.value(), rewriter_, nullptr);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed->term->ToString(), "age o name");
+}
+
+TEST_F(ExploreTest, EverywhereInCokoText) {
+  std::vector<Rule> all = AllCatalogRules();
+  auto module = ParseCoko("block clean { everywhere 1, 2; }", all);
+  ASSERT_TRUE(module.ok()) << module.status();
+  auto term = ParseTerm("(id o age) o id", Sort::kFunction);
+  ASSERT_TRUE(term.ok());
+  auto result =
+      module->blocks[0].Apply(term.value(), rewriter_, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,158 @@
+// Randomized property tests over the whole front end:
+//  * printer/parser round trip on thousands of generated well-typed terms,
+//  * generated well-typed functions never produce runtime type errors,
+//  * evaluation is deterministic,
+//  * the structural type inferencer accepts everything the generator
+//    emits, at the type it was generated for.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "eval/evaluator.h"
+#include "rewrite/generate.h"
+#include "rewrite/types.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  FuzzTest()
+      : schema_(SchemaTypes::CarWorld()),
+        db_(BuildCarWorld(CarWorldOptions{})),
+        rng_(static_cast<uint64_t>(GetParam()) * 7919 + 17),
+        gen_(&schema_, nullptr, &rng_) {}
+
+  SchemaTypes schema_;
+  std::unique_ptr<Database> db_;
+  Rng rng_;
+  TermGenerator gen_;
+};
+
+TEST_P(FuzzTest, PrintParseRoundTripFunctions) {
+  for (int i = 0; i < 200; ++i) {
+    TypePtr from = gen_.RandomType(2);
+    TypePtr to = gen_.RandomType(2);
+    auto fn = gen_.RandomFn(from, to, 3);
+    ASSERT_TRUE(fn.ok()) << fn.status();
+    std::string printed = fn.value()->ToString();
+    auto reparsed = ParseTerm(printed, Sort::kFunction);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+    EXPECT_TRUE(Term::Equal(fn.value(), reparsed.value())) << printed;
+  }
+}
+
+TEST_P(FuzzTest, PrintParseRoundTripPredicates) {
+  for (int i = 0; i < 200; ++i) {
+    TypePtr on = gen_.RandomType(2);
+    auto pred = gen_.RandomPred(on, 3);
+    ASSERT_TRUE(pred.ok()) << pred.status();
+    std::string printed = pred.value()->ToString();
+    auto reparsed = ParseTerm(printed, Sort::kPredicate);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+    EXPECT_TRUE(Term::Equal(pred.value(), reparsed.value())) << printed;
+  }
+}
+
+TEST_P(FuzzTest, WellTypedFunctionsNeverTypeError) {
+  Evaluator evaluator(db_.get(), EvalOptions{.max_steps = 500'000});
+  int evaluated = 0;
+  for (int i = 0; i < 150; ++i) {
+    TypePtr from = gen_.RandomType(2);
+    TypePtr to = gen_.RandomType(2);
+    auto fn = gen_.RandomFn(from, to, 3);
+    ASSERT_TRUE(fn.ok());
+    auto arg = gen_.RandomValue(from);
+    ASSERT_TRUE(arg.ok());
+    auto result = evaluator.Apply(fn.value(), arg.value());
+    // The generator promises well-typedness: the only acceptable failure
+    // is the step budget.
+    if (result.ok()) {
+      ++evaluated;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << fn.value()->ToString() << " ! " << arg.value().ToString()
+          << " -> " << result.status();
+    }
+  }
+  EXPECT_GT(evaluated, 100);
+}
+
+TEST_P(FuzzTest, EvaluationIsDeterministic) {
+  for (int i = 0; i < 60; ++i) {
+    TypePtr from = gen_.RandomType(2);
+    TypePtr to = gen_.RandomType(2);
+    auto fn = gen_.RandomFn(from, to, 3);
+    auto arg = gen_.RandomValue(from);
+    ASSERT_TRUE(fn.ok() && arg.ok());
+    Evaluator e1(db_.get());
+    Evaluator e2(db_.get());
+    auto r1 = e1.Apply(fn.value(), arg.value());
+    auto r2 = e2.Apply(fn.value(), arg.value());
+    ASSERT_EQ(r1.ok(), r2.ok());
+    if (r1.ok()) {
+      EXPECT_EQ(r1.value(), r2.value());
+    }
+  }
+}
+
+TEST_P(FuzzTest, GeneratedTermsTypeCheckAtGeneratedType) {
+  for (int i = 0; i < 100; ++i) {
+    TypePtr from = gen_.RandomType(2);
+    TypePtr to = gen_.RandomType(2);
+    auto fn = gen_.RandomFn(from, to, 2);
+    ASSERT_TRUE(fn.ok());
+    TypeInferencer inferencer(&schema_);
+    auto inferred = inferencer.Infer(fn.value());
+    ASSERT_TRUE(inferred.ok())
+        << inferred.status() << "\n" << fn.value()->ToString();
+    // The inferred (possibly polymorphic) type must unify with the
+    // generated monomorphic signature.
+    EXPECT_TRUE(inferencer
+                    .UnifyTermTypes(inferred.value(),
+                                    TermType{Sort::kFunction, from, to})
+                    .ok())
+        << fn.value()->ToString() << " : " << inferred->from->ToString()
+        << " -> " << inferred->to->ToString() << " vs "
+        << from->ToString() << " -> " << to->ToString();
+  }
+}
+
+TEST_P(FuzzTest, FastPathAgreesWithNaiveOnRandomJoins) {
+  // Generate random eq/in-keyed joins and check hash vs nested-loop.
+  for (int i = 0; i < 60; ++i) {
+    TypePtr a = gen_.RandomType(1);
+    TypePtr key = gen_.RandomType(1);
+    auto f = gen_.RandomFn(a, key, 2);
+    auto g = gen_.RandomFn(a, rng_.Chance(0.5) ? key : Type::Set(key), 2);
+    ASSERT_TRUE(f.ok() && g.ok());
+    // Build join(op @ (f x g), (pi1, pi2)); op follows g's result type.
+    TypeInferencer inferencer(&schema_);
+    auto g_type = inferencer.Infer(g.value());
+    ASSERT_TRUE(g_type.ok());
+    bool is_in = inferencer.Resolve(g_type->to)->tag() == TypeTag::kSet;
+    TermPtr pred = Oplus(is_in ? InP() : EqP(),
+                         Product(f.value(), g.value()));
+    TermPtr join = Join(pred, PairFn(Pi1(), Pi2()));
+    auto lhs = gen_.RandomValue(Type::Set(a));
+    auto rhs = gen_.RandomValue(Type::Set(a));
+    ASSERT_TRUE(lhs.ok() && rhs.ok());
+    Value input = Value::MakePair(lhs.value(), rhs.value());
+
+    Evaluator fast(db_.get(), EvalOptions{.physical_fastpaths = true});
+    Evaluator naive(db_.get(), EvalOptions{.physical_fastpaths = false});
+    auto r_fast = fast.Apply(join, input);
+    auto r_naive = naive.Apply(join, input);
+    ASSERT_EQ(r_fast.ok(), r_naive.ok()) << join->ToString();
+    if (r_fast.ok()) {
+      EXPECT_EQ(r_fast.value(), r_naive.value()) << join->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "optimizer/hidden_join.h"
+#include "optimizer/monolithic.h"
+#include "rewrite/engine.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class HiddenJoinTest : public ::testing::Test {
+ protected:
+  HiddenJoinTest() {
+    CarWorldOptions options;
+    options.num_persons = 14;
+    options.num_vehicles = 9;
+    options.num_addresses = 7;
+    options.seed = 11;
+    db_ = BuildCarWorld(options);
+  }
+
+  Value Eval(const TermPtr& query) {
+    auto value = EvalQuery(*db_, query);
+    EXPECT_TRUE(value.ok()) << value.status() << "\n"
+                            << query->ToString();
+    return value.ok() ? std::move(value).value() : Value::Null();
+  }
+
+  Rewriter rewriter_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(HiddenJoinTest, GarageQueryConvertsToKG2Exactly) {
+  auto result = UntangleHiddenJoin(GarageQueryKG1(), rewriter_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converted);
+  EXPECT_TRUE(Term::Equal(result->query, GarageQueryKG2()))
+      << "got:  " << result->query->ToString() << "\nwant: "
+      << GarageQueryKG2()->ToString() << "\ntrace:\n"
+      << result->trace.ToString();
+}
+
+TEST_F(HiddenJoinTest, AllFiveStepsFireOnGarageQuery) {
+  auto result = UntangleHiddenJoin(GarageQueryKG1(), rewriter_);
+  ASSERT_TRUE(result.ok());
+  const auto& blocks = result->blocks_fired;
+  auto fired = [&](const std::string& name) {
+    return std::find(blocks.begin(), blocks.end(), name) != blocks.end();
+  };
+  EXPECT_TRUE(fired("break-up"));
+  EXPECT_TRUE(fired("bottom-out"));
+  EXPECT_TRUE(fired("pull-up-nest"));
+  EXPECT_TRUE(fired("absorb-join"));
+  EXPECT_TRUE(fired("polish"));
+  // The garage query has a single unnest already adjacent to nest, so
+  // step 4 is a no-op (Section 4.1, Step 4 discussion).
+  EXPECT_FALSE(fired("pull-up-unnest"));
+}
+
+TEST_F(HiddenJoinTest, GarageTransformPreservesSemantics) {
+  auto result = UntangleHiddenJoin(GarageQueryKG1(), rewriter_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Eval(GarageQueryKG1()), Eval(result->query));
+}
+
+TEST_F(HiddenJoinTest, EveryIntermediateStepPreservesSemantics) {
+  // Re-evaluate after every single rule firing: each micro-step is an
+  // equivalence (strong end-to-end check of the whole derivation).
+  auto result = UntangleHiddenJoin(GarageQueryKG1(), rewriter_);
+  ASSERT_TRUE(result.ok());
+  Value expected = Eval(GarageQueryKG1());
+  for (const RewriteStep& step : result->trace.steps) {
+    ASSERT_TRUE(step.result != nullptr);
+    EXPECT_EQ(Eval(step.result), expected)
+        << "semantics changed after rule " << step.rule_id << " at "
+        << step.result->ToString();
+  }
+}
+
+class HiddenJoinDepth : public HiddenJoinTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(HiddenJoinDepth, ConvertsAndPreservesSemanticsAtDepth) {
+  auto query = MakeHiddenJoinQuery(GetParam());
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto result = UntangleHiddenJoin(query.value(), rewriter_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converted) << result->query->ToString();
+
+  // The final form is the paper's canonical shape (end of Section 4.1):
+  //   nest(pi1, pi2) o [(unnest(pi1, pi2) x id) o]? (join(p, f), pi1)
+  // applied to [A, B] -- at most ONE unnest directly below nest, and every
+  // iterate absorbed into the join's (potentially complex) function.
+  ASSERT_EQ(result->query->kind(), TermKind::kApplyFn);
+  EXPECT_EQ(result->query->child(1)->kind(), TermKind::kPairObj);
+  std::vector<TermPtr> factors;
+  TermPtr chain = result->query->child(0);
+  while (chain->kind() == TermKind::kCompose) {
+    factors.push_back(chain->child(0));
+    chain = chain->child(1);
+  }
+  factors.push_back(chain);
+  ASSERT_GE(factors.size(), 2u) << result->query->ToString();
+  ASSERT_LE(factors.size(), 3u) << result->query->ToString();
+  EXPECT_EQ(factors.front()->kind(), TermKind::kNest);
+  if (factors.size() == 3) {
+    EXPECT_EQ(factors[1]->kind(), TermKind::kProduct);
+    EXPECT_EQ(factors[1]->child(0)->kind(), TermKind::kUnnest);
+  }
+  const TermPtr& last = factors.back();
+  ASSERT_EQ(last->kind(), TermKind::kPairFn) << last->ToString();
+  EXPECT_EQ(last->child(0)->kind(), TermKind::kJoin);
+  EXPECT_TRUE(last->child(1)->IsPrimFn("pi1"));
+
+  EXPECT_EQ(Eval(query.value()), Eval(result->query))
+      << result->query->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HiddenJoinDepth,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_F(HiddenJoinTest, NonHiddenJoinIsSimplifiedNotConverted) {
+  // The inner query ranges over a set derived from the outer element
+  // (p.child), not a named set: rule 19 must never fire, but break-up
+  // still simplifies (the Section 4.2 "gradual rules" advantage).
+  auto query = ParseTerm(
+      "iterate(Kp(T), (id, iter(Kp(T), pi2) o (id, child))) ! P",
+      Sort::kObject);
+  ASSERT_TRUE(query.ok());
+  auto result = UntangleHiddenJoin(query.value(), rewriter_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converted);
+  // Break-up still decomposed the query.
+  EXPECT_FALSE(result->blocks_fired.empty());
+  // And semantics are preserved.
+  EXPECT_EQ(Eval(query.value()), Eval(result->query));
+}
+
+TEST_F(HiddenJoinTest, MonolithicHandlesGarageShape) {
+  MonolithicStats stats;
+  auto rebuilt = MonolithicHiddenJoin(GarageQueryKG1(), &stats);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_TRUE(stats.applied);
+  EXPECT_GT(stats.head_nodes_visited, 10);
+  EXPECT_GT(stats.body_nodes_built, 10);
+  EXPECT_TRUE(Term::Equal(rebuilt.value(), GarageQueryKG2()))
+      << rebuilt.value()->ToString();
+  EXPECT_EQ(Eval(rebuilt.value()), Eval(GarageQueryKG1()));
+}
+
+TEST_F(HiddenJoinTest, MonolithicLacksGenerality) {
+  // Depth 3 and deeper: the gradual rules convert, the monolithic rule
+  // dives and rejects -- the paper's Section 4.2 criticism, quantified.
+  for (int depth : {1, 3, 4}) {
+    auto query = MakeHiddenJoinQuery(depth);
+    ASSERT_TRUE(query.ok());
+    MonolithicStats stats;
+    auto rebuilt = MonolithicHiddenJoin(query.value(), &stats);
+    EXPECT_FALSE(rebuilt.ok()) << "depth " << depth;
+    EXPECT_FALSE(stats.applied);
+    EXPECT_TRUE(stats.rejected_after_dive);
+    EXPECT_GT(stats.head_nodes_visited, 0);
+
+    auto gradual = UntangleHiddenJoin(query.value(), rewriter_);
+    ASSERT_TRUE(gradual.ok());
+    EXPECT_TRUE(gradual->converted) << "depth " << depth;
+  }
+}
+
+TEST_F(HiddenJoinTest, MakeHiddenJoinQueryShapes) {
+  auto q1 = MakeHiddenJoinQuery(1);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1.value()->kind(), TermKind::kApplyFn);
+  auto q0 = MakeHiddenJoinQuery(0);
+  EXPECT_FALSE(q0.ok());
+  // Deeper queries are strictly larger.
+  auto q3 = MakeHiddenJoinQuery(3);
+  ASSERT_TRUE(q3.ok());
+  EXPECT_GT(q3.value()->node_count(), q1.value()->node_count());
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/match.h"
+#include "term/parser.h"
+#include "term/term.h"
+
+namespace kola {
+namespace {
+
+TermPtr P(const char* text, Sort sort = Sort::kFunction) {
+  auto t = ParseTerm(text, sort);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+TEST(BindingsTest, BindAndLookup) {
+  Bindings b;
+  EXPECT_TRUE(b.Bind("f", Id()));
+  ASSERT_NE(b.Lookup("f"), nullptr);
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), Id()));
+  EXPECT_EQ(b.Lookup("g"), nullptr);
+}
+
+TEST(BindingsTest, RebindSameTermSucceeds) {
+  Bindings b;
+  EXPECT_TRUE(b.Bind("f", Compose(Pi1(), Pi2())));
+  EXPECT_TRUE(b.Bind("f", Compose(Pi1(), Pi2())));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BindingsTest, RebindDifferentTermFails) {
+  Bindings b;
+  EXPECT_TRUE(b.Bind("f", Pi1()));
+  EXPECT_FALSE(b.Bind("f", Pi2()));
+}
+
+TEST(MatchTest, MetaVarMatchesAnySubterm) {
+  Bindings b;
+  EXPECT_TRUE(MatchTerm(P("?f"), P("city o addr"), &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), P("city o addr")));
+}
+
+TEST(MatchTest, SortGuardsMetaVarMatching) {
+  Bindings b;
+  // A function metavariable must not match a predicate.
+  EXPECT_FALSE(MatchTerm(P("?f"), P("gt", Sort::kPredicate), &b));
+  // An object metavariable accepts a bool (subsort).
+  Bindings b2;
+  EXPECT_TRUE(MatchTerm(P("?k", Sort::kObject),
+                        P("gt ? [1, 2]", Sort::kObject), &b2));
+}
+
+TEST(MatchTest, StructuralMatch) {
+  Bindings b;
+  EXPECT_TRUE(MatchTerm(P("?f o id"), P("age o id"), &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), P("age")));
+  Bindings b2;
+  EXPECT_FALSE(MatchTerm(P("?f o id"), P("id o age"), &b2));
+}
+
+TEST(MatchTest, NonLinearPatternRequiresEqualSubterms) {
+  TermPtr pattern = P("?f o ?f");
+  Bindings b;
+  EXPECT_TRUE(MatchTerm(pattern, P("age o age"), &b));
+  Bindings b2;
+  EXPECT_FALSE(MatchTerm(pattern, P("age o name"), &b2));
+}
+
+TEST(MatchTest, LiteralsMatchByValue) {
+  Bindings b;
+  EXPECT_TRUE(MatchTerm(P("Kf(25)"), P("Kf(25)"), &b));
+  Bindings b2;
+  EXPECT_FALSE(MatchTerm(P("Kf(25)"), P("Kf(26)"), &b2));
+}
+
+TEST(MatchTest, PrimitivesMatchByName) {
+  Bindings b;
+  EXPECT_FALSE(MatchTerm(P("pi1"), P("pi2"), &b));
+  EXPECT_TRUE(MatchTerm(P("pi1"), P("pi1"), &b));
+}
+
+TEST(MatchTest, BoolConstMatching) {
+  Bindings b;
+  EXPECT_TRUE(MatchTerm(P("Kp(T)", Sort::kPredicate),
+                        P("Kp(T)", Sort::kPredicate), &b));
+  Bindings b2;
+  EXPECT_FALSE(MatchTerm(P("Kp(T)", Sort::kPredicate),
+                         P("Kp(F)", Sort::kPredicate), &b2));
+  Bindings b3;
+  EXPECT_TRUE(MatchTerm(P("Kp(?b)", Sort::kPredicate),
+                        P("Kp(F)", Sort::kPredicate), &b3));
+}
+
+TEST(MatchTest, PaperRule11Pattern) {
+  TermPtr pattern = P("iterate(?p, ?f) o iterate(?q, ?g)");
+  TermPtr query = P("iterate(Kp(T), city) o iterate(Kp(T), addr)");
+  Bindings b;
+  ASSERT_TRUE(MatchTerm(pattern, query, &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("p"), P("Kp(T)", Sort::kPredicate)));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), P("city")));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("g"), P("addr")));
+}
+
+TEST(SubstituteTest, ReplacesAllOccurrences) {
+  Bindings b;
+  b.Bind("f", P("city"));
+  b.Bind("g", P("addr"));
+  auto result = Substitute(P("?f o ?g o ?f"), b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Term::Equal(result.value(), P("city o addr o city")));
+}
+
+TEST(SubstituteTest, GroundPatternIsReturnedAsIs) {
+  Bindings b;
+  TermPtr ground = P("city o addr");
+  auto result = Substitute(ground, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().get(), ground.get());  // shared, not copied
+}
+
+TEST(SubstituteTest, UnboundVariableIsError) {
+  Bindings b;
+  auto result = Substitute(P("?f o id"), b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubstituteTest, RoundTripWithMatch) {
+  // match(lhs, t) then substitute(lhs) == t, for a nontrivial pattern.
+  TermPtr pattern = P("iterate(?q & ?p @ ?g, ?f o ?g)");
+  TermPtr term = P("iterate(Kp(T) & in @ pi1, age o pi1)");
+  Bindings b;
+  ASSERT_TRUE(MatchTerm(pattern, term, &b));
+  auto rebuilt = Substitute(pattern, b);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(Term::Equal(rebuilt.value(), term));
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "aqua/eval.h"
+#include "aqua/parser.h"
+#include "aqua/transform.h"
+#include "eval/evaluator.h"
+#include "oql/oql.h"
+#include "translate/translate.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class OqlTest : public ::testing::Test {
+ protected:
+  OqlTest() {
+    CarWorldOptions options;
+    options.num_persons = 12;
+    options.num_vehicles = 8;
+    options.num_addresses = 6;
+    options.seed = 77;
+    db_ = BuildCarWorld(options);
+  }
+
+  aqua::ExprPtr Lower(const char* text) {
+    auto expr = oql::ParseOql(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    return expr.ok() ? std::move(expr).value() : nullptr;
+  }
+
+  Value EvalOql(const char* text) {
+    aqua::ExprPtr expr = Lower(text);
+    aqua::AquaEvaluator evaluator(db_.get());
+    auto value = evaluator.EvalQuery(expr);
+    EXPECT_TRUE(value.ok()) << value.status();
+    return value.ok() ? std::move(value).value() : Value::Null();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(OqlTest, SimpleSelectLowersToAppSel) {
+  aqua::ExprPtr lowered =
+      Lower("select p.name from p in P where p.age > 25");
+  aqua::ExprPtr expected = aqua::ParseAqua(
+      "app(\\p. p.name)(sel(\\p. p.age > 25)(P))").value();
+  EXPECT_TRUE(AlphaEqual(lowered, expected)) << lowered->ToString();
+}
+
+TEST_F(OqlTest, SelectWithoutWhere) {
+  aqua::ExprPtr lowered = Lower("select p.age from p in P");
+  aqua::ExprPtr expected =
+      aqua::ParseAqua("app(\\p. p.age)(P)").value();
+  EXPECT_TRUE(AlphaEqual(lowered, expected)) << lowered->ToString();
+}
+
+TEST_F(OqlTest, MultipleBindingsNestAndFlatten) {
+  aqua::ExprPtr lowered = Lower(
+      "select [v, p] from v in V, p in P where v in p.cars");
+  aqua::ExprPtr expected = aqua::ParseAqua(
+      "flatten(app(\\v. app(\\p. [v, p])(sel(\\p. v in p.cars)(P)))(V))")
+      .value();
+  EXPECT_TRUE(AlphaEqual(lowered, expected)) << lowered->ToString();
+}
+
+TEST_F(OqlTest, DependentBinding) {
+  aqua::ExprPtr lowered = Lower(
+      "select c.name from p in P, c in p.child where c.age > 10");
+  aqua::ExprPtr expected = aqua::ParseAqua(
+      "flatten(app(\\p. app(\\c. c.name)(sel(\\c. c.age > 10)(p.child)))"
+      "(P))").value();
+  EXPECT_TRUE(AlphaEqual(lowered, expected)) << lowered->ToString();
+}
+
+TEST_F(OqlTest, NestedSubqueryInSelectList) {
+  // The paper's A4, as a user would actually write it.
+  aqua::ExprPtr lowered = Lower(
+      "select [p, (select c from c in p.child where p.age > 25)] "
+      "from p in P");
+  EXPECT_TRUE(AlphaEqual(lowered, aqua::QueryA4()))
+      << lowered->ToString();
+}
+
+TEST_F(OqlTest, NestedSubqueryA3Variant) {
+  aqua::ExprPtr lowered = Lower(
+      "select [p, (select c from c in p.child where c.age > 25)] "
+      "from p in P");
+  EXPECT_TRUE(AlphaEqual(lowered, aqua::QueryA3()))
+      << lowered->ToString();
+}
+
+TEST_F(OqlTest, GarageQueryFromOql) {
+  // The full OQL -> AQUA -> KOLA pipeline lands on Figure 3's KG1 modulo
+  // the sel/app nesting order; it evaluates identically to KG1.
+  aqua::ExprPtr lowered = Lower(
+      "select [v, flatten((select p.grgs from p in P where v in p.cars))] "
+      "from v in V");
+  Translator translator;
+  auto term = translator.TranslateQuery(lowered);
+  ASSERT_TRUE(term.ok()) << term.status();
+
+  aqua::AquaEvaluator aqua_eval(db_.get());
+  auto via_aqua = aqua_eval.EvalQuery(aqua::AquaGarageQuery());
+  ASSERT_TRUE(via_aqua.ok());
+  auto via_kola = EvalQuery(*db_, term.value());
+  ASSERT_TRUE(via_kola.ok()) << via_kola.status();
+  EXPECT_EQ(via_aqua.value(), via_kola.value());
+}
+
+TEST_F(OqlTest, EvaluationSemantics) {
+  Value names = EvalOql("select p.name from p in P where p.age > 25");
+  for (const Value& n : names.elements()) EXPECT_TRUE(n.is_string());
+  Value all = EvalOql("select p from p in P");
+  EXPECT_EQ(all, db_->Extent("P").value());
+  Value pairs = EvalOql(
+      "select [v.make, p.name] from v in V, p in P where v in p.cars");
+  for (const Value& pair : pairs.elements()) {
+    EXPECT_TRUE(pair.is_pair());
+  }
+}
+
+TEST_F(OqlTest, WholeOqlPipelineMatchesAquaEvaluation) {
+  const char* queries[] = {
+      "select p.age from p in P",
+      "select p.name from p in P where p.age > 25 and p.age < 70",
+      "select c.age from p in P, c in p.child where p.age > c.age",
+      "select [p, (select c from c in p.child where c.age > 25)] "
+      "from p in P",
+      "select a.city from p in P, a in p.grgs",
+  };
+  Translator translator;
+  for (const char* text : queries) {
+    aqua::ExprPtr lowered = Lower(text);
+    ASSERT_NE(lowered, nullptr);
+    auto term = translator.TranslateQuery(lowered);
+    ASSERT_TRUE(term.ok()) << term.status() << "\n" << text;
+    aqua::AquaEvaluator aqua_eval(db_.get());
+    auto expected = aqua_eval.EvalQuery(lowered);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    auto actual = EvalQuery(*db_, term.value());
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    EXPECT_EQ(expected.value(), actual.value()) << text;
+  }
+}
+
+TEST_F(OqlTest, ParseErrors) {
+  EXPECT_FALSE(oql::ParseOql("select from P").ok());
+  EXPECT_FALSE(oql::ParseOql("select p from p").ok());
+  EXPECT_FALSE(oql::ParseOql("select p frm p in P").ok());
+  EXPECT_FALSE(oql::ParseOql("select p from p in P where").ok());
+  EXPECT_FALSE(oql::ParseOql("select [p from p in P").ok());
+  EXPECT_FALSE(oql::ParseOql("select p from p in P extra").ok());
+}
+
+TEST_F(OqlTest, SetLiteralsAndConstants) {
+  Value result = EvalOql(
+      "select p.name from p in P where p.age in {30, 40, 50}");
+  EXPECT_TRUE(result.is_set());
+  Value none = EvalOql("select p from p in P where false");
+  EXPECT_EQ(none, Value::EmptySet());
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "term/parser.h"
+#include "term/term.h"
+
+namespace kola {
+namespace {
+
+TermPtr MustParse(std::string_view text, Sort sort) {
+  auto result = ParseTerm(text, sort);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+TEST(ParserTest, Primitives) {
+  TermPtr f = MustParse("id", Sort::kFunction);
+  EXPECT_EQ(f->kind(), TermKind::kPrimFn);
+  TermPtr p = MustParse("gt", Sort::kPredicate);
+  EXPECT_EQ(p->kind(), TermKind::kPrimPred);
+  TermPtr c = MustParse("P", Sort::kObject);
+  EXPECT_EQ(c->kind(), TermKind::kCollection);
+}
+
+TEST(ParserTest, ComposeIsRightAssociative) {
+  TermPtr t = MustParse("f o g o h", Sort::kFunction);
+  ASSERT_EQ(t->kind(), TermKind::kCompose);
+  EXPECT_EQ(t->child(0)->name(), "f");
+  EXPECT_EQ(t->child(1)->kind(), TermKind::kCompose);
+}
+
+TEST(ParserTest, FormersParse) {
+  EXPECT_TRUE(Term::Equal(MustParse("Kf(25)", Sort::kFunction),
+                          ConstFn(LitInt(25))));
+  EXPECT_TRUE(Term::Equal(MustParse("Kp(T)", Sort::kPredicate),
+                          ConstPredTrue()));
+  EXPECT_TRUE(Term::Equal(MustParse("Kp(F)", Sort::kPredicate),
+                          ConstPredFalse()));
+  EXPECT_TRUE(Term::Equal(MustParse("Cp(leq, 25)", Sort::kPredicate),
+                          CurryPred(LeqP(), LitInt(25))));
+  EXPECT_TRUE(Term::Equal(MustParse("inv(gt)", Sort::kPredicate),
+                          InvP(GtP())));
+  EXPECT_TRUE(Term::Equal(
+      MustParse("con(p, f, g)", Sort::kFunction),
+      Cond(PrimPred("p"), PrimFn("f"), PrimFn("g"))));
+}
+
+TEST(ParserTest, QueryFormers) {
+  TermPtr t = MustParse("iterate(Kp(T), city o addr)", Sort::kFunction);
+  EXPECT_EQ(t->kind(), TermKind::kIterate);
+  EXPECT_TRUE(Term::Equal(t->child(1),
+                          Compose(PrimFn("city"), PrimFn("addr"))));
+  EXPECT_EQ(MustParse("join(in, pi1)", Sort::kFunction)->kind(),
+            TermKind::kJoin);
+  EXPECT_EQ(MustParse("nest(pi1, pi2)", Sort::kFunction)->kind(),
+            TermKind::kNest);
+  EXPECT_EQ(MustParse("unnest(pi1, pi2)", Sort::kFunction)->kind(),
+            TermKind::kUnnest);
+  EXPECT_EQ(MustParse("iter(in, pi2)", Sort::kFunction)->kind(),
+            TermKind::kIter);
+}
+
+TEST(ParserTest, PairFormerVsGroup) {
+  TermPtr pair = MustParse("(pi1, pi2)", Sort::kFunction);
+  EXPECT_EQ(pair->kind(), TermKind::kPairFn);
+  TermPtr group = MustParse("(f o g)", Sort::kFunction);
+  EXPECT_EQ(group->kind(), TermKind::kCompose);
+}
+
+TEST(ParserTest, ObjectPair) {
+  TermPtr t = MustParse("[V, P]", Sort::kObject);
+  ASSERT_EQ(t->kind(), TermKind::kPairObj);
+  EXPECT_EQ(t->child(0)->name(), "V");
+}
+
+TEST(ParserTest, SetLiterals) {
+  TermPtr t = MustParse("{1, 2, 2, 3}", Sort::kObject);
+  ASSERT_EQ(t->kind(), TermKind::kLiteral);
+  EXPECT_EQ(t->literal().SetSize(), 3u);
+  TermPtr empty = MustParse("{}", Sort::kObject);
+  EXPECT_EQ(empty->literal().SetSize(), 0u);
+  TermPtr nested = MustParse("{[1, \"a\"], [2, \"b\"]}", Sort::kObject);
+  EXPECT_EQ(nested->literal().SetSize(), 2u);
+}
+
+TEST(ParserTest, ApplyAndTest) {
+  TermPtr q = MustParse("iterate(Kp(T), age) ! P", Sort::kObject);
+  EXPECT_EQ(q->kind(), TermKind::kApplyFn);
+  TermPtr b = MustParse("gt ? [3, 2]", Sort::kObject);
+  EXPECT_EQ(b->kind(), TermKind::kApplyPred);
+  EXPECT_EQ(b->sort(), Sort::kBool);
+}
+
+TEST(ParserTest, ApplyIsRightAssociative) {
+  TermPtr t = MustParse("f ! g ! x", Sort::kObject);
+  ASSERT_EQ(t->kind(), TermKind::kApplyFn);
+  EXPECT_EQ(t->child(1)->kind(), TermKind::kApplyFn);
+}
+
+TEST(ParserTest, MetaVarSortConventions) {
+  EXPECT_EQ(MustParse("?f", Sort::kFunction)->sort(), Sort::kFunction);
+  EXPECT_EQ(MustParse("?p", Sort::kPredicate)->sort(), Sort::kPredicate);
+  EXPECT_EQ(MustParse("?A", Sort::kObject)->sort(), Sort::kObject);
+  EXPECT_EQ(MustParse("?k", Sort::kObject)->sort(), Sort::kObject);
+  EXPECT_EQ(MustParse("Kp(?b)", Sort::kPredicate)->child(0)->sort(),
+            Sort::kBool);
+}
+
+TEST(ParserTest, MetaVarSortMismatchIsError) {
+  EXPECT_FALSE(ParseTerm("?f", Sort::kObject).ok());
+  EXPECT_FALSE(ParseTerm("?p", Sort::kFunction).ok());
+  EXPECT_FALSE(ParseTerm("?x", Sort::kPredicate).ok());
+}
+
+TEST(ParserTest, PaperRule11) {
+  // iterate(p, f) o iterate(q, g) => iterate(q & p @ g, f o g)
+  TermPtr lhs = MustParse("iterate(?p, ?f) o iterate(?q, ?g)",
+                          Sort::kFunction);
+  EXPECT_TRUE(Term::Equal(
+      lhs, Compose(Iterate(PredVar("p"), FnVar("f")),
+                   Iterate(PredVar("q"), FnVar("g")))));
+  TermPtr rhs = MustParse("iterate(?q & ?p @ ?g, ?f o ?g)", Sort::kFunction);
+  EXPECT_TRUE(Term::Equal(
+      rhs, Iterate(AndP(PredVar("q"), Oplus(PredVar("p"), FnVar("g"))),
+                   Compose(FnVar("f"), FnVar("g")))));
+}
+
+TEST(ParserTest, GarageQueryKG1RoundTrips) {
+  const char* kg1_text =
+      "iterate(Kp(T), (id, flat o iter(Kp(T), grgs o pi2) o (id, "
+      "iter(in @ (pi1, cars o pi2), pi2) o (id, Kf(P))))) ! V";
+  TermPtr kg1 = MustParse(kg1_text, Sort::kObject);
+  TermPtr reparsed = MustParse(kg1->ToString(), Sort::kObject);
+  EXPECT_TRUE(Term::Equal(kg1, reparsed));
+}
+
+TEST(ParserTest, ErrorsAreInvalidArgument) {
+  EXPECT_EQ(ParseTerm("iterate(", Sort::kFunction).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("f o", Sort::kFunction).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("f )", Sort::kFunction).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("\"unterminated", Sort::kObject).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("$", Sort::kObject).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, SortMismatchesAreErrors) {
+  // Pair former in object position.
+  EXPECT_FALSE(ParseTerm("(f, g)", Sort::kObject).ok());
+  // Object pair in function position.
+  EXPECT_FALSE(ParseTerm("[1, 2]", Sort::kFunction).ok());
+  // Kp in function position.
+  EXPECT_FALSE(ParseTerm("Kp(T)", Sort::kFunction).ok());
+  // Int literal as a predicate.
+  EXPECT_FALSE(ParseTerm("5", Sort::kPredicate).ok());
+}
+
+TEST(ParserTest, WrongFormerArity) {
+  EXPECT_FALSE(ParseTerm("Kf(1, 2)", Sort::kFunction).ok());
+  EXPECT_FALSE(ParseTerm("con(p, f)", Sort::kFunction).ok());
+  EXPECT_FALSE(ParseTerm("iterate(p)", Sort::kFunction).ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseIsIdentity) {
+  TermPtr original = MustParse(GetParam(), Sort::kFunction);
+  ASSERT_NE(original, nullptr);
+  TermPtr reparsed = MustParse(original->ToString(), Sort::kFunction);
+  EXPECT_TRUE(Term::Equal(original, reparsed))
+      << "printed: " << original->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, RoundTripTest,
+    ::testing::Values(
+        "id", "pi1 o pi2", "f o g o h", "(f o g) o h", "f x g",
+        "(f x g) o h", "Kf(25)", "Kf({1, 2})", "Kf(P)", "Cf(f, 7)",
+        "con(p & q, f, g o h)", "iterate(Kp(T), city o addr)",
+        "iterate(gt @ (age, Kf(25)), id)",
+        "iter(in @ (pi1, cars o pi2), pi2)",
+        "join(Kp(T), id)", "nest(pi1, pi2)", "unnest(pi1, pi2) x id",
+        "(join(Kp(T), id), pi1)",
+        "con(Cp(leq, 25) @ age, child, Kf({}))",
+        "iterate(?p, ?f) o iterate(?q, ?g)",
+        "flat o iter(Kp(T), grgs o pi2)"));
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "aqua/eval.h"
+#include "aqua/parser.h"
+#include "aqua/transform.h"
+#include "eval/evaluator.h"
+#include "optimizer/code_motion.h"
+#include "optimizer/hidden_join.h"
+#include "translate/translate.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  TranslateTest() {
+    CarWorldOptions options;
+    options.num_persons = 12;
+    options.num_vehicles = 8;
+    options.num_addresses = 6;
+    options.seed = 31;
+    db_ = BuildCarWorld(options);
+  }
+
+  aqua::ExprPtr ParseA(const char* text) {
+    auto expr = aqua::ParseAqua(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    return expr.ok() ? std::move(expr).value() : nullptr;
+  }
+
+  TermPtr Translate(const aqua::ExprPtr& expr) {
+    Translator translator;
+    auto term = translator.TranslateQuery(expr);
+    EXPECT_TRUE(term.ok()) << term.status();
+    return term.ok() ? std::move(term).value() : nullptr;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(TranslateTest, AccessPathShapes) {
+  EXPECT_EQ(Translator::AccessPath(0, 1)->ToString(), "id");
+  EXPECT_EQ(Translator::AccessPath(0, 2)->ToString(), "pi1");
+  EXPECT_EQ(Translator::AccessPath(1, 2)->ToString(), "pi2");
+  EXPECT_EQ(Translator::AccessPath(0, 3)->ToString(), "pi1 o pi1");
+  EXPECT_EQ(Translator::AccessPath(1, 3)->ToString(), "pi2 o pi1");
+  EXPECT_EQ(Translator::AccessPath(2, 3)->ToString(), "pi2");
+}
+
+TEST_F(TranslateTest, SimpleMapTranslation) {
+  TermPtr term = Translate(ParseA("app(\\p. p.addr.city)(P)"));
+  EXPECT_EQ(term->ToString(), "iterate(Kp(T), city o addr) ! P");
+}
+
+TEST_F(TranslateTest, SelectionTranslation) {
+  TermPtr term = Translate(ParseA("sel(\\p. p.age > 25)(P)"));
+  EXPECT_EQ(term->ToString(), "iterate(gt @ (age, Kf(25)), id) ! P");
+}
+
+TEST_F(TranslateTest, GarageQueryTranslatesToKG1Exactly) {
+  // Section 3: the AQUA garage query's KOLA translation IS Figure 3's KG1.
+  TermPtr term = Translate(aqua::AquaGarageQuery());
+  EXPECT_TRUE(Term::Equal(term, GarageQueryKG1()))
+      << "got:  " << term->ToString() << "\nwant: "
+      << GarageQueryKG1()->ToString();
+}
+
+TEST_F(TranslateTest, A3A4TranslateToK3K4Exactly) {
+  EXPECT_TRUE(Term::Equal(Translate(aqua::QueryA3()), QueryK3()))
+      << Translate(aqua::QueryA3())->ToString();
+  EXPECT_TRUE(Term::Equal(Translate(aqua::QueryA4()), QueryK4()))
+      << Translate(aqua::QueryA4())->ToString();
+}
+
+TEST_F(TranslateTest, JoinTranslation) {
+  TermPtr term =
+      Translate(ParseA("join(\\a b. a in b.cars, \\a b. [a, b])(V, P)"));
+  EXPECT_EQ(term->ToString(),
+            "join(in @ (pi1, cars o pi2), (pi1, pi2)) ! [V, P]");
+}
+
+TEST_F(TranslateTest, IfThenElseBecomesCon) {
+  TermPtr term = Translate(
+      ParseA("app(\\p. if p.age > 25 then p.child else {})(P)"));
+  EXPECT_EQ(term->ToString(),
+            "iterate(Kp(T), con(gt @ (age, Kf(25)), child, Kf({}))) ! P");
+}
+
+TEST_F(TranslateTest, UntranslatableConstructsError) {
+  Translator translator;
+  // Free variable at top level.
+  auto open = translator.TranslateQuery(aqua::Expr::Var("x"));
+  EXPECT_FALSE(open.ok());
+  // Boolean as an object inside a map.
+  auto boolean = translator.TranslateQuery(
+      ParseA("app(\\p. p.age > 25)(P)"));
+  EXPECT_FALSE(boolean.ok());
+  // join under an environment.
+  auto nested_join = translator.TranslateQuery(
+      ParseA("app(\\p. join(\\a b. a in b.cars and p.age > 3, \\a b. a)"
+             "(V, P))(P)"));
+  EXPECT_FALSE(nested_join.ok());
+}
+
+// The central translator property: AQUA evaluation and KOLA evaluation of
+// the translation agree, over a feature-covering query corpus.
+class TranslationEquivalence
+    : public TranslateTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(TranslationEquivalence, AquaAndKolaAgree) {
+  aqua::ExprPtr expr = ParseA(GetParam());
+  ASSERT_NE(expr, nullptr);
+  TermPtr term = Translate(expr);
+  ASSERT_NE(term, nullptr);
+
+  aqua::AquaEvaluator aqua_eval(db_.get());
+  auto aqua_value = aqua_eval.EvalQuery(expr);
+  ASSERT_TRUE(aqua_value.ok()) << aqua_value.status();
+
+  auto kola_value = EvalQuery(*db_, term);
+  ASSERT_TRUE(kola_value.ok()) << kola_value.status() << "\n"
+                               << term->ToString();
+  EXPECT_EQ(aqua_value.value(), kola_value.value()) << term->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TranslationEquivalence,
+    ::testing::Values(
+        "P",
+        "app(\\p. p.age)(P)",
+        "app(\\p. p.addr.city)(P)",
+        "sel(\\p. p.age > 25)(P)",
+        "sel(\\p. p.age > 20 and p.age < 60)(P)",
+        "sel(\\p. not p.age > 20 or p.age == 33)(P)",
+        "app(\\x. x.age)(sel(\\p. p.age > 25)(P))",
+        "flatten(app(\\p. p.child)(P))",
+        "app(\\p. [p, p.cars])(P)",
+        "app(\\p. [p.age, [p.name, p.addr.city]])(P)",
+        "app(\\p. sel(\\c. p.age > c.age)(P))(P)",
+        "app(\\p. app(\\c. c.age)(p.child))(P)",
+        "app(\\p. [p, sel(\\c. c.age > 25)(p.child)])(P)",
+        "app(\\p. [p, sel(\\c. p.age > 25)(p.child)])(P)",
+        "app(\\v. [v, flatten(app(\\p. p.grgs)(sel(\\p. v in p.cars)"
+        "(P)))])(V)",
+        "app(\\p. if p.age > 25 then [p, p.child] else [p, {}])(P)",
+        "join(\\a b. a in b.cars, \\a b. [a, b.grgs])(V, P)",
+        "join(\\a b. a.age > b.age, \\a b. [a.name, b.name])(P, P)",
+        "app(\\p. app(\\c. app(\\g. [p.age, [c.age, g.age]])(c.child))"
+        "(p.child))(P)",
+        "sel(\\p. p.age in {30, 40, 50})(P)",
+        "app(\\p. flatten(app(\\c. c.child)(p.child)))(P)"));
+
+TEST_F(TranslateTest, SizeRatioStaysUnderTwo) {
+  // Section 4.2: "translated queries are less than twice the size of the
+  // queries they translate".
+  const char* corpus[] = {
+      "app(\\p. p.addr.city)(P)",
+      "sel(\\p. p.age > 25)(P)",
+      "app(\\p. [p, sel(\\c. p.age > 25)(p.child)])(P)",
+      "app(\\v. [v, flatten(app(\\p. p.grgs)(sel(\\p. v in p.cars)(P)))])"
+      "(V)",
+      "app(\\p. app(\\c. app(\\g. [p.age, [c.age, g.age]])(c.child))"
+      "(p.child))(P)",
+  };
+  for (const char* text : corpus) {
+    auto sizes = MeasureTranslation(ParseA(text));
+    ASSERT_TRUE(sizes.ok()) << sizes.status();
+    EXPECT_LT(sizes->ratio(), 2.0) << text << " ratio " << sizes->ratio();
+    EXPECT_GT(sizes->kola_nodes, 0u);
+  }
+}
+
+TEST_F(TranslateTest, MaxEnvDepthCountsLambdaNesting) {
+  EXPECT_EQ(MaxEnvDepth(ParseA("P")), 0u);
+  EXPECT_EQ(MaxEnvDepth(ParseA("app(\\p. p.age)(P)")), 1u);
+  EXPECT_EQ(MaxEnvDepth(ParseA("app(\\p. sel(\\c. p.age > c.age)(P))(P)")),
+            2u);
+  EXPECT_EQ(MaxEnvDepth(ParseA("join(\\a b. a.age > b.age, \\a b. a)"
+                               "(P, P)")),
+            2u);
+}
+
+TEST_F(TranslateTest, TranslatedCodeMotionPipeline) {
+  // Full pipeline: AQUA A4 -> translate -> KOLA code motion -> evaluate;
+  // equals the AQUA evaluation of the paper's hoisted form.
+  TermPtr k4 = Translate(aqua::QueryA4());
+  Rewriter rewriter;
+  auto moved = ApplyCodeMotion(k4, rewriter);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(moved->moved);
+
+  aqua::AquaEvaluator aqua_eval(db_.get());
+  auto expected = aqua_eval.EvalQuery(
+      ParseA("app(\\p. if p.age > 25 then [p, p.child] else [p, {}])(P)"));
+  ASSERT_TRUE(expected.ok());
+  auto actual = EvalQuery(*db_, moved->query);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(expected.value(), actual.value());
+}
+
+}  // namespace
+}  // namespace kola

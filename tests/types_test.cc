@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/types.h"
+#include "term/parser.h"
+
+namespace kola {
+namespace {
+
+TermPtr Q(const char* text, Sort sort = Sort::kFunction) {
+  auto t = ParseTerm(text, sort);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+TEST(TypeTest, ToStringAndEqual) {
+  TypePtr t = Type::Set(Type::Pair(Type::Int(), Type::Class("Person")));
+  EXPECT_EQ(t->ToString(), "set<pair<int, Person>>");
+  EXPECT_TRUE(Type::Equal(t, Type::Set(Type::Pair(Type::Int(),
+                                                  Type::Class("Person")))));
+  EXPECT_FALSE(Type::Equal(t, Type::Set(Type::Int())));
+  EXPECT_FALSE(Type::Equal(Type::Class("Person"), Type::Class("Vehicle")));
+}
+
+TEST(UnifyTest, BindsVariables) {
+  TypeSubst subst;
+  TypePtr v = Type::Var(0);
+  ASSERT_TRUE(Unify(v, Type::Int(), &subst).ok());
+  EXPECT_TRUE(Type::Equal(subst.Apply(v), Type::Int()));
+}
+
+TEST(UnifyTest, StructuralUnification) {
+  TypeSubst subst;
+  TypePtr lhs = Type::Pair(Type::Var(0), Type::Set(Type::Var(1)));
+  TypePtr rhs = Type::Pair(Type::Int(), Type::Set(Type::Str()));
+  ASSERT_TRUE(Unify(lhs, rhs, &subst).ok());
+  EXPECT_TRUE(Type::Equal(subst.Apply(Type::Var(0)), Type::Int()));
+  EXPECT_TRUE(Type::Equal(subst.Apply(Type::Var(1)), Type::Str()));
+}
+
+TEST(UnifyTest, ClashIsTypeError) {
+  TypeSubst subst;
+  EXPECT_EQ(Unify(Type::Int(), Type::Str(), &subst).code(),
+            StatusCode::kTypeError);
+  EXPECT_FALSE(Unify(Type::Pair(Type::Int(), Type::Int()),
+                     Type::Set(Type::Int()), &subst)
+                   .ok());
+}
+
+TEST(UnifyTest, OccursCheck) {
+  TypeSubst subst;
+  TypePtr v = Type::Var(0);
+  EXPECT_FALSE(Unify(v, Type::Set(v), &subst).ok());
+}
+
+TEST(UnifyTest, TransitiveThroughSubst) {
+  TypeSubst subst;
+  ASSERT_TRUE(Unify(Type::Var(0), Type::Var(1), &subst).ok());
+  ASSERT_TRUE(Unify(Type::Var(1), Type::Bool(), &subst).ok());
+  EXPECT_TRUE(Type::Equal(subst.Apply(Type::Var(0)), Type::Bool()));
+}
+
+class InferTest : public ::testing::Test {
+ protected:
+  InferTest() : schema_(SchemaTypes::CarWorld()), inferencer_(&schema_) {}
+
+  TermType MustInfer(const char* text, Sort sort) {
+    auto type = inferencer_.Infer(Q(text, sort));
+    EXPECT_TRUE(type.ok()) << type.status();
+    return type.value();
+  }
+
+  SchemaTypes schema_;
+  TypeInferencer inferencer_;
+};
+
+TEST_F(InferTest, SchemaPrimitives) {
+  TermType age = MustInfer("age", Sort::kFunction);
+  EXPECT_TRUE(Type::Equal(age.from, Type::Class("Person")));
+  EXPECT_TRUE(Type::Equal(age.to, Type::Int()));
+}
+
+TEST_F(InferTest, ComposePropagates) {
+  TermType t = MustInfer("city o addr", Sort::kFunction);
+  EXPECT_TRUE(Type::Equal(t.from, Type::Class("Person")));
+  EXPECT_TRUE(Type::Equal(t.to, Type::Str()));
+}
+
+TEST_F(InferTest, IterateOverExtent) {
+  TermType t = MustInfer("iterate(Kp(T), age) ! P", Sort::kObject);
+  EXPECT_TRUE(Type::Equal(t.to, Type::Set(Type::Int())));
+}
+
+TEST_F(InferTest, ProjectionsConstrainPairs) {
+  TermType t = MustInfer("gt @ (age o pi1, age o pi2)", Sort::kPredicate);
+  EXPECT_TRUE(Type::Equal(
+      t.from, Type::Pair(Type::Class("Person"), Type::Class("Person"))));
+}
+
+TEST_F(InferTest, GarageQueryTypes) {
+  TermType t = MustInfer(
+      "iterate(Kp(T), (id, flat o iter(Kp(T), grgs o pi2) o (id, "
+      "iter(in @ (pi1, cars o pi2), pi2) o (id, Kf(P))))) ! V",
+      Sort::kObject);
+  // set<pair<Vehicle, set<Address>>>
+  EXPECT_EQ(t.to->ToString(), "set<pair<Vehicle, set<Address>>>");
+}
+
+TEST_F(InferTest, IllTypedQueryIsError) {
+  // age of an address.
+  auto bad = inferencer_.Infer(Q("age o addr", Sort::kFunction));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(InferTest, UnknownPrimitiveIsNotFound) {
+  auto bad = inferencer_.Infer(Q("salary", Sort::kFunction));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(InferTest, MetaVarsGetConsistentTypes) {
+  // In iterate(?p, ?f) o iterate(?q, ?g), ?p ranges over ?g's result... no:
+  // ?p applies to ?f's domain which equals ?g's codomain element type.
+  TermType t = MustInfer("iterate(?p, ?f) o iterate(?q, ?g)",
+                         Sort::kFunction);
+  auto vars = inferencer_.MetaVarTypes();
+  ASSERT_EQ(vars.count("p"), 1u);
+  ASSERT_EQ(vars.count("f"), 1u);
+  // ?p's argument type must equal ?f's domain.
+  EXPECT_TRUE(Type::Equal(inferencer_.Resolve(vars["p"].from),
+                          inferencer_.Resolve(vars["f"].from)));
+  // ?g's codomain must equal ?f's domain.
+  EXPECT_TRUE(Type::Equal(inferencer_.Resolve(vars["g"].to),
+                          inferencer_.Resolve(vars["f"].from)));
+  // The whole thing maps sets to sets.
+  EXPECT_EQ(t.from->tag(), TypeTag::kSet);
+  EXPECT_EQ(t.to->tag(), TypeTag::kSet);
+}
+
+TEST_F(InferTest, MetaVarReuseUnifies) {
+  // ?f used twice: the pair former forces both uses to one type.
+  (void)MustInfer("(?f, ?f o succ)", Sort::kFunction);
+  auto vars = inferencer_.MetaVarTypes();
+  EXPECT_TRUE(Type::Equal(inferencer_.Resolve(vars["f"].from), Type::Int()));
+}
+
+TEST_F(InferTest, SetOperatorsAreGeneric) {
+  TermType t = MustInfer("intersect o (iterate(Kp(T), age) x "
+                         "iterate(Kp(T), age))",
+                         Sort::kFunction);
+  EXPECT_EQ(t.to->ToString(), "set<int>");
+}
+
+TEST_F(InferTest, NestAndUnnestShapes) {
+  TermType nest = MustInfer("nest(pi1, pi2)", Sort::kFunction);
+  EXPECT_EQ(nest.from->tag(), TypeTag::kPair);
+  TermType unnest = MustInfer("unnest(pi1, pi2)", Sort::kFunction);
+  EXPECT_EQ(unnest.from->tag(), TypeTag::kSet);
+  // unnest(pi1, pi2) requires pairs whose second component is a set.
+  TypePtr element = unnest.from->element();
+  EXPECT_EQ(element->tag(), TypeTag::kPair);
+  EXPECT_EQ(element->second()->tag(), TypeTag::kSet);
+}
+
+}  // namespace
+}  // namespace kola

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "values/value.h"
+
+namespace kola {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, ScalarRoundTrips) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_FALSE(Value::Bool(false).bool_value());
+  EXPECT_EQ(Value::Int(-42).int_value(), -42);
+  EXPECT_EQ(Value::Str("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, PairAccessors) {
+  Value p = Value::MakePair(Value::Int(1), Value::Str("x"));
+  EXPECT_TRUE(p.is_pair());
+  EXPECT_EQ(p.first().int_value(), 1);
+  EXPECT_EQ(p.second().string_value(), "x");
+  EXPECT_EQ(p.ToString(), "[1, \"x\"]");
+}
+
+TEST(ValueTest, SetsAreCanonical) {
+  Value a = Value::MakeSet({Value::Int(3), Value::Int(1), Value::Int(2)});
+  Value b = Value::MakeSet({Value::Int(2), Value::Int(1), Value::Int(3),
+                            Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.SetSize(), 3u);
+  EXPECT_EQ(a.ToString(), "{1, 2, 3}");
+}
+
+TEST(ValueTest, EmptySet) {
+  Value e = Value::EmptySet();
+  EXPECT_TRUE(e.is_set());
+  EXPECT_EQ(e.SetSize(), 0u);
+  EXPECT_EQ(e.ToString(), "{}");
+}
+
+TEST(ValueTest, SetContains) {
+  Value s = Value::MakeSet({Value::Int(1), Value::Int(5), Value::Int(9)});
+  EXPECT_TRUE(s.SetContains(Value::Int(5)));
+  EXPECT_FALSE(s.SetContains(Value::Int(4)));
+  EXPECT_FALSE(s.SetContains(Value::Str("5")));
+}
+
+TEST(ValueTest, CompareOrdersByKindThenContent) {
+  // Kind rank: null < bool < int < string < pair < set < object.
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(99), Value::Str(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LT(Value::MakePair(Value::Int(1), Value::Int(9)),
+            Value::MakePair(Value::Int(2), Value::Int(0)));
+}
+
+TEST(ValueTest, SetComparisonIsLexicographic) {
+  Value a = Value::MakeSet({Value::Int(1)});
+  Value b = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value c = Value::MakeSet({Value::Int(2)});
+  EXPECT_LT(a, b);  // prefix is smaller
+  EXPECT_LT(a, c);
+  EXPECT_LT(b, c);
+}
+
+TEST(ValueTest, NestedSetsOfPairs) {
+  Value inner1 = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value inner2 = Value::MakeSet({Value::Int(3)});
+  Value outer = Value::MakeSet(
+      {Value::MakePair(Value::Str("a"), inner1),
+       Value::MakePair(Value::Str("b"), inner2)});
+  EXPECT_EQ(outer.SetSize(), 2u);
+  EXPECT_TRUE(outer.SetContains(Value::MakePair(Value::Str("a"), inner1)));
+}
+
+TEST(ValueTest, ObjectIdentity) {
+  Value o1 = Value::Object(0, 7);
+  Value o2 = Value::Object(0, 7);
+  Value o3 = Value::Object(0, 8);
+  Value o4 = Value::Object(1, 7);
+  EXPECT_EQ(o1, o2);
+  EXPECT_NE(o1, o3);
+  EXPECT_NE(o1, o4);
+  EXPECT_EQ(o1.object_class(), 0);
+  EXPECT_EQ(o1.object_id(), 7);
+}
+
+TEST(ValueTest, AsBoolErrorsOnWrongKind) {
+  EXPECT_TRUE(Value::Bool(true).AsBool().ok());
+  auto r = Value::Int(1).AsBool();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, AsIntErrorsOnWrongKind) {
+  EXPECT_EQ(Value::Int(4).AsInt().value(), 4);
+  EXPECT_FALSE(Value::Str("4").AsInt().ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Value a = Value::MakeSet({Value::Int(3), Value::Int(1)});
+  Value b = Value::MakeSet({Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Distinct values very likely differ.
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Str("1").Hash());
+}
+
+TEST(ValueTest, CopyIsShallowButValueSemantic) {
+  Value s = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value t = s;
+  EXPECT_EQ(s, t);
+  EXPECT_EQ(&s.elements(), &t.elements());  // shared payload
+}
+
+}  // namespace
+}  // namespace kola
