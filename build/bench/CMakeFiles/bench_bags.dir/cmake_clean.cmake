@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bags.dir/bench_bags.cc.o"
+  "CMakeFiles/bench_bags.dir/bench_bags.cc.o.d"
+  "bench_bags"
+  "bench_bags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fig6_code_motion.dir/bench_fig2_fig6_code_motion.cc.o"
+  "CMakeFiles/bench_fig2_fig6_code_motion.dir/bench_fig2_fig6_code_motion.cc.o.d"
+  "bench_fig2_fig6_code_motion"
+  "bench_fig2_fig6_code_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fig6_code_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_fig6_code_motion.
+# This may be replaced when dependencies are built.

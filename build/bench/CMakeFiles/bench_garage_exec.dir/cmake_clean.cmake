@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_garage_exec.dir/bench_garage_exec.cc.o"
+  "CMakeFiles/bench_garage_exec.dir/bench_garage_exec.cc.o.d"
+  "bench_garage_exec"
+  "bench_garage_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_garage_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

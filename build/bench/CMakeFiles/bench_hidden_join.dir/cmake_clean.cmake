@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hidden_join.dir/bench_hidden_join.cc.o"
+  "CMakeFiles/bench_hidden_join.dir/bench_hidden_join.cc.o.d"
+  "bench_hidden_join"
+  "bench_hidden_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hidden_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

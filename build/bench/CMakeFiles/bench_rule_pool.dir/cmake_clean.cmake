@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_pool.dir/bench_rule_pool.cc.o"
+  "CMakeFiles/bench_rule_pool.dir/bench_rule_pool.cc.o.d"
+  "bench_rule_pool"
+  "bench_rule_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_dump.dir/catalog_dump.cpp.o"
+  "CMakeFiles/catalog_dump.dir/catalog_dump.cpp.o.d"
+  "catalog_dump"
+  "catalog_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garage_query.dir/garage_query.cpp.o"
+  "CMakeFiles/garage_query.dir/garage_query.cpp.o.d"
+  "garage_query"
+  "garage_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garage_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

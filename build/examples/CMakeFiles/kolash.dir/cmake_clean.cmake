@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kolash.dir/kolash.cpp.o"
+  "CMakeFiles/kolash.dir/kolash.cpp.o.d"
+  "kolash"
+  "kolash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kolash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_code_motion.dir/nested_code_motion.cpp.o"
+  "CMakeFiles/nested_code_motion.dir/nested_code_motion.cpp.o.d"
+  "nested_code_motion"
+  "nested_code_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_code_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

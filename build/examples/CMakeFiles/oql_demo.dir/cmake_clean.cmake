@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_demo.dir/oql_demo.cpp.o"
+  "CMakeFiles/oql_demo.dir/oql_demo.cpp.o.d"
+  "oql_demo"
+  "oql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

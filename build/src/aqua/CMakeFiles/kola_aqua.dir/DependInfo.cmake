@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/eval.cc" "src/aqua/CMakeFiles/kola_aqua.dir/eval.cc.o" "gcc" "src/aqua/CMakeFiles/kola_aqua.dir/eval.cc.o.d"
+  "/root/repo/src/aqua/expr.cc" "src/aqua/CMakeFiles/kola_aqua.dir/expr.cc.o" "gcc" "src/aqua/CMakeFiles/kola_aqua.dir/expr.cc.o.d"
+  "/root/repo/src/aqua/parser.cc" "src/aqua/CMakeFiles/kola_aqua.dir/parser.cc.o" "gcc" "src/aqua/CMakeFiles/kola_aqua.dir/parser.cc.o.d"
+  "/root/repo/src/aqua/transform.cc" "src/aqua/CMakeFiles/kola_aqua.dir/transform.cc.o" "gcc" "src/aqua/CMakeFiles/kola_aqua.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/values/CMakeFiles/kola_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kola_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_aqua.dir/eval.cc.o"
+  "CMakeFiles/kola_aqua.dir/eval.cc.o.d"
+  "CMakeFiles/kola_aqua.dir/expr.cc.o"
+  "CMakeFiles/kola_aqua.dir/expr.cc.o.d"
+  "CMakeFiles/kola_aqua.dir/parser.cc.o"
+  "CMakeFiles/kola_aqua.dir/parser.cc.o.d"
+  "CMakeFiles/kola_aqua.dir/transform.cc.o"
+  "CMakeFiles/kola_aqua.dir/transform.cc.o.d"
+  "libkola_aqua.a"
+  "libkola_aqua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_aqua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_coko.dir/parser.cc.o"
+  "CMakeFiles/kola_coko.dir/parser.cc.o.d"
+  "CMakeFiles/kola_coko.dir/strategy.cc.o"
+  "CMakeFiles/kola_coko.dir/strategy.cc.o.d"
+  "libkola_coko.a"
+  "libkola_coko.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_coko.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

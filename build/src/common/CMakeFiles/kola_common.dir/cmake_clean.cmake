@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_common.dir/random.cc.o"
+  "CMakeFiles/kola_common.dir/random.cc.o.d"
+  "CMakeFiles/kola_common.dir/status.cc.o"
+  "CMakeFiles/kola_common.dir/status.cc.o.d"
+  "CMakeFiles/kola_common.dir/string_util.cc.o"
+  "CMakeFiles/kola_common.dir/string_util.cc.o.d"
+  "libkola_common.a"
+  "libkola_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

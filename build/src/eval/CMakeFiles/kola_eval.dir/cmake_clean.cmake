@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_eval.dir/evaluator.cc.o"
+  "CMakeFiles/kola_eval.dir/evaluator.cc.o.d"
+  "libkola_eval.a"
+  "libkola_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_optimizer.dir/code_motion.cc.o"
+  "CMakeFiles/kola_optimizer.dir/code_motion.cc.o.d"
+  "CMakeFiles/kola_optimizer.dir/cost.cc.o"
+  "CMakeFiles/kola_optimizer.dir/cost.cc.o.d"
+  "CMakeFiles/kola_optimizer.dir/explore.cc.o"
+  "CMakeFiles/kola_optimizer.dir/explore.cc.o.d"
+  "CMakeFiles/kola_optimizer.dir/hidden_join.cc.o"
+  "CMakeFiles/kola_optimizer.dir/hidden_join.cc.o.d"
+  "CMakeFiles/kola_optimizer.dir/monolithic.cc.o"
+  "CMakeFiles/kola_optimizer.dir/monolithic.cc.o.d"
+  "CMakeFiles/kola_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/kola_optimizer.dir/optimizer.cc.o.d"
+  "libkola_optimizer.a"
+  "libkola_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_oql.dir/oql.cc.o"
+  "CMakeFiles/kola_oql.dir/oql.cc.o.d"
+  "libkola_oql.a"
+  "libkola_oql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_oql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/engine.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/engine.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/engine.cc.o.d"
+  "/root/repo/src/rewrite/generate.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/generate.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/generate.cc.o.d"
+  "/root/repo/src/rewrite/match.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/match.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/match.cc.o.d"
+  "/root/repo/src/rewrite/properties.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/properties.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/properties.cc.o.d"
+  "/root/repo/src/rewrite/rule.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/rule.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/rule.cc.o.d"
+  "/root/repo/src/rewrite/types.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/types.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/types.cc.o.d"
+  "/root/repo/src/rewrite/verifier.cc" "src/rewrite/CMakeFiles/kola_rewrite.dir/verifier.cc.o" "gcc" "src/rewrite/CMakeFiles/kola_rewrite.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/kola_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kola_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/kola_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kola_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

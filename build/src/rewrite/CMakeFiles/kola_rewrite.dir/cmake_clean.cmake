@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_rewrite.dir/engine.cc.o"
+  "CMakeFiles/kola_rewrite.dir/engine.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/generate.cc.o"
+  "CMakeFiles/kola_rewrite.dir/generate.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/match.cc.o"
+  "CMakeFiles/kola_rewrite.dir/match.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/properties.cc.o"
+  "CMakeFiles/kola_rewrite.dir/properties.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/rule.cc.o"
+  "CMakeFiles/kola_rewrite.dir/rule.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/types.cc.o"
+  "CMakeFiles/kola_rewrite.dir/types.cc.o.d"
+  "CMakeFiles/kola_rewrite.dir/verifier.cc.o"
+  "CMakeFiles/kola_rewrite.dir/verifier.cc.o.d"
+  "libkola_rewrite.a"
+  "libkola_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

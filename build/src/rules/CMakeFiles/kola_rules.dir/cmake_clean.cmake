@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_rules.dir/catalog.cc.o"
+  "CMakeFiles/kola_rules.dir/catalog.cc.o.d"
+  "libkola_rules.a"
+  "libkola_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

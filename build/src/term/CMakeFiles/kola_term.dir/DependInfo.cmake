@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/parser.cc" "src/term/CMakeFiles/kola_term.dir/parser.cc.o" "gcc" "src/term/CMakeFiles/kola_term.dir/parser.cc.o.d"
+  "/root/repo/src/term/printer.cc" "src/term/CMakeFiles/kola_term.dir/printer.cc.o" "gcc" "src/term/CMakeFiles/kola_term.dir/printer.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/term/CMakeFiles/kola_term.dir/term.cc.o" "gcc" "src/term/CMakeFiles/kola_term.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kola_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/kola_values.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

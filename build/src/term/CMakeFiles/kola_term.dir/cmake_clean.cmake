@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_term.dir/parser.cc.o"
+  "CMakeFiles/kola_term.dir/parser.cc.o.d"
+  "CMakeFiles/kola_term.dir/printer.cc.o"
+  "CMakeFiles/kola_term.dir/printer.cc.o.d"
+  "CMakeFiles/kola_term.dir/term.cc.o"
+  "CMakeFiles/kola_term.dir/term.cc.o.d"
+  "libkola_term.a"
+  "libkola_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_translate.dir/translate.cc.o"
+  "CMakeFiles/kola_translate.dir/translate.cc.o.d"
+  "libkola_translate.a"
+  "libkola_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

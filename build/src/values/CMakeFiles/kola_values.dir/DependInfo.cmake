@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/values/car_world.cc" "src/values/CMakeFiles/kola_values.dir/car_world.cc.o" "gcc" "src/values/CMakeFiles/kola_values.dir/car_world.cc.o.d"
+  "/root/repo/src/values/company_world.cc" "src/values/CMakeFiles/kola_values.dir/company_world.cc.o" "gcc" "src/values/CMakeFiles/kola_values.dir/company_world.cc.o.d"
+  "/root/repo/src/values/database.cc" "src/values/CMakeFiles/kola_values.dir/database.cc.o" "gcc" "src/values/CMakeFiles/kola_values.dir/database.cc.o.d"
+  "/root/repo/src/values/value.cc" "src/values/CMakeFiles/kola_values.dir/value.cc.o" "gcc" "src/values/CMakeFiles/kola_values.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kola_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kola_values.dir/car_world.cc.o"
+  "CMakeFiles/kola_values.dir/car_world.cc.o.d"
+  "CMakeFiles/kola_values.dir/company_world.cc.o"
+  "CMakeFiles/kola_values.dir/company_world.cc.o.d"
+  "CMakeFiles/kola_values.dir/database.cc.o"
+  "CMakeFiles/kola_values.dir/database.cc.o.d"
+  "CMakeFiles/kola_values.dir/value.cc.o"
+  "CMakeFiles/kola_values.dir/value.cc.o.d"
+  "libkola_values.a"
+  "libkola_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kola_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkola_values.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_test.dir/aqua_test.cc.o"
+  "CMakeFiles/aqua_test.dir/aqua_test.cc.o.d"
+  "aqua_test"
+  "aqua_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coko_test.dir/coko_test.cc.o"
+  "CMakeFiles/coko_test.dir/coko_test.cc.o.d"
+  "coko_test"
+  "coko_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coko_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_test.dir/company_test.cc.o"
+  "CMakeFiles/company_test.dir/company_test.cc.o.d"
+  "company_test"
+  "company_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

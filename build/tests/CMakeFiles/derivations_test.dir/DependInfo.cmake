@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/derivations_test.cc" "tests/CMakeFiles/derivations_test.dir/derivations_test.cc.o" "gcc" "tests/CMakeFiles/derivations_test.dir/derivations_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coko/CMakeFiles/kola_coko.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/kola_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/kola_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kola_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/kola_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/kola_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kola_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

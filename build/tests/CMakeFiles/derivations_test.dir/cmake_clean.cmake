@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivations_test.dir/derivations_test.cc.o"
+  "CMakeFiles/derivations_test.dir/derivations_test.cc.o.d"
+  "derivations_test"
+  "derivations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

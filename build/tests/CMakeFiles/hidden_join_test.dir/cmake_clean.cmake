@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_join_test.dir/hidden_join_test.cc.o"
+  "CMakeFiles/hidden_join_test.dir/hidden_join_test.cc.o.d"
+  "hidden_join_test"
+  "hidden_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_test.dir/oql_test.cc.o"
+  "CMakeFiles/oql_test.dir/oql_test.cc.o.d"
+  "oql_test"
+  "oql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
