@@ -1,0 +1,349 @@
+// Hash-consed interning + memoized rewriting: before/after numbers for the
+// hot paths of bench_matching, bench_rule_pool and bench_hidden_join.
+//
+// "before" is the seed configuration (no construction-time interning, no
+// Fixpoint negative-match memo); "after" enables both. Each workload's
+// derivation trace is checked byte-identical across the two modes before
+// its timing is reported, and the table is written to BENCH_interning.json
+// (override with --out=PATH).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "optimizer/explore.h"
+#include "optimizer/hidden_join.h"
+#include "rewrite/engine.h"
+#include "rewrite/match.h"
+#include "rules/catalog.h"
+#include "term/intern.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mode-parameterized workloads. Each returns a digest string (usually the
+// derivation trace) that must agree across modes.
+// ---------------------------------------------------------------------------
+
+struct Mode {
+  bool intern;
+  bool memoize;
+};
+
+constexpr Mode kBefore{false, false};
+constexpr Mode kAfter{true, true};
+
+/// Cheap derivation digest: the fired rule ids plus the final term. (The
+/// full byte-identity of traces across modes is asserted by intern_test;
+/// here the digest must stay cheap so it does not dominate the timings.)
+std::string TraceDigest(const Trace& trace, const TermPtr& final_term) {
+  std::string digest;
+  for (const std::string& id : trace.RuleIds()) {
+    digest += id;
+    digest += ' ';
+  }
+  digest += "=> ";
+  digest += final_term->ToString();
+  return digest;
+}
+
+Rewriter MakeRewriter(const Mode& mode) {
+  return Rewriter(nullptr, RewriterOptions{.memoize_fixpoint = mode.memoize});
+}
+
+std::vector<Rule> Fig4Rules() {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<Rule> rules;
+  for (const char* id :
+       {"11", "6", "5", "1", "13", "7", "ext.and-true-right"}) {
+    rules.push_back(FindRule(all, id));
+  }
+  return rules;
+}
+
+/// bench_matching: every catalog rule probed against the garage query.
+std::string WholeCatalogApplyOnce(const Mode& mode, int iters) {
+  Rewriter rewriter = MakeRewriter(mode);
+  std::vector<Rule> all = AllCatalogRules();
+  TermPtr garage = GarageQueryKG1();
+  int hits = 0;
+  for (int i = 0; i < iters; ++i) {
+    for (const Rule& rule : all) {
+      if (rewriter.ApplyOnce(rule, garage, nullptr)) ++hits;
+    }
+  }
+  return "hits=" + std::to_string(hits);
+}
+
+/// bench_matching: rule-based join exploration on a filtered self-join.
+std::string JoinExploration(const Mode& mode, int iters) {
+  Rewriter rewriter = MakeRewriter(mode);
+  CarWorldOptions options;
+  options.num_persons = 80;
+  options.num_vehicles = 20;
+  auto db = BuildCarWorld(options);
+  CostModel model(db.get());
+  auto query = ParseTerm(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1, (pi1, pi2)) "
+      "! [P, P]",
+      Sort::kObject);
+  KOLA_CHECK_OK(query.status());
+  std::string digest;
+  for (int i = 0; i < iters; ++i) {
+    auto plans = ExploreJoinPlans(query.value(), rewriter, model);
+    KOLA_CHECK_OK(plans.status());
+    digest.clear();
+    for (const Candidate& c : *plans) {
+      for (const std::string& id : c.derivation) digest += id + " ";
+      digest += "| ";
+    }
+  }
+  return digest;
+}
+
+/// bench_rule_pool: the Figure 4 fusion fixpoints (T1 and T2 derivations).
+std::string Fig4Fixpoints(const Mode& mode, int iters) {
+  Rewriter rewriter = MakeRewriter(mode);
+  std::vector<Rule> rules = Fig4Rules();
+  const char* queries[] = {
+      "iterate(Kp(T), city) o iterate(Kp(T), addr) ! P",
+      "iterate(Kp(T), age) o iterate(gt @ (age, Kf(25)), id) ! P",
+  };
+  std::string digest;
+  for (int i = 0; i < iters; ++i) {
+    digest.clear();
+    for (const char* text : queries) {
+      auto query = ParseTerm(text, Sort::kObject);
+      KOLA_CHECK_OK(query.status());
+      Trace trace;
+      auto fused = rewriter.Fixpoint(rules, query.value(), &trace);
+      KOLA_CHECK_OK(fused.status());
+      digest += TraceDigest(trace, fused.value());
+    }
+  }
+  return digest;
+}
+
+/// bench_hidden_join: the garage query untangling (Figure 3 -> KG2).
+std::string UntangleGarage(const Mode& mode, int iters) {
+  Rewriter rewriter = MakeRewriter(mode);
+  TermPtr garage = GarageQueryKG1();
+  std::string digest;
+  for (int i = 0; i < iters; ++i) {
+    auto result = UntangleHiddenJoin(garage, rewriter);
+    KOLA_CHECK_OK(result.status());
+    digest = TraceDigest(result->trace, result->query);
+  }
+  return digest;
+}
+
+/// bench_hidden_join: deep synthetic hidden joins.
+std::string UntangleDepth(const Mode& mode, int depth, int iters) {
+  Rewriter rewriter = MakeRewriter(mode);
+  auto query = MakeHiddenJoinQuery(depth);
+  KOLA_CHECK_OK(query.status());
+  std::string digest;
+  for (int i = 0; i < iters; ++i) {
+    auto result = UntangleHiddenJoin(query.value(), rewriter);
+    KOLA_CHECK_OK(result.status());
+    digest = TraceDigest(result->trace, result->query);
+  }
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// Harness: time each workload in both modes, check digests agree, emit the
+// table and BENCH_interning.json.
+// ---------------------------------------------------------------------------
+
+using WorkloadFn = std::function<std::string(const Mode&, int)>;
+
+struct Row {
+  std::string name;
+  double before_ms = 0;
+  double after_ms = 0;
+  double speedup = 0;
+};
+
+double TimeOnceMs(const WorkloadFn& fn, const Mode& mode, int iters) {
+  ScopedInterning scope(mode.intern);
+  auto start = std::chrono::steady_clock::now();
+  std::string digest = fn(mode, iters);
+  auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(digest);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+Row Measure(const std::string& name, const WorkloadFn& fn, int iters,
+            int repetitions = 5) {
+  // Derivations and results must not depend on the mode.
+  std::string before_digest, after_digest;
+  {
+    ScopedInterning scope(kBefore.intern);
+    before_digest = fn(kBefore, 1);
+  }
+  {
+    ScopedInterning scope(kAfter.intern);
+    after_digest = fn(kAfter, 1);
+  }
+  KOLA_CHECK(before_digest == after_digest);
+
+  Row row;
+  row.name = name;
+  row.before_ms = TimeOnceMs(fn, kBefore, iters);
+  row.after_ms = TimeOnceMs(fn, kAfter, iters);
+  for (int rep = 1; rep < repetitions; ++rep) {
+    row.before_ms = std::min(row.before_ms, TimeOnceMs(fn, kBefore, iters));
+    row.after_ms = std::min(row.after_ms, TimeOnceMs(fn, kAfter, iters));
+  }
+  row.speedup = row.after_ms > 0 ? row.before_ms / row.after_ms : 0;
+  return row;
+}
+
+std::vector<Row> RunTable() {
+  std::vector<Row> rows;
+  std::printf("== interning + memoized rewriting: before/after ==\n");
+  std::printf("%-42s %12s %12s %9s\n", "workload", "before(ms)", "after(ms)",
+              "speedup");
+  auto run = [&](const std::string& name, const WorkloadFn& fn, int iters) {
+    Row row = Measure(name, fn, iters);
+    std::printf("%-42s %12.2f %12.2f %8.2fx\n", row.name.c_str(),
+                row.before_ms, row.after_ms, row.speedup);
+    rows.push_back(std::move(row));
+  };
+  run("bench_matching/whole_catalog_apply_once", WholeCatalogApplyOnce, 40);
+  run("bench_matching/join_exploration", JoinExploration, 3);
+  run("bench_rule_pool/fig4_fixpoints", Fig4Fixpoints, 60);
+  run("bench_hidden_join/untangle_garage", UntangleGarage, 40);
+  run("bench_hidden_join/untangle_depth6",
+      [](const Mode& m, int iters) { return UntangleDepth(m, 6, iters); },
+      10);
+  run("bench_hidden_join/untangle_depth8",
+      [](const Mode& m, int iters) { return UntangleDepth(m, 8, iters); },
+      5);
+  run("bench_hidden_join/untangle_depth10",
+      [](const Mode& m, int iters) { return UntangleDepth(m, 10, iters); },
+      3);
+  std::printf("\n");
+  return rows;
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_interning\",\n");
+  std::fprintf(f,
+               "  \"before\": \"no interning, no fixpoint memo (seed)\",\n");
+  std::fprintf(
+      f, "  \"after\": \"KOLA_INTERN=1 + fixpoint negative-match memo\",\n");
+  std::fprintf(f, "  \"traces_identical\": true,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"before_ms\": %.3f, "
+                 "\"after_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                 rows[i].name.c_str(), rows[i].before_ms, rows[i].after_ms,
+                 rows[i].speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Google-benchmark microbenches for the interner itself.
+// ---------------------------------------------------------------------------
+
+void BM_EqualDeepTrees(benchmark::State& state) {
+  bool interned = state.range(0) != 0;
+  ScopedInterning scope(interned);
+  auto a = MakeHiddenJoinQuery(6);
+  auto b = MakeHiddenJoinQuery(6);
+  KOLA_CHECK_OK(a.status());
+  KOLA_CHECK_OK(b.status());
+  for (auto _ : state) {
+    bool eq = Term::Equal(a.value(), b.value());
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_EqualDeepTrees)->Arg(0)->Arg(1);
+
+void BM_InternChurn(benchmark::State& state) {
+  // Re-interning a freshly built deep tree: full rebuild against a warm
+  // arena (all hits). Reports arena hit rate.
+  TermInterner interner;
+  {
+    auto warm = MakeHiddenJoinQuery(6);
+    KOLA_CHECK_OK(warm.status());
+    interner.Intern(warm.value());
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto query = MakeHiddenJoinQuery(6);
+    KOLA_CHECK_OK(query.status());
+    state.ResumeTiming();
+    TermPtr canon = interner.Intern(query.value());
+    benchmark::DoNotOptimize(canon);
+  }
+  state.counters["arena_size"] = static_cast<double>(interner.size());
+  state.counters["hit_rate"] =
+      static_cast<double>(interner.hits()) /
+      static_cast<double>(interner.hits() + interner.misses());
+}
+BENCHMARK(BM_InternChurn);
+
+void BM_MatchCatalogOnGarage(benchmark::State& state) {
+  bool interned = state.range(0) != 0;
+  ScopedInterning scope(interned);
+  std::vector<Rule> all = AllCatalogRules();
+  TermPtr garage = GarageQueryKG1();
+  Rewriter rewriter;
+  for (auto _ : state) {
+    int hits = 0;
+    for (const Rule& rule : all) {
+      if (rewriter.ApplyOnce(rule, garage, nullptr)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_MatchCatalogOnGarage)->Arg(0)->Arg(1);
+
+void BM_UntangleGarageMemo(benchmark::State& state) {
+  bool memo = state.range(0) != 0;
+  ScopedInterning scope(memo);
+  Rewriter rewriter(nullptr, RewriterOptions{.memoize_fixpoint = memo});
+  TermPtr garage = GarageQueryKG1();
+  for (auto _ : state) {
+    auto result = UntangleHiddenJoin(garage, rewriter);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_UntangleGarageMemo)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace kola
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_interning.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+  std::vector<kola::Row> rows = kola::RunTable();
+  kola::WriteJson(rows, out);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

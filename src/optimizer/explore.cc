@@ -2,22 +2,13 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <unordered_map>
 
 #include "common/macros.h"
 #include "rules/catalog.h"
+#include "term/intern.h"
 
 namespace kola {
-
-namespace {
-
-/// Dedup key: structural hash + printed form (collision-safe enough for
-/// plan sets of this size, and avoids a deep-equality multimap).
-std::string PlanKey(const TermPtr& term) {
-  return std::to_string(term->hash()) + "|" + term->ToString();
-}
-
-}  // namespace
 
 StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
                                                   const Rewriter& rewriter,
@@ -40,15 +31,27 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
   }
 
   std::vector<Candidate> candidates;
-  std::map<std::string, size_t> seen;
+  // Dedup on canonical term identity: every candidate plan is interned, so
+  // "seen before" is one hash-map probe on a TermId instead of re-hashing
+  // and printing the whole tree. Reuses the globally active interner when
+  // one is enabled; otherwise a local arena scoped to this exploration.
+  TermInterner local_interner;
+  TermInterner& interner = ActiveTermInterner() != nullptr
+                               ? *ActiveTermInterner()
+                               : local_interner;
+  std::unordered_map<const Term*, size_t> seen;
+  // The cleanup fixpoint runs once per explored plan over one fixed rule
+  // set; sharing the negative-match memo across those runs lets unchanged
+  // subtrees short-circuit between candidates.
+  FixpointCache cleanup_cache;
 
   auto add = [&](TermPtr term,
                  std::vector<std::string> derivation) -> bool {
-    std::string key = PlanKey(term);
-    if (seen.count(key) > 0) return false;
-    seen[key] = candidates.size();
-    auto cost = model.EstimateQueryCost(term);
-    candidates.push_back(Candidate{std::move(term),
+    TermPtr canonical = interner.Intern(std::move(term));
+    if (seen.count(canonical.get()) > 0) return false;
+    seen.emplace(canonical.get(), candidates.size());
+    auto cost = model.EstimateQueryCost(canonical);
+    candidates.push_back(Candidate{std::move(canonical),
                                    cost.ok() ? cost.value() : 1e18,
                                    std::move(derivation)});
     return true;
@@ -56,7 +59,7 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
 
   KOLA_ASSIGN_OR_RETURN(
       TermPtr normalized,
-      rewriter.Fixpoint(cleanup, query, nullptr));
+      rewriter.Fixpoint(cleanup, query, nullptr, 10'000, &cleanup_cache));
   add(normalized, {});
 
   std::deque<size_t> frontier = {0};
@@ -74,7 +77,8 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
       if (!rewritten) continue;
       KOLA_ASSIGN_OR_RETURN(
           TermPtr cleaned,
-          rewriter.Fixpoint(cleanup, *rewritten, nullptr));
+          rewriter.Fixpoint(cleanup, *rewritten, nullptr, 10'000,
+                            &cleanup_cache));
       std::vector<std::string> derivation = base_derivation;
       derivation.push_back(rule.id);
       if (add(std::move(cleaned), std::move(derivation))) {
@@ -84,9 +88,16 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
     }
   }
 
+  // Total order: cost, then derivation, then the plan's printed form.
+  // Sorting on cost alone leaves equal-cost plans in unspecified relative
+  // order, so downstream truncation could keep different plans run-to-run.
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Candidate& a, const Candidate& b) {
-                     return a.cost < b.cost;
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     if (a.derivation != b.derivation) {
+                       return a.derivation < b.derivation;
+                     }
+                     return a.query->ToString() < b.query->ToString();
                    });
   return candidates;
 }

@@ -31,7 +31,9 @@ struct Candidate {
 ///
 /// with identity/involution cleanup after every step so commuting twice
 /// folds back onto an already-seen plan. Every candidate is costed; the
-/// result is sorted cheapest-first and always contains the input. Unlike a
+/// result is sorted cheapest-first (ties broken by derivation, then by the
+/// plan's printed form, so the order -- and any truncation downstream -- is
+/// deterministic) and always contains the input. Unlike a
 /// Starburst-style implementation there is no predicate-sorting body
 /// routine: which selections move is decided entirely by which rule
 /// matches.

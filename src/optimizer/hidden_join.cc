@@ -94,10 +94,14 @@ std::vector<RuleBlock> HiddenJoinBlocks() {
 
 StatusOr<HiddenJoinResult> UntangleHiddenJoin(const TermPtr& query,
                                               const Rewriter& rewriter) {
+  // The pipeline is fixed, and building it re-parses the whole catalog --
+  // construct it once and reuse (blocks are immutable after construction).
+  static const std::vector<RuleBlock>& blocks = *new std::vector<RuleBlock>(
+      HiddenJoinBlocks());
   HiddenJoinResult result;
   result.query = query;
   result.trace.initial = query;
-  for (const RuleBlock& block : HiddenJoinBlocks()) {
+  for (const RuleBlock& block : blocks) {
     KOLA_ASSIGN_OR_RETURN(
         StrategyResult block_result,
         block.Apply(result.query, rewriter, &result.trace)

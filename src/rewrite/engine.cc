@@ -1,11 +1,68 @@
 #include "rewrite/engine.h"
 
+#include <cstdlib>
+#include <functional>
 #include <sstream>
 
 #include "common/macros.h"
 #include "rewrite/match.h"
 
 namespace kola {
+
+namespace {
+
+uint64_t FingerprintCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+// Subtrees smaller than this are cheaper to re-match than to hash into the
+// failed-set, so the memo skips them.
+constexpr size_t kFixpointMemoMinNodes = 8;
+
+}  // namespace
+
+uint64_t RuleSetFingerprint(const std::vector<Rule>& rules) {
+  uint64_t fp = rules.size();
+  for (const Rule& rule : rules) {
+    fp = FingerprintCombine(fp, std::hash<std::string>{}(rule.id));
+    fp = FingerprintCombine(fp, rule.lhs == nullptr ? 0 : rule.lhs->hash());
+    fp = FingerprintCombine(fp, rule.rhs == nullptr ? 0 : rule.rhs->hash());
+    for (const PropertyAtom& atom : rule.conditions) {
+      fp = FingerprintCombine(fp, std::hash<std::string>{}(atom.property));
+      fp = FingerprintCombine(
+          fp, atom.pattern == nullptr ? 0 : atom.pattern->hash());
+    }
+  }
+  // Reserve 0 for "not attuned yet".
+  return fp == 0 ? 1 : fp;
+}
+
+void FixpointCache::Reset() {
+  fingerprint_ = 0;
+  failed_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t FixpointCache::size() const {
+  size_t total = 0;
+  for (const FailedSet& set : failed_) total += set.size();
+  return total;
+}
+
+void FixpointCache::Attune(uint64_t fingerprint, size_t rule_count) {
+  if (fingerprint_ != fingerprint) {
+    Reset();
+    fingerprint_ = fingerprint;
+  }
+  if (failed_.size() < rule_count) failed_.resize(rule_count);
+}
+
+RewriterOptions RewriterOptions::Defaults() {
+  RewriterOptions options;
+  options.memoize_fixpoint = std::getenv("KOLA_NO_FIXPOINT_MEMO") == nullptr;
+  return options;
+}
 
 std::vector<std::string> Trace::RuleIds() const {
   std::vector<std::string> ids;
@@ -51,7 +108,19 @@ std::optional<TermPtr> Rewriter::ApplyAtRoot(const Rule& rule,
 std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
                                                const TermPtr& term,
                                                std::vector<size_t>* path,
-                                               RewriteStep* step) const {
+                                               RewriteStep* step,
+                                               FixpointCache* memo,
+                                               size_t rule_index) const {
+  const bool memoizable =
+      memo != nullptr && term->node_count() >= kFixpointMemoMinNodes;
+  if (memoizable) {
+    FixpointCache::FailedSet& failed = memo->failed_[rule_index];
+    if (failed.count(term) > 0) {
+      ++memo->hits_;
+      return std::nullopt;
+    }
+    ++memo->misses_;
+  }
   if (auto rewritten = ApplyAtRoot(rule, term)) {
     if (step != nullptr) {
       step->rule_id = rule.id;
@@ -63,7 +132,8 @@ std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
   }
   for (size_t i = 0; i < term->arity(); ++i) {
     path->push_back(i);
-    if (auto rewritten = ApplyOnceImpl(rule, term->child(i), path, step)) {
+    if (auto rewritten =
+            ApplyOnceImpl(rule, term->child(i), path, step, memo, rule_index)) {
       std::vector<TermPtr> children = term->children();
       children[i] = std::move(*rewritten);
       path->pop_back();
@@ -71,6 +141,10 @@ std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
     }
     path->pop_back();
   }
+  // The rule fires nowhere in this subtree; a subterm's reducibility depends
+  // only on its own structure (conditions consult the fixed PropertyStore),
+  // so this fact stays true for the cache's lifetime.
+  if (memoizable) memo->failed_[rule_index].insert(term);
   return std::nullopt;
 }
 
@@ -78,7 +152,7 @@ std::optional<TermPtr> Rewriter::ApplyOnce(const Rule& rule,
                                            const TermPtr& term,
                                            RewriteStep* step) const {
   std::vector<size_t> path;
-  auto result = ApplyOnceImpl(rule, term, &path, step);
+  auto result = ApplyOnceImpl(rule, term, &path, step, nullptr, 0);
   if (result && step != nullptr) step->result = *result;
   return result;
 }
@@ -86,19 +160,35 @@ std::optional<TermPtr> Rewriter::ApplyOnce(const Rule& rule,
 std::optional<TermPtr> Rewriter::ApplyAnyOnce(const std::vector<Rule>& rules,
                                               const TermPtr& term,
                                               RewriteStep* step) const {
-  for (const Rule& rule : rules) {
-    if (auto result = ApplyOnce(rule, term, step)) return result;
+  return ApplyAnyOnceMemo(rules, term, step, nullptr);
+}
+
+std::optional<TermPtr> Rewriter::ApplyAnyOnceMemo(
+    const std::vector<Rule>& rules, const TermPtr& term, RewriteStep* step,
+    FixpointCache* memo) const {
+  for (size_t r = 0; r < rules.size(); ++r) {
+    std::vector<size_t> path;
+    auto result = ApplyOnceImpl(rules[r], term, &path, step, memo, r);
+    if (result) {
+      if (step != nullptr) step->result = *result;
+      return result;
+    }
   }
   return std::nullopt;
 }
 
 StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
                                      TermPtr term, Trace* trace,
-                                     int max_steps) const {
+                                     int max_steps,
+                                     FixpointCache* cache) const {
+  FixpointCache local;
+  FixpointCache* memo = cache;
+  if (memo == nullptr && options_.memoize_fixpoint) memo = &local;
+  if (memo != nullptr) memo->Attune(RuleSetFingerprint(rules), rules.size());
   if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
   for (int i = 0; i < max_steps; ++i) {
     RewriteStep step;
-    auto result = ApplyAnyOnce(rules, term, &step);
+    auto result = ApplyAnyOnceMemo(rules, term, &step, memo);
     if (!result) return term;
     term = std::move(*result);
     if (trace != nullptr) trace->steps.push_back(std::move(step));

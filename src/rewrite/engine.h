@@ -1,8 +1,10 @@
 #ifndef KOLA_REWRITE_ENGINE_H_
 #define KOLA_REWRITE_ENGINE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/statusor.h"
@@ -34,6 +36,69 @@ struct Trace {
   std::string ToString() const;
 };
 
+/// A stable fingerprint of a rule set (ids, both sides, conditions). Two
+/// rule vectors with the same fingerprint rewrite identically; used to keep
+/// a FixpointCache from being replayed against a different rule set.
+uint64_t RuleSetFingerprint(const std::vector<Rule>& rules);
+
+/// Negative-match memo for Fixpoint: records, per rule of a fingerprinted
+/// rule set, the subterms in which that rule provably fires nowhere. Keyed
+/// by term identity -- with interning enabled (term/intern.h) structurally
+/// equal terms share a pointer, so re-derived plans short-circuit too. The
+/// cache holds owning references, so keys stay unique for its lifetime.
+///
+/// Reusable across Fixpoint calls (e.g. the cleanup passes of plan
+/// exploration); a call with a different rule-set fingerprint resets it.
+/// Assumes the PropertyStore consulted by rule conditions does not change
+/// while the cache is live. Memoization never changes results or traces:
+/// only already-failed (rule, subterm) probes are skipped.
+class FixpointCache {
+ public:
+  void Reset();
+
+  /// Number of memoized (rule, subterm) failure entries.
+  size_t size() const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  friend class Rewriter;
+
+  struct PtrHash {
+    size_t operator()(const TermPtr& t) const {
+      return std::hash<const Term*>{}(t.get());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const TermPtr& a, const TermPtr& b) const {
+      return a.get() == b.get();
+    }
+  };
+  using FailedSet = std::unordered_set<TermPtr, PtrHash, PtrEq>;
+
+  /// Binds the cache to `fingerprint` over `rule_count` rules, resetting
+  /// when it was attuned to a different rule set.
+  void Attune(uint64_t fingerprint, size_t rule_count);
+
+  uint64_t fingerprint_ = 0;
+  std::vector<FailedSet> failed_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Tunables for the rewrite engine.
+struct RewriterOptions {
+  /// Memoize failed (rule, subterm) probes inside Fixpoint. On by default:
+  /// it is trace-preserving. Defaults() honours the KOLA_NO_FIXPOINT_MEMO
+  /// environment variable (set to disable), so benchmarks can measure the
+  /// un-memoized engine without code changes.
+  bool memoize_fixpoint = true;
+
+  static RewriterOptions Defaults();
+};
+
 /// Applies declarative rules to terms. Pure matching plus substitution --
 /// no code hooks; conditions resolve through the PropertyStore.
 class Rewriter {
@@ -41,7 +106,10 @@ class Rewriter {
   /// `properties` may be nullptr, in which case conditional rules never
   /// fire.
   explicit Rewriter(const PropertyStore* properties = nullptr)
-      : properties_(properties) {}
+      : Rewriter(properties, RewriterOptions::Defaults()) {}
+
+  Rewriter(const PropertyStore* properties, RewriterOptions options)
+      : properties_(properties), options_(options) {}
 
   /// Applies `rule` at the root only. nullopt when the lhs does not match
   /// or a condition fails.
@@ -61,19 +129,35 @@ class Rewriter {
   /// Repeats ApplyAnyOnce until no rule fires. RESOURCE_EXHAUSTED after
   /// `max_steps` firings (non-terminating rule sets are a bug in the
   /// caller's rule selection, but must not hang the optimizer).
+  ///
+  /// `cache` (optional) is a caller-owned negative-match memo reused across
+  /// calls with the same rule set; when nullptr, a per-call memo is used
+  /// (unless options.memoize_fixpoint is off). Results and traces are
+  /// byte-identical with or without memoization.
   StatusOr<TermPtr> Fixpoint(const std::vector<Rule>& rules, TermPtr term,
-                             Trace* trace, int max_steps = 10'000) const;
+                             Trace* trace, int max_steps = 10'000,
+                             FixpointCache* cache = nullptr) const;
 
   const PropertyStore* properties() const { return properties_; }
+  const RewriterOptions& options() const { return options_; }
 
  private:
   bool ConditionsHold(const Rule& rule, const Bindings& bindings) const;
 
+  /// `memo`/`rule_index` select this rule's failed-subterm set; both are
+  /// ignored when memo is nullptr.
   std::optional<TermPtr> ApplyOnceImpl(const Rule& rule, const TermPtr& term,
                                        std::vector<size_t>* path,
-                                       RewriteStep* step) const;
+                                       RewriteStep* step, FixpointCache* memo,
+                                       size_t rule_index) const;
+
+  std::optional<TermPtr> ApplyAnyOnceMemo(const std::vector<Rule>& rules,
+                                          const TermPtr& term,
+                                          RewriteStep* step,
+                                          FixpointCache* memo) const;
 
   const PropertyStore* properties_;
+  RewriterOptions options_;
 };
 
 }  // namespace kola

@@ -1,5 +1,6 @@
 #include "rewrite/match.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/macros.h"
@@ -18,11 +19,19 @@ const TermPtr* Bindings::Lookup(const std::string& name) const {
   return it == bindings_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::pair<std::string, TermPtr>> Bindings::Sorted() const {
+  std::vector<std::pair<std::string, TermPtr>> sorted(bindings_.begin(),
+                                                      bindings_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
 std::string Bindings::ToString() const {
   std::ostringstream os;
   os << '{';
   bool first = true;
-  for (const auto& [name, term] : bindings_) {
+  for (const auto& [name, term] : Sorted()) {
     if (!first) os << ", ";
     first = false;
     os << '?' << name << " -> " << term->ToString();
@@ -31,6 +40,32 @@ std::string Bindings::ToString() const {
   return os.str();
 }
 
+namespace {
+
+/// Matches `pattern` against the components of a pair-valued literal (the
+/// parser folds literal pairs into single literal nodes) without
+/// materializing a Lit node per component: only a metavariable binding
+/// allocates, and that allocation is the binding itself.
+bool MatchLiteralValue(const TermPtr& pattern, const Value& value,
+                       Bindings* bindings) {
+  if (pattern->is_metavar()) {
+    Sort actual = value.is_bool() ? Sort::kBool : Sort::kObject;
+    if (!SortMatches(pattern->sort(), actual)) return false;
+    return bindings->Bind(pattern->name(), Lit(value));
+  }
+  if (pattern->kind() == TermKind::kPairObj && value.is_pair()) {
+    return MatchLiteralValue(pattern->child(0), value.first(), bindings) &&
+           MatchLiteralValue(pattern->child(1), value.second(), bindings);
+  }
+  if (pattern->kind() == TermKind::kLiteral) {
+    return Value::Compare(pattern->literal(), value) == 0;
+  }
+  // No other pattern shape can denote a literal value.
+  return false;
+}
+
+}  // namespace
+
 bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
                Bindings* bindings) {
   KOLA_CHECK(pattern != nullptr && term != nullptr && bindings != nullptr);
@@ -38,14 +73,10 @@ bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
     if (!SortMatches(pattern->sort(), term->sort())) return false;
     return bindings->Bind(pattern->name(), term);
   }
-  // A [x, y] pattern decomposes a pair-valued literal (the parser folds
-  // literal pairs into single literal nodes).
+  // A [x, y] pattern decomposes a pair-valued literal.
   if (pattern->kind() == TermKind::kPairObj &&
       term->kind() == TermKind::kLiteral && term->literal().is_pair()) {
-    return MatchTerm(pattern->child(0), Lit(term->literal().first()),
-                     bindings) &&
-           MatchTerm(pattern->child(1), Lit(term->literal().second()),
-                     bindings);
+    return MatchLiteralValue(pattern, term->literal(), bindings);
   }
   if (pattern->kind() != term->kind()) return false;
   switch (pattern->kind()) {
@@ -60,7 +91,10 @@ bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
     default:
       break;
   }
-  KOLA_CHECK(pattern->arity() == term->arity());
+  // Same-kind nodes normally agree on arity (Term::Make enforces the
+  // signature table), but a malformed term -- e.g. deserialized or built by
+  // a future unchecked path -- must yield a clean mismatch, not an abort.
+  if (pattern->arity() != term->arity()) return false;
   for (size_t i = 0; i < pattern->arity(); ++i) {
     if (!MatchTerm(pattern->child(i), term->child(i), bindings)) return false;
   }

@@ -1,8 +1,10 @@
 #ifndef KOLA_REWRITE_MATCH_H_
 #define KOLA_REWRITE_MATCH_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/statusor.h"
 #include "term/term.h"
@@ -22,12 +24,20 @@ class Bindings {
   const TermPtr* Lookup(const std::string& name) const;
 
   size_t size() const { return bindings_.size(); }
-  const std::map<std::string, TermPtr>& map() const { return bindings_; }
+  const std::unordered_map<std::string, TermPtr>& map() const {
+    return bindings_;
+  }
 
+  /// The bindings sorted by metavariable name -- the deterministic view;
+  /// use this (never map()) whenever iteration order is observable.
+  std::vector<std::pair<std::string, TermPtr>> Sorted() const;
+
+  /// Renders name-sorted, so diagnostics are byte-stable across runs and
+  /// platforms regardless of the underlying container's iteration order.
   std::string ToString() const;
 
  private:
-  std::map<std::string, TermPtr> bindings_;
+  std::unordered_map<std::string, TermPtr> bindings_;
 };
 
 /// One-way first-order matching: succeeds iff substituting the resulting

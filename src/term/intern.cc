@@ -1,0 +1,100 @@
+#include "term/intern.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace kola {
+
+namespace {
+
+/// Process-unique epoch ids; 0 is reserved for "never interned".
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+TermInterner*& ActiveSlot() {
+  static TermInterner* active = [] {
+    const char* env = std::getenv("KOLA_INTERN");
+    bool enabled = env != nullptr && env[0] != '\0' && env[0] != '0';
+    return enabled ? &GlobalTermInterner() : nullptr;
+  }();
+  return active;
+}
+
+}  // namespace
+
+TermInterner::TermInterner() : epoch_(NextEpoch()) {}
+
+TermPtr TermInterner::Intern(TermPtr term) {
+  if (term == nullptr) return term;
+  // Already canonical in this arena.
+  if (term->intern_epoch_ == epoch_) return term;
+
+  // Canonicalize children first so the bucket probes below resolve equality
+  // through the interned-pointer fast path instead of deep walks.
+  TermPtr node = std::move(term);
+  if (!node->is_leaf()) {
+    bool changed = false;
+    std::vector<TermPtr> children;
+    children.reserve(node->arity());
+    for (const TermPtr& child : node->children()) {
+      TermPtr canonical = Intern(child);
+      changed = changed || canonical.get() != child.get();
+      children.push_back(std::move(canonical));
+    }
+    if (changed) {
+      node = Term::NewNode(node->kind(), node->sort(), node->name(),
+                           node->literal(), node->bool_const(),
+                           std::move(children));
+    }
+  }
+
+  auto [it, inserted] = canon_.insert(node);
+  if (!inserted) {
+    ++hits_;
+    return *it;
+  }
+  ++misses_;
+  // First tag wins: a term already canonical in another arena keeps that
+  // arena's epoch/id (it still deduplicates here through set membership).
+  if (node->intern_epoch_ == 0) {
+    node->intern_epoch_ = epoch_;
+    node->intern_id_ = next_id_++;
+  }
+  return node;
+}
+
+TermId TermInterner::IdOf(const TermPtr& term) const {
+  if (term == nullptr || term->intern_epoch_ != epoch_) return 0;
+  return term->intern_id_;
+}
+
+void TermInterner::Clear() {
+  canon_.clear();
+  epoch_ = NextEpoch();
+  next_id_ = 1;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+TermInterner& GlobalTermInterner() {
+  // Leaked intentionally: interned terms may outlive static teardown order.
+  static TermInterner* instance = new TermInterner();
+  return *instance;
+}
+
+TermInterner* ActiveTermInterner() { return ActiveSlot(); }
+
+bool SetGlobalInterningEnabled(bool enabled) {
+  TermInterner*& slot = ActiveSlot();
+  bool previous = slot != nullptr;
+  slot = enabled ? &GlobalTermInterner() : nullptr;
+  return previous;
+}
+
+bool GlobalInterningEnabled() { return ActiveSlot() != nullptr; }
+
+}  // namespace kola

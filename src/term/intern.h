@@ -1,0 +1,100 @@
+#ifndef KOLA_TERM_INTERN_H_
+#define KOLA_TERM_INTERN_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "term/term.h"
+
+namespace kola {
+
+/// A hash-consing arena: structurally equal terms interned through the same
+/// arena share one canonical TermPtr, so `Term::Equal` degenerates to a
+/// pointer compare and every canonical term carries a stable dense TermId.
+///
+/// Identity bookkeeping lives on the Term itself (an `intern_epoch_` tag and
+/// an `intern_id_`): a term tagged with this arena's epoch IS the canonical
+/// representative, and two distinct pointers tagged with the same epoch are
+/// guaranteed structurally distinct -- which is exactly the fast path
+/// `Term::Equal` exploits. Epochs are process-unique integers, so stale tags
+/// from a destroyed or Clear()ed arena can never be confused with live ones.
+///
+/// The arena owns a reference to every canonical term, so canonical pointers
+/// stay valid (and unique) for the arena's lifetime. Not thread-safe: one
+/// arena per thread, or external synchronization.
+class TermInterner {
+ public:
+  TermInterner();
+  TermInterner(const TermInterner&) = delete;
+  TermInterner& operator=(const TermInterner&) = delete;
+
+  /// Returns the canonical term structurally equal to `term`, interning the
+  /// whole subtree bottom-up. Idempotent: interning a canonical term of this
+  /// arena is O(1). Returns nullptr for nullptr.
+  TermPtr Intern(TermPtr term);
+
+  /// The dense id of `term` if it is canonical in this arena, 0 otherwise.
+  TermId IdOf(const TermPtr& term) const;
+
+  /// Number of canonical terms held.
+  size_t size() const { return canon_.size(); }
+
+  /// Lookup hits (an equal term was already interned) vs misses (a new
+  /// canonical entry) since construction or the last Clear().
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Drops every canonical term and starts a fresh epoch. Previously
+  /// canonical terms remain valid, structurally comparable terms -- they are
+  /// just no longer canonical, and re-interning assigns new ids.
+  void Clear();
+
+ private:
+  struct StructuralHash {
+    size_t operator()(const TermPtr& t) const { return t->hash(); }
+  };
+  struct StructuralEq {
+    bool operator()(const TermPtr& a, const TermPtr& b) const {
+      return Term::Equal(a, b);
+    }
+  };
+
+  uint64_t epoch_ = 0;
+  TermId next_id_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::unordered_set<TermPtr, StructuralHash, StructuralEq> canon_;
+};
+
+/// The process-wide interner used by `Term::Make` when global interning is
+/// enabled. Lives forever; never destroyed during static teardown.
+TermInterner& GlobalTermInterner();
+
+/// The interner `Term::Make` currently canonicalizes through, or nullptr
+/// when construction-time interning is disabled (the default, unless the
+/// KOLA_INTERN environment variable is set to a non-zero value at first
+/// use).
+TermInterner* ActiveTermInterner();
+
+/// Enables/disables routing `Term::Make` through GlobalTermInterner().
+/// Returns the previous setting.
+bool SetGlobalInterningEnabled(bool enabled);
+bool GlobalInterningEnabled();
+
+/// RAII toggle for construction-time interning, for tests and benchmarks:
+///   { ScopedInterning on(true);  ... all Term::Make results canonical ... }
+class ScopedInterning {
+ public:
+  explicit ScopedInterning(bool enabled)
+      : previous_(SetGlobalInterningEnabled(enabled)) {}
+  ~ScopedInterning() { SetGlobalInterningEnabled(previous_); }
+  ScopedInterning(const ScopedInterning&) = delete;
+  ScopedInterning& operator=(const ScopedInterning&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_TERM_INTERN_H_

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/macros.h"
+#include "term/intern.h"
 
 namespace kola {
 
@@ -185,6 +186,17 @@ StatusOr<TermPtr> Term::Make(TermKind kind, std::vector<TermPtr> children,
     }
   }
 
+  TermPtr term = NewNode(kind, sort, std::move(name), std::move(literal),
+                         bool_const, std::move(children));
+  if (TermInterner* interner = ActiveTermInterner()) {
+    return interner->Intern(std::move(term));
+  }
+  return term;
+}
+
+TermPtr Term::NewNode(TermKind kind, Sort sort, std::string name,
+                      Value literal, bool bool_const,
+                      std::vector<TermPtr> children) {
   auto term = std::shared_ptr<Term>(new Term());
   term->kind_ = kind;
   term->sort_ = sort;
@@ -218,6 +230,11 @@ StatusOr<TermPtr> Term::Make(TermKind kind, std::vector<TermPtr> children,
 bool Term::Equal(const TermPtr& a, const TermPtr& b) {
   if (a.get() == b.get()) return true;
   if (a == nullptr || b == nullptr) return false;
+  // Distinct canonical representatives of the same interning arena are
+  // structurally distinct: O(1) answer without touching the subtrees.
+  if (a->intern_epoch_ != 0 && a->intern_epoch_ == b->intern_epoch_) {
+    return false;
+  }
   if (a->hash_ != b->hash_) return false;
   if (a->kind_ != b->kind_ || a->sort_ != b->sort_ || a->name_ != b->name_ ||
       a->bool_const_ != b->bool_const_ ||

@@ -12,9 +12,14 @@
 namespace kola {
 
 class Term;
+class TermInterner;
 /// Terms are immutable and shared; rewriting builds new spines over shared
 /// subtrees.
 using TermPtr = std::shared_ptr<const Term>;
+
+/// Dense identifier assigned by a TermInterner; 0 means "not interned".
+/// Stable for the lifetime of the arena that assigned it.
+using TermId = uint64_t;
 
 /// Sort (algebraic type) of a KOLA term. `Bool` is a subsort of `Object`
 /// (a boolean result like `p ? x` can stand wherever an object is expected).
@@ -120,7 +125,15 @@ class Term {
   /// pattern rather than a ground term).
   bool has_metavars() const { return has_metavars_; }
 
-  /// Deep structural equality (pointer and hash fast paths).
+  /// True when this term is the canonical representative of some
+  /// TermInterner arena (see term/intern.h).
+  bool interned() const { return intern_epoch_ != 0; }
+
+  /// The dense id assigned by the interning arena, 0 when not interned.
+  TermId intern_id() const { return intern_id_; }
+
+  /// Deep structural equality (pointer and hash fast paths; O(1) between
+  /// terms canonicalized by the same TermInterner arena).
   static bool Equal(const TermPtr& a, const TermPtr& b);
 
   /// Rebuilds this node over new children (same kind/name/literal).
@@ -131,11 +144,15 @@ class Term {
   std::string ToString() const;
 
  private:
-  friend StatusOr<TermPtr> MakeUnchecked(TermKind kind,
-                                         std::vector<TermPtr> children,
-                                         std::string name, Value literal,
-                                         bool bool_const, Sort sort);
+  friend class TermInterner;
   Term() = default;
+
+  /// Builds a node without sort validation (callers guarantee
+  /// well-sortedness) and without interning. Used by Make after validation
+  /// and by TermInterner when rebuilding a spine over canonical children.
+  static TermPtr NewNode(TermKind kind, Sort sort, std::string name,
+                         Value literal, bool bool_const,
+                         std::vector<TermPtr> children);
 
   TermKind kind_ = TermKind::kLiteral;
   Sort sort_ = Sort::kObject;
@@ -146,6 +163,11 @@ class Term {
   size_t hash_ = 0;
   size_t node_count_ = 1;
   bool has_metavars_ = false;
+  /// Interning bookkeeping, written once by the first TermInterner that
+  /// canonicalizes this node ("first tag wins"). Two distinct pointers with
+  /// the same non-zero epoch are structurally distinct by construction.
+  mutable uint64_t intern_epoch_ = 0;
+  mutable TermId intern_id_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const TermPtr& term);

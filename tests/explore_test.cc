@@ -111,6 +111,56 @@ TEST_F(ExploreTest, CapIsHonored) {
   EXPECT_LE(plans->size(), 3u);
 }
 
+TEST_F(ExploreTest, ResultIsDeterministicIncludingEqualCostTies) {
+  // Equal-cost plans (a symmetric self-join commutes at no cost change)
+  // must come back in one total order, so truncation never drops a
+  // different plan run-to-run.
+  TermPtr query = Q(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1 & "
+      "Cp(lt, 70) @ age @ pi2, (pi1, pi2)) ! [P, P]");
+  auto reference = ExploreJoinPlans(query, rewriter_, *model_);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->size(), 2u);
+  for (int run = 0; run < 3; ++run) {
+    auto plans = ExploreJoinPlans(query, rewriter_, *model_);
+    ASSERT_TRUE(plans.ok());
+    ASSERT_EQ(plans->size(), reference->size());
+    for (size_t i = 0; i < plans->size(); ++i) {
+      EXPECT_TRUE(Term::Equal((*plans)[i].query, (*reference)[i].query))
+          << "run " << run << " position " << i;
+      EXPECT_EQ((*plans)[i].derivation, (*reference)[i].derivation);
+    }
+  }
+  // The order respects the documented tie-break.
+  for (size_t i = 1; i < reference->size(); ++i) {
+    const Candidate& a = (*reference)[i - 1];
+    const Candidate& b = (*reference)[i];
+    ASSERT_LE(a.cost, b.cost);
+    if (a.cost == b.cost) {
+      EXPECT_LE(a.derivation, b.derivation);
+      if (a.derivation == b.derivation) {
+        EXPECT_LT(a.query->ToString(), b.query->ToString());
+      }
+    }
+  }
+}
+
+TEST_F(ExploreTest, TruncationKeepsTheSamePlansEveryRun) {
+  TermPtr query = Q(
+      "join(gt @ (age x age) & Cp(lt, 60) @ age @ pi1 & "
+      "Cp(lt, 70) @ age @ pi2, (pi1, pi2)) ! [P, P]");
+  auto reference = ExploreJoinPlans(query, rewriter_, *model_, 4);
+  ASSERT_TRUE(reference.ok());
+  for (int run = 0; run < 3; ++run) {
+    auto plans = ExploreJoinPlans(query, rewriter_, *model_, 4);
+    ASSERT_TRUE(plans.ok());
+    ASSERT_EQ(plans->size(), reference->size());
+    for (size_t i = 0; i < plans->size(); ++i) {
+      EXPECT_TRUE(Term::Equal((*plans)[i].query, (*reference)[i].query));
+    }
+  }
+}
+
 TEST_F(ExploreTest, EverywhereStrategySweepsOnce) {
   std::vector<Rule> all = AllCatalogRules();
   auto sweep = Everywhere({FindRule(all, "1"), FindRule(all, "2")});

@@ -10,7 +10,9 @@
 #include "common/random.h"
 #include "eval/evaluator.h"
 #include "rewrite/generate.h"
+#include "rewrite/match.h"
 #include "rewrite/types.h"
+#include "rules/catalog.h"
 #include "term/parser.h"
 #include "values/car_world.h"
 
@@ -148,6 +150,55 @@ TEST_P(FuzzTest, FastPathAgreesWithNaiveOnRandomJoins) {
     ASSERT_EQ(r_fast.ok(), r_naive.ok()) << join->ToString();
     if (r_fast.ok()) {
       EXPECT_EQ(r_fast.value(), r_naive.value()) << join->ToString();
+    }
+  }
+}
+
+TEST_P(FuzzTest, MatcherNeverAbortsOnCatalogPatternsAndRoundTrips) {
+  // Every catalog lhs against random generated terms: the matcher must
+  // answer true/false (never abort, whatever shape arrives), and a
+  // successful match must substitute back to the matched term.
+  std::vector<Rule> rules = AllCatalogRules();
+  int matched = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto fn = gen_.RandomFn(gen_.RandomType(2), gen_.RandomType(2), 3);
+    ASSERT_TRUE(fn.ok()) << fn.status();
+    for (const Rule& rule : rules) {
+      Bindings bindings;
+      if (!MatchTerm(rule.lhs, fn.value(), &bindings)) continue;
+      ++matched;
+      auto rebuilt = Substitute(rule.lhs, bindings);
+      ASSERT_TRUE(rebuilt.ok()) << rule.id << " on " << fn.value();
+      EXPECT_TRUE(Term::Equal(rebuilt.value(), fn.value()))
+          << rule.id << " rebuilt " << rebuilt.value() << " from "
+          << fn.value() << " with " << bindings.ToString();
+    }
+  }
+  EXPECT_GT(matched, 0);
+}
+
+TEST_P(FuzzTest, PairPatternsOnRandomLiteralsNeverAbort) {
+  // Pair patterns against folded literal values of arbitrary shapes: every
+  // probe must resolve to a clean boolean, including deep shape mismatches.
+  const TermPtr patterns[] = {
+      ParseTerm("[?x, ?y]", Sort::kObject).value(),
+      ParseTerm("[?x, [?y, ?z]]", Sort::kObject).value(),
+      ParseTerm("[[?x, ?y], ?z]", Sort::kObject).value(),
+      ParseTerm("[1, ?y]", Sort::kObject).value(),
+  };
+  for (int i = 0; i < 120; ++i) {
+    auto value = gen_.RandomValue(gen_.RandomType(2));
+    ASSERT_TRUE(value.ok());
+    TermPtr term = Lit(value.value());
+    for (const TermPtr& pattern : patterns) {
+      Bindings bindings;
+      bool ok = MatchTerm(pattern, term, &bindings);
+      if (!ok) continue;
+      // Whatever bound, it is a real subvalue wrapped as a literal.
+      for (const auto& [name, bound] : bindings.Sorted()) {
+        ASSERT_NE(bound, nullptr) << '?' << name;
+        EXPECT_EQ(bound->kind(), TermKind::kLiteral) << '?' << name;
+      }
     }
   }
 }

@@ -1,0 +1,309 @@
+// Hash-consing invariants (term/intern.h) and the Fixpoint negative-match
+// memo (rewrite/engine.h):
+//  * intern(a) == intern(b) exactly when Term::Equal(a, b),
+//  * metavariable patterns and ground terms never collapse onto each other,
+//  * WithChildren on interned terms stays canonical,
+//  * derivation traces are byte-identical with interning/memoization on and
+//    off (the Figure 4, Figure 6 and garage-query derivations).
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "optimizer/code_motion.h"
+#include "optimizer/hidden_join.h"
+#include "rewrite/engine.h"
+#include "rewrite/generate.h"
+#include "rewrite/types.h"
+#include "rules/catalog.h"
+#include "term/intern.h"
+#include "term/parser.h"
+
+namespace kola {
+namespace {
+
+TermPtr Q(const char* text, Sort sort = Sort::kObject) {
+  auto t = ParseTerm(text, sort);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+TEST(TermInternerTest, EqualTermsShareOneCanonicalPointer) {
+  // Pin construction-time interning off so this exercises the local arena
+  // (ids and tags) even when the suite runs under KOLA_INTERN=1.
+  ScopedInterning off(false);
+  TermInterner interner;
+  TermPtr a = Q("iterate(Kp(T), age) ! P");
+  TermPtr b = Q("iterate(Kp(T), age) ! P");
+  ASSERT_NE(a.get(), b.get());
+  TermPtr ca = interner.Intern(a);
+  TermPtr cb = interner.Intern(b);
+  EXPECT_EQ(ca.get(), cb.get());
+  EXPECT_NE(interner.IdOf(ca), 0u);
+  EXPECT_EQ(interner.IdOf(ca), interner.IdOf(cb));
+  // Shared subtrees are interned too.
+  EXPECT_EQ(interner.Intern(a->child(1)).get(), ca->child(1).get());
+}
+
+TEST(TermInternerTest, DistinctTermsKeepDistinctIds) {
+  ScopedInterning off(false);
+  TermInterner interner;
+  TermPtr a = interner.Intern(Compose(Id(), Pi1()));
+  TermPtr b = interner.Intern(Compose(Id(), Pi2()));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(interner.IdOf(a), interner.IdOf(b));
+  EXPECT_FALSE(Term::Equal(a, b));
+}
+
+TEST(TermInternerTest, InternAgreesWithStructuralEqualityOnRandomTerms) {
+  SchemaTypes schema = SchemaTypes::CarWorld();
+  Rng rng(20260806);
+  TermGenerator gen(&schema, nullptr, &rng);
+  TermInterner interner;
+  std::vector<TermPtr> terms;
+  for (int i = 0; i < 120; ++i) {
+    auto fn = gen.RandomFn(gen.RandomType(2), gen.RandomType(2), 3);
+    ASSERT_TRUE(fn.ok()) << fn.status();
+    terms.push_back(fn.value());
+  }
+  std::vector<TermPtr> canonical;
+  canonical.reserve(terms.size());
+  for (const TermPtr& t : terms) canonical.push_back(interner.Intern(t));
+  for (size_t i = 0; i < terms.size(); ++i) {
+    ASSERT_TRUE(Term::Equal(terms[i], canonical[i]));
+    for (size_t j = 0; j < terms.size(); ++j) {
+      EXPECT_EQ(Term::Equal(terms[i], terms[j]),
+                canonical[i].get() == canonical[j].get())
+          << terms[i]->ToString() << " vs " << terms[j]->ToString();
+    }
+  }
+}
+
+TEST(TermInternerTest, MetavarsAndGroundTermsNeverCollide) {
+  TermInterner interner;
+  // Same name, four different constructs: a pattern variable per sort, a
+  // primitive, and a collection. All must stay distinct.
+  std::vector<TermPtr> leaves = {
+      interner.Intern(FnVar("age")),   interner.Intern(PredVar("age")),
+      interner.Intern(ObjVar("age")),  interner.Intern(BoolVar("age")),
+      interner.Intern(PrimFn("age")),  interner.Intern(PrimPred("age")),
+      interner.Intern(Collection("age"))};
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      EXPECT_NE(leaves[i].get(), leaves[j].get()) << i << " vs " << j;
+      EXPECT_FALSE(Term::Equal(leaves[i], leaves[j])) << i << " vs " << j;
+    }
+  }
+  // A pattern and the ground term it could match are different terms.
+  TermPtr pattern = interner.Intern(Compose(FnVar("f"), Pi1()));
+  TermPtr ground = interner.Intern(Compose(PrimFn("f"), Pi1()));
+  EXPECT_NE(pattern.get(), ground.get());
+}
+
+TEST(TermInternerTest, WithChildrenStaysCanonicalUnderScopedInterning) {
+  ScopedInterning on(true);
+  TermPtr a = Q("iterate(Kp(T), age)", Sort::kFunction);
+  TermPtr b = Q("iterate(Kp(T), city)", Sort::kFunction);
+  // Rebuilding b over a's children must land on a's canonical node.
+  TermPtr rebuilt = b->WithChildren({a->child(0), a->child(1)});
+  EXPECT_EQ(rebuilt.get(), a.get());
+  EXPECT_TRUE(rebuilt->interned());
+}
+
+TEST(TermInternerTest, ScopedInterningMakesBuildersCanonical) {
+  ScopedInterning on(true);
+  TermPtr a = Compose(PrimFn("age"), Pi1());
+  TermPtr b = Compose(PrimFn("age"), Pi1());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_TRUE(Term::Equal(a, b));
+  {
+    ScopedInterning off(false);
+    TermPtr c = Compose(PrimFn("age"), Pi1());
+    EXPECT_NE(c.get(), a.get());
+    EXPECT_TRUE(Term::Equal(c, a));
+  }
+}
+
+TEST(TermInternerTest, LiteralValuesDistinguishCanonicals) {
+  TermInterner interner;
+  TermPtr five_a = interner.Intern(LitInt(5));
+  TermPtr five_b = interner.Intern(LitInt(5));
+  TermPtr six = interner.Intern(LitInt(6));
+  EXPECT_EQ(five_a.get(), five_b.get());
+  EXPECT_NE(five_a.get(), six.get());
+}
+
+TEST(TermInternerTest, ClearStartsAFreshEpochWithoutFalseNegatives) {
+  ScopedInterning off(false);
+  TermInterner interner;
+  TermPtr old_canon = interner.Intern(Compose(Id(), Pi1()));
+  interner.Clear();
+  EXPECT_EQ(interner.size(), 0u);
+  TermPtr new_canon = interner.Intern(Compose(Id(), Pi1()));
+  // Different representatives now, but structural equality still holds.
+  EXPECT_NE(old_canon.get(), new_canon.get());
+  EXPECT_TRUE(Term::Equal(old_canon, new_canon));
+  // The old term is no longer canonical here; re-interning maps onto the
+  // new representative.
+  EXPECT_EQ(interner.IdOf(old_canon), 0u);
+  EXPECT_EQ(interner.Intern(old_canon).get(), new_canon.get());
+}
+
+TEST(TermInternerTest, HitAndMissCountersTrackDedup) {
+  TermInterner interner;
+  interner.Intern(Compose(Id(), Pi1()));
+  uint64_t misses_after_first = interner.misses();
+  interner.Intern(Compose(Id(), Pi1()));
+  EXPECT_GT(interner.hits(), 0u);
+  EXPECT_EQ(interner.misses(), misses_after_first);
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint memoization: identical results and traces, fewer probes.
+// ---------------------------------------------------------------------------
+
+std::vector<Rule> Fig4Rules() {
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<Rule> rules;
+  for (const char* id :
+       {"11", "6", "5", "1", "13", "7", "ext.and-true-right"}) {
+    rules.push_back(FindRule(all, id));
+  }
+  return rules;
+}
+
+TEST(FixpointMemoTest, TraceIdenticalWithAndWithoutMemo) {
+  TermPtr query =
+      Q("iterate(Kp(T), age) o iterate(gt @ (age, Kf(25)), id) ! P");
+  Rewriter memoized(nullptr, RewriterOptions{.memoize_fixpoint = true});
+  Rewriter plain(nullptr, RewriterOptions{.memoize_fixpoint = false});
+
+  Trace trace_memo, trace_plain;
+  auto with_memo = memoized.Fixpoint(Fig4Rules(), query, &trace_memo);
+  auto without = plain.Fixpoint(Fig4Rules(), query, &trace_plain);
+  ASSERT_TRUE(with_memo.ok() && without.ok());
+  EXPECT_TRUE(Term::Equal(with_memo.value(), without.value()));
+  EXPECT_EQ(trace_memo.ToString(), trace_plain.ToString());
+  ASSERT_FALSE(trace_memo.steps.empty());
+}
+
+TEST(FixpointMemoTest, ExplicitCacheReusedAcrossCallsStillCorrect) {
+  Rewriter rewriter;
+  FixpointCache cache;
+  std::vector<Rule> rules = Fig4Rules();
+  TermPtr q1 = Q("iterate(Kp(T), city) o iterate(Kp(T), addr) ! P");
+  TermPtr q2 =
+      Q("iterate(Kp(T), age) o iterate(gt @ (age, Kf(25)), id) ! P");
+
+  auto r1 = rewriter.Fixpoint(rules, q1, nullptr, 10'000, &cache);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(cache.fingerprint(), RuleSetFingerprint(rules));
+  EXPECT_GT(cache.size(), 0u);
+
+  // Second run through the same cache: same answer as a fresh rewriter.
+  auto r2 = rewriter.Fixpoint(rules, q2, nullptr, 10'000, &cache);
+  auto r2_fresh = Rewriter().Fixpoint(rules, q2, nullptr);
+  ASSERT_TRUE(r2.ok() && r2_fresh.ok());
+  EXPECT_TRUE(Term::Equal(r2.value(), r2_fresh.value()));
+
+  // Rerunning an already-normalized term is pure cache hits.
+  uint64_t hits_before = cache.hits();
+  auto r3 = rewriter.Fixpoint(rules, r1.value(), nullptr, 10'000, &cache);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(Term::Equal(r3.value(), r1.value()));
+  EXPECT_GT(cache.hits(), hits_before);
+}
+
+TEST(FixpointMemoTest, CacheResetsWhenRuleSetChanges) {
+  Rewriter rewriter;
+  FixpointCache cache;
+  std::vector<Rule> rules_a = Fig4Rules();
+  std::vector<Rule> all = AllCatalogRules();
+  std::vector<Rule> rules_b = {FindRule(all, "1"), FindRule(all, "2")};
+  ASSERT_NE(RuleSetFingerprint(rules_a), RuleSetFingerprint(rules_b));
+
+  TermPtr q = Q("id o (id o age) ! P");
+  ASSERT_TRUE(rewriter.Fixpoint(rules_a, q, nullptr, 10'000, &cache).ok());
+  auto through_cache =
+      rewriter.Fixpoint(rules_b, q, nullptr, 10'000, &cache);
+  auto fresh = Rewriter().Fixpoint(rules_b, q, nullptr);
+  ASSERT_TRUE(through_cache.ok() && fresh.ok());
+  EXPECT_TRUE(Term::Equal(through_cache.value(), fresh.value()));
+  EXPECT_EQ(cache.fingerprint(), RuleSetFingerprint(rules_b));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: the paper's derivations are byte-identical with
+// interning on and off.
+// ---------------------------------------------------------------------------
+
+struct DerivationSnapshot {
+  std::string fig4_t1;
+  std::string fig4_t2;
+  std::string fig6;
+  std::string garage;
+};
+
+DerivationSnapshot SnapshotDerivations() {
+  DerivationSnapshot snap;
+  Rewriter rewriter;
+  {
+    Trace trace;
+    auto fused = rewriter.Fixpoint(
+        Fig4Rules(), Q("iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"),
+        &trace);
+    KOLA_CHECK_OK(fused.status());
+    snap.fig4_t1 = trace.ToString();
+  }
+  {
+    Trace trace;
+    auto fused = rewriter.Fixpoint(
+        Fig4Rules(),
+        Q("iterate(Kp(T), age) o iterate(gt @ (age, Kf(25)), id) ! P"),
+        &trace);
+    KOLA_CHECK_OK(fused.status());
+    snap.fig4_t2 = trace.ToString();
+  }
+  {
+    auto result = ApplyCodeMotion(QueryK4(), rewriter);
+    KOLA_CHECK_OK(result.status());
+    snap.fig6 = result->trace.ToString();
+  }
+  {
+    auto result = UntangleHiddenJoin(GarageQueryKG1(), rewriter);
+    KOLA_CHECK_OK(result.status());
+    snap.garage = result->trace.ToString();
+  }
+  return snap;
+}
+
+TEST(InterningDeterminismTest, DerivationsByteIdenticalInterningOnAndOff) {
+  DerivationSnapshot off;
+  {
+    ScopedInterning scope(false);
+    off = SnapshotDerivations();
+  }
+  DerivationSnapshot on;
+  {
+    ScopedInterning scope(true);
+    on = SnapshotDerivations();
+  }
+  EXPECT_EQ(off.fig4_t1, on.fig4_t1);
+  EXPECT_EQ(off.fig4_t2, on.fig4_t2);
+  EXPECT_EQ(off.fig6, on.fig6);
+  EXPECT_EQ(off.garage, on.garage);
+  EXPECT_FALSE(off.garage.empty());
+}
+
+TEST(InterningDeterminismTest, GarageDerivationUnchangedByMemoization) {
+  Rewriter memoized(nullptr, RewriterOptions{.memoize_fixpoint = true});
+  Rewriter plain(nullptr, RewriterOptions{.memoize_fixpoint = false});
+  auto with_memo = UntangleHiddenJoin(GarageQueryKG1(), memoized);
+  auto without = UntangleHiddenJoin(GarageQueryKG1(), plain);
+  ASSERT_TRUE(with_memo.ok() && without.ok());
+  EXPECT_EQ(with_memo->trace.ToString(), without->trace.ToString());
+  EXPECT_TRUE(Term::Equal(with_memo->query, without->query));
+}
+
+}  // namespace
+}  // namespace kola

@@ -91,6 +91,52 @@ TEST(MatchTest, BoolConstMatching) {
                         P("Kp(F)", Sort::kPredicate), &b3));
 }
 
+TEST(BindingsTest, ToStringIsSortedByNameRegardlessOfInsertionOrder) {
+  // Regression: diagnostics must be byte-stable across runs and container
+  // implementations, so ToString renders name-sorted.
+  Bindings forward;
+  EXPECT_TRUE(forward.Bind("zz", Pi1()));
+  EXPECT_TRUE(forward.Bind("mid", Id()));
+  EXPECT_TRUE(forward.Bind("aa", Pi2()));
+  Bindings reverse;
+  EXPECT_TRUE(reverse.Bind("aa", Pi2()));
+  EXPECT_TRUE(reverse.Bind("mid", Id()));
+  EXPECT_TRUE(reverse.Bind("zz", Pi1()));
+  EXPECT_EQ(forward.ToString(), reverse.ToString());
+  EXPECT_EQ(forward.ToString(), "{?aa -> pi2, ?mid -> id, ?zz -> pi1}");
+
+  auto sorted = forward.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "aa");
+  EXPECT_EQ(sorted[1].first, "mid");
+  EXPECT_EQ(sorted[2].first, "zz");
+}
+
+TEST(MatchTest, PairPatternDecomposesPairLiterals) {
+  // The parser folds [1, 2] into a single pair-valued literal node.
+  TermPtr term = P("[1, 2]", Sort::kObject);
+  ASSERT_EQ(term->kind(), TermKind::kLiteral);
+  Bindings b;
+  ASSERT_TRUE(MatchTerm(P("[?x, ?y]", Sort::kObject), term, &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("x"), LitInt(1)));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("y"), LitInt(2)));
+  // Literal components compare by value...
+  Bindings b2;
+  EXPECT_TRUE(MatchTerm(P("[1, ?y]", Sort::kObject), term, &b2));
+  Bindings b3;
+  EXPECT_FALSE(MatchTerm(P("[3, ?y]", Sort::kObject), term, &b3));
+  // ...nested pairs recurse, and shape mismatches fail cleanly.
+  Bindings b4;
+  EXPECT_TRUE(MatchTerm(P("[?x, [?y, ?z]]", Sort::kObject),
+                        P("[7, [8, 9]]", Sort::kObject), &b4));
+  Bindings b5;
+  EXPECT_FALSE(MatchTerm(P("[?x, [?y, ?z]]", Sort::kObject), term, &b5));
+  // A non-pair literal never matches a pair pattern.
+  Bindings b6;
+  EXPECT_FALSE(MatchTerm(P("[?x, ?y]", Sort::kObject),
+                         P("25", Sort::kObject), &b6));
+}
+
 TEST(MatchTest, PaperRule11Pattern) {
   TermPtr pattern = P("iterate(?p, ?f) o iterate(?q, ?g)");
   TermPtr query = P("iterate(Kp(T), city) o iterate(Kp(T), addr)");
