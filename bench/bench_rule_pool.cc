@@ -69,17 +69,17 @@ void PrintVerificationTable() {
     }
     if (outcome->sound()) {
       ++sound;
-    } else if (outcome->disagreed > 0) {
+    } else if (outcome->unsound()) {
       ++unsound;
       std::printf("%-28s UNSOUND %s\n", rule.id.c_str(),
                   outcome->Summary().c_str());
     } else {
       ++inconclusive;
-      std::printf("%-28s INCONCLUSIVE %s\n", rule.id.c_str(),
+      std::printf("%-28s INDETERMINATE %s\n", rule.id.c_str(),
                   outcome->Summary().c_str());
     }
   }
-  std::printf("pool: %zu rules -> %d sound, %d unsound, %d inconclusive\n",
+  std::printf("pool: %zu rules -> %d sound, %d unsound, %d indeterminate\n",
               pool.size(), sound, unsound, inconclusive);
 
   // The as-published rule 7.

@@ -9,6 +9,7 @@
 //   :mode oql|aqua|kola   input language (default oql)
 //   :trace on|off         print the optimizer's rule-by-rule derivation
 //   :rules <substring>    list catalog rules matching the substring
+//   :verify <rule-id>     randomized soundness check of one catalog rule
 //   :schema               show extents and their sizes
 //   :help                 this text
 //   :quit                 exit
@@ -22,6 +23,7 @@
 #include "eval/evaluator.h"
 #include "oql/oql.h"
 #include "optimizer/optimizer.h"
+#include "rewrite/verifier.h"
 #include "rules/catalog.h"
 #include "term/parser.h"
 #include "translate/translate.h"
@@ -38,6 +40,7 @@ void PrintHelp() {
       "  :mode oql|aqua|kola   input language\n"
       "  :trace on|off         print the optimizer derivation\n"
       "  :rules <substring>    list catalog rules\n"
+      "  :verify <rule-id>     randomized soundness check of one rule\n"
       "  :schema               show extents\n"
       "  :help                 this text\n"
       "  :quit                 exit\n");
@@ -123,6 +126,27 @@ int main() {
           }
         }
         std::printf("  (%d rules)\n", shown);
+      } else if (command == "verify") {
+        // User-typed rule id: an unknown id must report, never abort.
+        auto rule = TryFindRule(catalog, argument);
+        if (!rule.ok()) {
+          std::printf("error: %s\n", rule.status().ToString().c_str());
+          continue;
+        }
+        SchemaTypes schema = SchemaTypes::CarWorld();
+        VerifyOptions verify_options;
+        verify_options.trials = 200;
+        auto outcome = VerifyRule(*rule.value(), *db, schema, verify_options);
+        if (!outcome.ok()) {
+          std::printf("error: %s\n", outcome.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s: %s\n", argument.c_str(),
+                    outcome->Summary().c_str());
+        if (!outcome->counterexample.empty()) {
+          std::printf("  counterexample: %s\n",
+                      outcome->counterexample.c_str());
+        }
       } else {
         std::printf("unknown command :%s (:help)\n", command.c_str());
       }

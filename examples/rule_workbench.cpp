@@ -72,7 +72,19 @@ int main() {
   std::printf("\n=== 4. A guarded rule fires only when the property holds "
               "===\n");
   std::vector<Rule> all = AllCatalogRules();
-  const Rule& guarded = FindRule(all, "ext.injective-intersect");
+  // Catalog lookups on names that might be mistyped go through TryFindRule:
+  // a miss is a printable error, not a process abort.
+  auto missing = TryFindRule(all, "ext.no-such-rule");
+  std::printf("lookup of a bogus id rejected: %s\n",
+              missing.ok() ? "NO (bug)"
+                           : missing.status().ToString().c_str());
+  auto guarded_lookup = TryFindRule(all, "ext.injective-intersect");
+  if (!guarded_lookup.ok()) {
+    std::printf("catalog lookup failed: %s\n",
+                guarded_lookup.status().ToString().c_str());
+    return 1;
+  }
+  const Rule& guarded = *guarded_lookup.value();
   Rewriter rewriter(&store);
   for (const char* fn : {"year", "make"}) {
     std::string text = std::string("intersect o (iterate(Kp(T), ") + fn +

@@ -33,6 +33,12 @@ class Optimizer {
   Optimizer(const PropertyStore* properties, const Database* db)
       : rewriter_(properties), cost_model_(db) {}
 
+  /// As above, with explicit engine tunables -- the soundness harness uses
+  /// this to run the same pipeline with and without fixpoint memoization.
+  Optimizer(const PropertyStore* properties, const Database* db,
+            RewriterOptions options)
+      : rewriter_(properties, options), cost_model_(db) {}
+
   StatusOr<OptimizeResult> Optimize(const TermPtr& query) const;
 
   const Rewriter& rewriter() const { return rewriter_; }

@@ -55,8 +55,18 @@ bool RequiresInjective(const Rule& rule, const std::string& var) {
 
 std::string VerifyOutcome::Summary() const {
   std::ostringstream os;
-  os << (sound() ? "SOUND" : (disagreed > 0 ? "UNSOUND" : "INCONCLUSIVE"))
-     << " (" << agreed << " agree, " << disagreed << " disagree, "
+  if (sound()) {
+    os << "SOUND";
+  } else if (unsound()) {
+    os << "UNSOUND";
+  } else {
+    // Every trial landed in skipped/both_failed: the *generator* never
+    // produced a comparable instance. Distinct from UNSOUND so callers can
+    // escalate the coverage gap rather than the rule.
+    os << "INDETERMINATE (generator gap: no trial produced comparable "
+          "results)";
+  }
+  os << " (" << agreed << " agree, " << disagreed << " disagree, "
      << one_failed << " one-sided errors, " << both_failed
      << " both-error, " << skipped << " skipped / " << trials << " trials)";
   return os.str();

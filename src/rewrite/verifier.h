@@ -38,6 +38,15 @@ struct VerifyOutcome {
   /// total-semantics reading.)
   bool sound() const { return disagreed == 0 && agreed > 0; }
 
+  /// No verdict either way: not a single trial produced comparable results
+  /// (everything was skipped or errored on both sides). This is a GENERATOR
+  /// gap, not evidence of unsoundness -- callers such as the soundness
+  /// harness escalate it separately instead of mislabeling the rule unsound.
+  bool indeterminate() const { return disagreed == 0 && agreed == 0; }
+
+  /// A disagreement was observed: the rule is unsound.
+  bool unsound() const { return disagreed > 0; }
+
   std::string Summary() const;
 };
 

@@ -425,12 +425,19 @@ std::vector<Rule> AllCatalogRules() {
   return rules;
 }
 
-const Rule& FindRule(const std::vector<Rule>& rules, const std::string& id) {
+StatusOr<const Rule*> TryFindRule(const std::vector<Rule>& rules,
+                                  const std::string& id) {
   for (const Rule& rule : rules) {
-    if (rule.id == id) return rule;
+    if (rule.id == id) return &rule;
   }
-  std::cerr << "FindRule: no rule with id " << id << "\n";
-  std::abort();
+  return NotFoundError("no rule with id '" + id + "' in a catalog of " +
+                       std::to_string(rules.size()) + " rules");
+}
+
+const Rule& FindRule(const std::vector<Rule>& rules, const std::string& id) {
+  auto found = TryFindRule(rules, id);
+  KOLA_CHECK_OK(found.status());
+  return *found.value();
 }
 
 }  // namespace kola

@@ -20,6 +20,7 @@ enum class TokKind {
   kInt,
   kString,
   kMetaVar,  // ?name
+  kObjRef,   // obj<classid>#objid (text is "classid#objid")
   kLParen,
   kRParen,
   kLBracket,
@@ -78,9 +79,27 @@ class Lexer {
                 text_[pos_] == '_')) {
           ++pos_;
         }
-        tokens.push_back(
-            {TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
-             at});
+        std::string ident(text_.substr(start, pos_ - start));
+        // `obj<classid>#objid` is how Value prints object references; accept
+        // it back so shrunk soundness repros replay verbatim.
+        if (ident == "obj" && pos_ < text_.size() && text_[pos_] == '<') {
+          ++pos_;  // <
+          KOLA_ASSIGN_OR_RETURN(std::string class_id, LexDigits(at));
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return InvalidArgumentError("expected '>' in object literal at " +
+                                        std::to_string(at));
+          }
+          ++pos_;  // >
+          if (pos_ >= text_.size() || text_[pos_] != '#') {
+            return InvalidArgumentError("expected '#' in object literal at " +
+                                        std::to_string(at));
+          }
+          ++pos_;  // #
+          KOLA_ASSIGN_OR_RETURN(std::string object_id, LexDigits(at));
+          tokens.push_back({TokKind::kObjRef, class_id + "#" + object_id, at});
+          continue;
+        }
+        tokens.push_back({TokKind::kIdent, std::move(ident), at});
         continue;
       }
       switch (c) {
@@ -154,6 +173,19 @@ class Lexer {
   }
 
  private:
+  StatusOr<std::string> LexDigits(size_t at) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgumentError("expected digits in object literal at " +
+                                  std::to_string(at));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
   void SkipWhitespace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -178,6 +210,7 @@ enum class CstKind {
   kInt,
   kString,
   kMetaVar,
+  kObjRef,   // obj<classid>#objid (text is "classid#objid")
   kCall,     // former(args...)
   kPair,     // (a, b) -- function pair former
   kBracket,  // [a, b] -- object pair
@@ -323,6 +356,9 @@ class Parser {
       case TokKind::kMetaVar:
         Advance();
         return MakeCst(CstKind::kMetaVar, tok.text, tok.position);
+      case TokKind::kObjRef:
+        Advance();
+        return MakeCst(CstKind::kObjRef, tok.text, tok.position);
       case TokKind::kIdent: {
         Advance();
         if (IsFormer(tok.text) && Peek().kind == TokKind::kLParen) {
@@ -443,12 +479,21 @@ Sort MetaVarSort(const std::string& name) {
 
 StatusOr<TermPtr> Elaborate(const Cst& cst, Sort expected);
 
+/// Decodes the "classid#objid" payload of an object-reference token.
+Value ObjRefValue(const std::string& text) {
+  size_t hash = text.find('#');
+  return Value::Object(static_cast<int32_t>(std::stoll(text.substr(0, hash))),
+                       std::stoll(text.substr(hash + 1)));
+}
+
 /// Evaluates a CST that must denote a compile-time literal Value (set
 /// elements).
 StatusOr<Value> LiteralValue(const Cst& cst) {
   switch (cst.kind) {
     case CstKind::kInt:
       return Value::Int(std::stoll(cst.text));
+    case CstKind::kObjRef:
+      return ObjRefValue(cst.text);
     case CstKind::kString:
       return Value::Str(cst.text);
     case CstKind::kIdent:
@@ -648,6 +693,14 @@ StatusOr<TermPtr> Elaborate(const Cst& cst, Sort expected) {
                                     " position");
       }
       return Term::Make(TermKind::kLiteral, {}, "", Value::Str(cst.text));
+    }
+    case CstKind::kObjRef: {
+      if (!SortMatches(expected, Sort::kObject)) {
+        return InvalidArgumentError("object literal in " +
+                                    std::string(SortToString(expected)) +
+                                    " position");
+      }
+      return Term::Make(TermKind::kLiteral, {}, "", ObjRefValue(cst.text));
     }
     case CstKind::kMetaVar: {
       Sort sort = MetaVarSort(cst.text);

@@ -252,10 +252,14 @@ bool Term::Equal(const TermPtr& a, const TermPtr& b) {
 }
 
 TermPtr Term::WithChildren(std::vector<TermPtr> children) const {
-  auto result =
-      Make(kind_, std::move(children), name_, literal_, bool_const_, sort_);
+  auto result = TryWithChildren(std::move(children));
   KOLA_CHECK_OK(result.status());
   return std::move(result).value();
+}
+
+StatusOr<TermPtr> Term::TryWithChildren(std::vector<TermPtr> children) const {
+  return Make(kind_, std::move(children), name_, literal_, bool_const_,
+              sort_);
 }
 
 std::ostream& operator<<(std::ostream& os, const TermPtr& term) {
@@ -268,15 +272,18 @@ std::ostream& operator<<(std::ostream& os, const TermPtr& term) {
 
 namespace {
 
+/// Backs the TermPtr-returning builder functions below. Those builders are
+/// documented as library-internal construction helpers whose arguments are
+/// compile-time shapes, so an ill-sorted call is a programming error inside
+/// this library -- the one place an invariant abort is allowed. Data-driven
+/// construction (parser, shrinkers, anything fed by user input) must go
+/// through the Status-surfacing Term::Make / Term::TryWithChildren instead.
 TermPtr MustMake(TermKind kind, std::vector<TermPtr> children,
                  std::string name = "", Value literal = Value::Null(),
                  bool bool_const = false, Sort sort_hint = Sort::kObject) {
   auto result = Term::Make(kind, std::move(children), std::move(name),
                            std::move(literal), bool_const, sort_hint);
-  if (!result.ok()) {
-    std::cerr << "term builder: " << result.status() << "\n";
-    std::abort();
-  }
+  KOLA_CHECK_OK(result.status());
   return std::move(result).value();
 }
 

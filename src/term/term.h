@@ -137,8 +137,16 @@ class Term {
   static bool Equal(const TermPtr& a, const TermPtr& b);
 
   /// Rebuilds this node over new children (same kind/name/literal).
-  /// Aborts if the result would be ill-sorted.
+  /// Aborts if the result would be ill-sorted; callers guarantee
+  /// sort-preserving children (rewrite spines). For data-driven rebuilds
+  /// where ill-sorted children are possible, use TryWithChildren.
   TermPtr WithChildren(std::vector<TermPtr> children) const;
+
+  /// As WithChildren, but surfaces an InvalidArgument/TypeError Status on an
+  /// ill-sorted rebuild instead of aborting. The entry point for callers
+  /// whose replacement children come from outside the library (e.g. the
+  /// soundness shrinker's candidate reductions).
+  StatusOr<TermPtr> TryWithChildren(std::vector<TermPtr> children) const;
 
   /// Renders in the library's concrete syntax (parseable by ParseTerm).
   std::string ToString() const;

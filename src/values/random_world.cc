@@ -1,0 +1,150 @@
+#include "values/random_world.h"
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace kola {
+
+namespace {
+
+const char* const kCities[] = {"Providence", "Boston", "Montreal",
+                               "New Haven"};
+const char* const kMakes[] = {"Saab", "Volvo", "Honda", "Ford"};
+
+/// Draws a set of up to `max_fanout` references from `pool` (empty when the
+/// pool is empty). Duplicates in the draw collapse via set semantics, which
+/// is exactly the sharing the optimizer must respect.
+Value DrawRefs(Rng& rng, const std::vector<Value>& pool, int64_t max_fanout) {
+  std::vector<Value> refs;
+  if (!pool.empty()) {
+    int64_t n = rng.Uniform(0, max_fanout);
+    for (int64_t i = 0; i < n; ++i) {
+      refs.push_back(pool[rng.Index(pool.size())]);
+    }
+  }
+  return Value::MakeSet(std::move(refs));
+}
+
+}  // namespace
+
+RandomWorldOptions RandomWorldOptions::FromSeed(uint64_t seed) {
+  RandomWorldOptions options;
+  options.seed = seed;
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  options.scale = static_cast<int>(rng.Uniform(1, 4));
+  return options;
+}
+
+std::unique_ptr<Database> BuildRandomWorld(const RandomWorldOptions& options) {
+  auto db = std::make_unique<Database>();
+  Rng rng(options.seed);
+
+  int32_t person = db->DefineClass("Person");
+  int32_t address = db->DefineClass("Address");
+  int32_t vehicle = db->DefineClass("Vehicle");
+
+  KOLA_CHECK_OK(db->DefineAttribute(person, "addr"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "age"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "name"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "child"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "cars"));
+  KOLA_CHECK_OK(db->DefineAttribute(person, "grgs"));
+  KOLA_CHECK_OK(db->DefineAttribute(address, "city"));
+  KOLA_CHECK_OK(db->DefineAttribute(address, "street"));
+  KOLA_CHECK_OK(db->DefineAttribute(vehicle, "make"));
+  KOLA_CHECK_OK(db->DefineAttribute(vehicle, "year"));
+
+  int64_t cap = 4 * static_cast<int64_t>(options.scale);
+  // Independent size draws so single-empty-extent worlds arise (an empty V
+  // next to a populated P is the classic join edge case).
+  int64_t num_persons = rng.Uniform(0, cap);
+  int64_t num_addresses = rng.Uniform(0, cap);
+  int64_t num_vehicles = rng.Uniform(0, cap);
+
+  // Duplicate-heavy worlds: collapse the value domains so that most drawn
+  // attribute values (and therefore most projected query results) collide.
+  bool duplicate_heavy = rng.Chance(0.33);
+  size_t num_cities = duplicate_heavy ? 1 : std::size(kCities);
+  size_t num_makes = duplicate_heavy ? 1 : std::size(kMakes);
+  int64_t min_age = duplicate_heavy ? 25 : 1;
+  int64_t max_age = duplicate_heavy ? 26 : 90;
+  int64_t min_year = duplicate_heavy ? 1990 : 1970;
+  int64_t max_year = duplicate_heavy ? 1991 : 1996;
+  size_t name_length = duplicate_heavy ? 1 : 5;
+
+  std::vector<Value> addresses;
+  addresses.reserve(num_addresses);
+  for (int64_t i = 0; i < num_addresses; ++i) {
+    Value a = db->NewObject(address);
+    KOLA_CHECK_OK(db->SetAttribute(
+        a, "city", Value::Str(kCities[rng.Index(num_cities)])));
+    KOLA_CHECK_OK(db->SetAttribute(
+        a, "street", Value::Str(rng.Identifier(name_length) + " st")));
+    addresses.push_back(a);
+  }
+
+  std::vector<Value> vehicles;
+  vehicles.reserve(num_vehicles);
+  for (int64_t i = 0; i < num_vehicles; ++i) {
+    Value v = db->NewObject(vehicle);
+    KOLA_CHECK_OK(db->SetAttribute(v, "make",
+                                   Value::Str(kMakes[rng.Index(num_makes)])));
+    KOLA_CHECK_OK(
+        db->SetAttribute(v, "year", Value::Int(rng.Uniform(min_year,
+                                                           max_year))));
+    vehicles.push_back(v);
+  }
+
+  std::vector<Value> persons;
+  persons.reserve(num_persons);
+  for (int64_t i = 0; i < num_persons; ++i) {
+    persons.push_back(db->NewObject(person));
+  }
+  for (const Value& p : persons) {
+    KOLA_CHECK_OK(db->SetAttribute(p, "age",
+                                   Value::Int(rng.Uniform(min_age, max_age))));
+    KOLA_CHECK_OK(
+        db->SetAttribute(p, "name", Value::Str(rng.Identifier(name_length))));
+    if (!addresses.empty()) {
+      KOLA_CHECK_OK(db->SetAttribute(p, "addr",
+                                     addresses[rng.Index(addresses.size())]));
+    }
+    KOLA_CHECK_OK(db->SetAttribute(p, "child", DrawRefs(rng, persons, 3)));
+    KOLA_CHECK_OK(db->SetAttribute(p, "cars", DrawRefs(rng, vehicles, 2)));
+    KOLA_CHECK_OK(db->SetAttribute(p, "grgs", DrawRefs(rng, addresses, 2)));
+  }
+
+  KOLA_CHECK_OK(db->DefineExtent("P", Value::MakeSet(persons)));
+  KOLA_CHECK_OK(db->DefineExtent("V", Value::MakeSet(vehicles)));
+  KOLA_CHECK_OK(db->DefineExtent("A", Value::MakeSet(addresses)));
+
+  // A small integer extent; duplicate-heavy worlds shrink it to {0, 1} so
+  // generated arithmetic collides constantly.
+  std::vector<Value> nums;
+  int64_t num_count = duplicate_heavy ? 2 : rng.Uniform(0, 10);
+  for (int64_t i = 0; i < num_count; ++i) nums.push_back(Value::Int(i));
+  KOLA_CHECK_OK(db->DefineExtent("Nums", Value::MakeSet(nums)));
+
+  // Same arithmetic helpers as the fixed worlds; the generator and the
+  // injective-function menu rely on them.
+  auto int_fn = [](int64_t (*op)(int64_t)) {
+    return [op](const Database&, const Value& v) -> StatusOr<Value> {
+      KOLA_ASSIGN_OR_RETURN(int64_t i, v.AsInt());
+      return Value::Int(op(i));
+    };
+  };
+  db->RegisterFunction("succ", int_fn([](int64_t i) { return i + 1; }));
+  db->RegisterFunction("dbl", int_fn([](int64_t i) { return i * 2; }));
+  db->RegisterFunction("neg", int_fn([](int64_t i) { return -i; }));
+
+  return db;
+}
+
+std::unique_ptr<Database> BuildRandomWorld(uint64_t seed) {
+  return BuildRandomWorld(RandomWorldOptions::FromSeed(seed));
+}
+
+}  // namespace kola

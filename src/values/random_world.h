@@ -1,0 +1,43 @@
+#ifndef KOLA_VALUES_RANDOM_WORLD_H_
+#define KOLA_VALUES_RANDOM_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "values/database.h"
+
+namespace kola {
+
+/// Parameters for a randomized instance of the car-world schema
+/// (Person / Address / Vehicle -- the same classes, attributes and extent
+/// names as BuildCarWorld, so SchemaTypes::CarWorld() types queries over
+/// it). Unlike the fixed demo worlds, everything here is drawn from the
+/// seed: extent sizes (including EMPTY extents), attribute domains
+/// (including deliberately tiny, duplicate-heavy ones), and fan-outs.
+/// The soundness harness runs every trial against a fresh random world so
+/// that optimizer bugs that only show up on particular data shapes --
+/// empty inputs, heavy duplication, deep sharing -- are reachable.
+struct RandomWorldOptions {
+  uint64_t seed = 1;
+
+  /// Overall size dial, >= 0. Extent sizes are drawn from [0, 4 * scale]
+  /// (so scale 0 forces every extent empty). The failure shrinker lowers
+  /// this while a divergence still reproduces.
+  int scale = 3;
+
+  /// Draws a full option set (scale, domain skew) from `seed`. About one
+  /// world in five gets an empty extent; about one in three gets
+  /// duplicate-heavy attribute domains (two distinct ages, one city).
+  static RandomWorldOptions FromSeed(uint64_t seed);
+};
+
+/// Builds the randomized world. Deterministic in the options (same seed +
+/// scale => identical database).
+std::unique_ptr<Database> BuildRandomWorld(const RandomWorldOptions& options);
+
+/// Convenience overload: BuildRandomWorld(RandomWorldOptions::FromSeed(s)).
+std::unique_ptr<Database> BuildRandomWorld(uint64_t seed);
+
+}  // namespace kola
+
+#endif  // KOLA_VALUES_RANDOM_WORLD_H_

@@ -1,0 +1,149 @@
+#include "verify/query_gen.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "optimizer/hidden_join.h"
+
+namespace kola {
+
+StatusOr<std::pair<std::string, TypePtr>> QueryGenerator::RandomExtent() {
+  std::vector<std::pair<std::string, TypePtr>> typed;
+  for (const std::string& name : db_->ExtentNames()) {
+    if (const TypePtr* element = schema_->CollectionElement(name)) {
+      typed.emplace_back(name, *element);
+    }
+  }
+  if (typed.empty()) {
+    return FailedPreconditionError(
+        "database has no extent the schema can type");
+  }
+  return typed[rng_->Index(typed.size())];
+}
+
+StatusOr<TermPtr> QueryGenerator::FilterMap() {
+  KOLA_ASSIGN_OR_RETURN(auto extent, RandomExtent());
+  KOLA_ASSIGN_OR_RETURN(TermPtr pred,
+                        term_gen_.RandomPred(extent.second,
+                                             options_.max_depth));
+  TypePtr out = term_gen_.RandomType(1);
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr fn, term_gen_.RandomFn(extent.second, rng_->Chance(0.3)
+                                                        ? extent.second
+                                                        : out,
+                                     options_.max_depth));
+  return Apply(Iterate(std::move(pred), std::move(fn)),
+               Collection(extent.first));
+}
+
+StatusOr<TermPtr> QueryGenerator::KeyedJoin() {
+  KOLA_ASSIGN_OR_RETURN(auto left, RandomExtent());
+  KOLA_ASSIGN_OR_RETURN(auto right, RandomExtent());
+  // The fastpath shapes: join(eq @ (f x g), h) and join(in @ (f x g), h).
+  TypePtr key = term_gen_.RandomType(0);
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr f, term_gen_.RandomFn(left.second, key, options_.max_depth));
+  bool membership = rng_->Chance(0.4);
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr g,
+      term_gen_.RandomFn(right.second,
+                         membership ? Type::Set(key) : key,
+                         options_.max_depth));
+  TermPtr pred = Oplus(membership ? InP() : EqP(),
+                       Product(std::move(f), std::move(g)));
+  TermPtr h;
+  if (rng_->Chance(0.5)) {
+    h = PairFn(Pi1(), Pi2());
+  } else {
+    TypePtr pair_in = Type::Pair(left.second, right.second);
+    KOLA_ASSIGN_OR_RETURN(
+        h, term_gen_.RandomFn(pair_in, term_gen_.RandomType(1),
+                              options_.max_depth));
+  }
+  return Apply(Join(std::move(pred), std::move(h)),
+               PairObj(Collection(left.first), Collection(right.first)));
+}
+
+StatusOr<TermPtr> QueryGenerator::PredicateJoin() {
+  KOLA_ASSIGN_OR_RETURN(auto left, RandomExtent());
+  KOLA_ASSIGN_OR_RETURN(auto right, RandomExtent());
+  TypePtr pair_in = Type::Pair(left.second, right.second);
+  KOLA_ASSIGN_OR_RETURN(TermPtr pred,
+                        term_gen_.RandomPred(pair_in, options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr h, term_gen_.RandomFn(pair_in, term_gen_.RandomType(1),
+                                    options_.max_depth));
+  return Apply(Join(std::move(pred), std::move(h)),
+               PairObj(Collection(left.first), Collection(right.first)));
+}
+
+StatusOr<TermPtr> QueryGenerator::Grouping() {
+  // The canonical grouping pair: nest(pi1, pi2) over ([key, value] pairs,
+  // keys), which is exactly the hash-grouping fastpath shape the
+  // hidden-join pipeline produces.
+  KOLA_ASSIGN_OR_RETURN(auto extent, RandomExtent());
+  TypePtr key_type = term_gen_.RandomType(0);
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr key, term_gen_.RandomFn(extent.second, key_type,
+                                      options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr value, term_gen_.RandomFn(extent.second, term_gen_.RandomType(1),
+                                        options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(TermPtr pred,
+                        term_gen_.RandomPred(extent.second,
+                                             options_.max_depth));
+  TermPtr pairs = Apply(Iterate(pred, PairFn(key, std::move(value))),
+                        Collection(extent.first));
+  TermPtr keys =
+      Apply(Iterate(ConstPredTrue(), key), Collection(extent.first));
+  return Apply(Nest(Pi1(), Pi2()),
+               PairObj(std::move(pairs), std::move(keys)));
+}
+
+StatusOr<TermPtr> QueryGenerator::DoubleIterate() {
+  KOLA_ASSIGN_OR_RETURN(auto extent, RandomExtent());
+  TypePtr mid = rng_->Chance(0.4) ? extent.second : term_gen_.RandomType(1);
+  KOLA_ASSIGN_OR_RETURN(TermPtr p1,
+                        term_gen_.RandomPred(extent.second,
+                                             options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr f1, term_gen_.RandomFn(extent.second, mid,
+                                     options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(TermPtr p2,
+                        term_gen_.RandomPred(mid, options_.max_depth));
+  KOLA_ASSIGN_OR_RETURN(
+      TermPtr f2, term_gen_.RandomFn(mid, term_gen_.RandomType(1),
+                                     options_.max_depth));
+  // Half the time as a composition (what rule 11 fuses), half as nested
+  // applications (what norm.fold must first refold).
+  TermPtr inner = Iterate(std::move(p1), std::move(f1));
+  TermPtr outer = Iterate(std::move(p2), std::move(f2));
+  if (rng_->Chance(0.5)) {
+    return Apply(Compose(std::move(outer), std::move(inner)),
+                 Collection(extent.first));
+  }
+  return Apply(std::move(outer),
+               Apply(std::move(inner), Collection(extent.first)));
+}
+
+StatusOr<TermPtr> QueryGenerator::HiddenJoin() {
+  // The Figure 7 family exercises break-up / bottom-out / pull-up /
+  // absorb-join end to end. Depth 2 is KG1-sized.
+  return MakeHiddenJoinQuery(static_cast<int>(rng_->Uniform(1, 2)));
+}
+
+StatusOr<TermPtr> QueryGenerator::RandomQuery() {
+  switch (rng_->Uniform(0, 6)) {
+    case 0: return FilterMap();
+    case 1:
+    case 2: return KeyedJoin();  // double weight: richest optimizer surface
+    case 3: return PredicateJoin();
+    case 4: return Grouping();
+    case 5: return DoubleIterate();
+    default: return HiddenJoin();
+  }
+}
+
+}  // namespace kola

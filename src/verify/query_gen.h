@@ -1,0 +1,69 @@
+#ifndef KOLA_VERIFY_QUERY_GEN_H_
+#define KOLA_VERIFY_QUERY_GEN_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "rewrite/generate.h"
+#include "rewrite/types.h"
+#include "term/term.h"
+#include "values/database.h"
+
+namespace kola {
+
+/// Tunables for whole-query generation.
+struct QueryGenOptions {
+  /// Depth budget handed to the underlying TermGenerator for the function
+  /// and predicate pieces of each query.
+  int max_depth = 3;
+};
+
+/// Generates random well-typed object-sorted KOLA *queries* -- full
+/// `fn ! extent` applications, not just rule instantiations -- for the
+/// end-to-end soundness harness. Where TermGenerator (rewrite/generate.h)
+/// instantiates a single metavariable at an inferred type, this generator
+/// produces query shapes the optimizer pipeline actually has opinions
+/// about: filter/maps, eq- and in-keyed joins (the physical fastpath
+/// shapes), groupings, fusable double loops, and the Figure 7 hidden-join
+/// family.
+///
+/// Every query draws its extents from the database, so it is evaluable
+/// against that database by construction (modulo runtime type errors the
+/// harness classifies separately).
+class QueryGenerator {
+ public:
+  /// All pointers must outlive the generator. `schema` must type the
+  /// database's extents (e.g. SchemaTypes::CarWorld() for BuildCarWorld or
+  /// BuildRandomWorld databases).
+  QueryGenerator(const SchemaTypes* schema, const Database* db, Rng* rng,
+                 QueryGenOptions options = QueryGenOptions())
+      : schema_(schema), db_(db), rng_(rng), options_(options),
+        term_gen_(schema, db, rng,
+                  GenOptions{.max_depth = options.max_depth}) {}
+
+  /// A random ground object-sorted query. NOT_FOUND when the drawn shape
+  /// cannot be filled at the drawn types (the harness counts such draws as
+  /// skipped and moves on).
+  StatusOr<TermPtr> RandomQuery();
+
+ private:
+  /// A random extent name together with its element type. FAILED_PRECONDITION
+  /// when the database has no extent the schema can type.
+  StatusOr<std::pair<std::string, TypePtr>> RandomExtent();
+
+  StatusOr<TermPtr> FilterMap();       // iterate(p, f) ! E
+  StatusOr<TermPtr> KeyedJoin();       // join(eq/in @ (f x g), h) ! [E1, E2]
+  StatusOr<TermPtr> PredicateJoin();   // join(p, h) ! [E1, E2]
+  StatusOr<TermPtr> Grouping();        // nest(pi1, pi2) over derived inputs
+  StatusOr<TermPtr> DoubleIterate();   // iterate o iterate (fusion bait)
+  StatusOr<TermPtr> HiddenJoin();      // MakeHiddenJoinQuery(1..2)
+
+  const SchemaTypes* schema_;
+  const Database* db_;
+  Rng* rng_;
+  QueryGenOptions options_;
+  TermGenerator term_gen_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_VERIFY_QUERY_GEN_H_

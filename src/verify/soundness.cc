@@ -1,0 +1,401 @@
+#include "verify/soundness.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "eval/evaluator.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/properties.h"
+#include "rewrite/types.h"
+#include "term/intern.h"
+#include "verify/query_gen.h"
+
+namespace kola {
+
+// ---------------------------------------------------------------------------
+// Configuration matrix
+// ---------------------------------------------------------------------------
+
+std::string PipelineConfig::Name() const {
+  std::vector<std::string> parts;
+  if (interning) parts.push_back("intern");
+  if (fixpoint_memo) parts.push_back("memo");
+  if (physical_fastpaths) parts.push_back("fast");
+  if (parts.empty()) return "plain";
+  return Join(parts, "+");
+}
+
+StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
+  PipelineConfig config;
+  config.interning = false;
+  config.fixpoint_memo = false;
+  config.physical_fastpaths = false;
+  if (name == "plain") return config;
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t plus = name.find('+', start);
+    std::string part = name.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    if (part == "intern") {
+      config.interning = true;
+    } else if (part == "memo") {
+      config.fixpoint_memo = true;
+    } else if (part == "fast") {
+      config.physical_fastpaths = true;
+    } else {
+      return InvalidArgumentError(
+          "unknown pipeline feature '" + part +
+          "' (expected intern, memo, fast, or the name 'plain')");
+    }
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return config;
+}
+
+std::vector<PipelineConfig> FullConfigMatrix() {
+  std::vector<PipelineConfig> configs;
+  for (bool intern : {false, true}) {
+    for (bool memo : {false, true}) {
+      for (bool fast : {false, true}) {
+        configs.push_back(PipelineConfig{intern, memo, fast});
+      }
+    }
+  }
+  return configs;
+}
+
+Rule PlantedDropMapRule() {
+  auto rule = MakeRule(
+      "plant.drop-map",
+      "TEST ONLY: deliberately unsound -- drops the projection of a map",
+      "iterate(?p, ?f)", "iterate(?p, id)", Sort::kFunction);
+  KOLA_CHECK_OK(rule.status());
+  return std::move(rule).value();
+}
+
+// ---------------------------------------------------------------------------
+// Term metrics and reductions
+// ---------------------------------------------------------------------------
+
+int TermDepth(const TermPtr& term) {
+  int depth = 0;
+  for (const TermPtr& child : term->children()) {
+    depth = std::max(depth, 1 + TermDepth(child));
+  }
+  return depth;
+}
+
+namespace {
+
+/// Appends every well-sorted term strictly smaller than `term` obtainable
+/// by one local reduction: replacing any subterm with a same-sorted child
+/// of it, with `id` (function slots), or with `Kp(T)` (predicate slots).
+/// Candidates closest to the root come first, so the greedy shrinker tries
+/// the biggest cuts first.
+void CollectReductions(const TermPtr& term, std::vector<TermPtr>* out) {
+  for (const TermPtr& child : term->children()) {
+    if (child->sort() == term->sort()) out->push_back(child);
+  }
+  if (term->sort() == Sort::kFunction && term->node_count() > 1) {
+    out->push_back(Id());
+  }
+  if (term->sort() == Sort::kPredicate && term->node_count() > 2) {
+    out->push_back(ConstPredTrue());
+  }
+  for (size_t i = 0; i < term->arity(); ++i) {
+    std::vector<TermPtr> reduced_child;
+    CollectReductions(term->child(i), &reduced_child);
+    for (TermPtr& replacement : reduced_child) {
+      std::vector<TermPtr> children = term->children();
+      children[i] = std::move(replacement);
+      auto rebuilt = term->TryWithChildren(std::move(children));
+      // An ill-sorted rebuild just means this reduction does not apply
+      // here; skip it rather than abort (the whole point of
+      // TryWithChildren).
+      if (rebuilt.ok() && rebuilt.value()->node_count() < term->node_count()) {
+        out->push_back(std::move(rebuilt).value());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Divergence reporting
+// ---------------------------------------------------------------------------
+
+std::string Divergence::ReplayCommand() const {
+  std::string cmd = "kolaverify --replay '" + query->ToString() +
+                    "' --world-seed " + std::to_string(world_seed) +
+                    " --world-scale " + std::to_string(world_scale) +
+                    " --config " + config.Name();
+  if (planted) cmd += " --plant-unsound";
+  return cmd;
+}
+
+std::string Divergence::Report() const {
+  std::string report =
+      "UNSOUND: optimized plan disagrees with the original query\n";
+  report += "  query:     " + query->ToString() + "\n";
+  report += "  optimized: " + optimized->ToString() + "\n";
+  report += "  world:     seed=" + std::to_string(world_seed) +
+            " scale=" + std::to_string(world_scale) + "\n";
+  report += "  config:    " + config.Name() + "\n";
+  report += "  rules:     " +
+            (rule_trace.empty() ? std::string("(none fired)")
+                                : Join(rule_trace, ", ")) +
+            "\n";
+  report += "  expected:  " + expected + "\n";
+  report += "  actual:    " + actual + "\n";
+  report += "  replay:    " + ReplayCommand() + "\n";
+  if (!Term::Equal(query, original_query)) {
+    report += "  shrunk from: " + original_query->ToString() + "\n";
+  }
+  return report;
+}
+
+std::string SoundnessReport::Summary() const {
+  std::string summary =
+      "soundness: " + std::to_string(trials) + " trials (" +
+      std::to_string(evaluated) + " evaluated, " +
+      std::to_string(gen_skipped) + " gen-skipped, " +
+      std::to_string(eval_skipped) + " eval-skipped), " +
+      std::to_string(config_runs) + " config cells, " +
+      std::to_string(strictness) + " strictness diffs, " +
+      std::to_string(failures.size()) + " divergences";
+  summary += failures.empty() ? " -- CLEAN" : " -- UNSOUND";
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------------
+
+/// What happened when one query ran through the pipeline under one config.
+struct SoundnessHarness::RunOutcome {
+  bool skipped = false;     // a step budget was exhausted; no verdict
+  bool strictness = false;  // pipeline errored where the baseline did not
+  bool diverged = false;
+  TermPtr optimized;
+  std::string expected;
+  std::string actual;
+  std::vector<std::string> rule_trace;
+};
+
+SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
+    const TermPtr& query, const Database& db,
+    const PipelineConfig& config) const {
+  RunOutcome out;
+  ScopedInterning interning(config.interning);
+  TermPtr q = config.interning ? GlobalTermInterner().Intern(query) : query;
+
+  // Ground truth: the un-optimized query under the naive nested-loop
+  // semantics. Fastpaths are part of what is being tested, so they stay
+  // off here even when the config turns them on for the optimized side.
+  Evaluator baseline(
+      &db, EvalOptions{.max_steps = options_.max_eval_steps,
+                       .physical_fastpaths = false});
+  auto expected = baseline.EvalObject(q);
+  if (!expected.ok()) {
+    out.skipped = true;
+    return out;
+  }
+
+  PropertyStore properties = PropertyStore::Default();
+  RewriterOptions engine_options;
+  engine_options.memoize_fixpoint = config.fixpoint_memo;
+  Optimizer optimizer(&properties, &db, engine_options);
+  auto result = optimizer.Optimize(q);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      out.skipped = true;
+    } else {
+      out.strictness = true;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<TermPtr, std::vector<std::string>>> plans;
+  std::vector<std::string> fired = result->trace.RuleIds();
+  plans.emplace_back(result->rewritten, fired);
+  if (!Term::Equal(result->query, result->rewritten)) {
+    plans.emplace_back(result->query, fired);
+  }
+  // Planted rules model "this rule fired during optimization": one
+  // application each, on top of the genuine pipeline output.
+  for (const Rule& rule : options_.extra_rules) {
+    RewriteStep step;
+    auto after = optimizer.rewriter().ApplyOnce(rule, result->rewritten,
+                                                &step);
+    if (after.has_value()) {
+      std::vector<std::string> trace = fired;
+      trace.push_back(rule.id);
+      plans.emplace_back(std::move(after).value(), std::move(trace));
+    }
+  }
+
+  for (auto& [plan, trace] : plans) {
+    Evaluator eval(
+        &db, EvalOptions{.max_steps = options_.max_eval_steps,
+                         .physical_fastpaths = config.physical_fastpaths});
+    auto actual = eval.EvalObject(plan);
+    if (!actual.ok()) {
+      if (actual.status().code() == StatusCode::kResourceExhausted) {
+        out.skipped = true;
+      } else {
+        out.strictness = true;
+      }
+      continue;
+    }
+    if (actual.value() == expected.value()) continue;
+    out.diverged = true;
+    out.optimized = plan;
+    out.expected = expected.value().ToString();
+    out.actual = actual.value().ToString();
+    out.rule_trace = std::move(trace);
+    return out;
+  }
+  return out;
+}
+
+Divergence SoundnessHarness::ShrinkDivergence(Divergence failure) const {
+  RandomWorldOptions world;
+  world.seed = failure.world_seed;
+  world.scale = failure.world_scale;
+
+  auto diverges = [&](const TermPtr& candidate,
+                      const RandomWorldOptions& w,
+                      RunOutcome* out) -> bool {
+    auto db = BuildRandomWorld(w);
+    *out = RunConfig(candidate, *db, failure.config);
+    return out->diverged;
+  };
+  auto adopt = [&failure](const TermPtr& candidate, RunOutcome out) {
+    failure.query = candidate;
+    failure.optimized = std::move(out.optimized);
+    failure.expected = std::move(out.expected);
+    failure.actual = std::move(out.actual);
+    failure.rule_trace = std::move(out.rule_trace);
+  };
+
+  // Greedy first-improvement descent over local term reductions: adopt any
+  // strictly smaller query that still diverges, until none does.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<TermPtr> candidates;
+    CollectReductions(failure.query, &candidates);
+    for (const TermPtr& candidate : candidates) {
+      RunOutcome out;
+      if (!diverges(candidate, world, &out)) continue;
+      adopt(candidate, std::move(out));
+      improved = true;
+      break;
+    }
+  }
+
+  // Then shrink the database: smallest scale (same seed) that still shows
+  // the divergence. Scale 0 forces every extent empty.
+  for (int scale = 0; scale < world.scale; ++scale) {
+    RandomWorldOptions smaller = world;
+    smaller.scale = scale;
+    RunOutcome out;
+    if (!diverges(failure.query, smaller, &out)) continue;
+    world = smaller;
+    adopt(failure.query, std::move(out));
+    break;
+  }
+  failure.world_scale = world.scale;
+  return failure;
+}
+
+StatusOr<std::optional<Divergence>> SoundnessHarness::CheckQuery(
+    const TermPtr& query, const RandomWorldOptions& world,
+    const PipelineConfig& config) {
+  auto db = BuildRandomWorld(world);
+  RunOutcome out = RunConfig(query, *db, config);
+  if (!out.diverged) return std::optional<Divergence>();
+  Divergence failure;
+  failure.query = query;
+  failure.original_query = query;
+  failure.optimized = std::move(out.optimized);
+  failure.world_seed = world.seed;
+  failure.world_scale = world.scale;
+  failure.config = config;
+  failure.planted = !options_.extra_rules.empty();
+  failure.expected = std::move(out.expected);
+  failure.actual = std::move(out.actual);
+  failure.rule_trace = std::move(out.rule_trace);
+  if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
+  return std::optional<Divergence>(std::move(failure));
+}
+
+StatusOr<SoundnessReport> SoundnessHarness::Run() {
+  SoundnessReport report;
+  Rng rng(options_.seed);
+  SchemaTypes schema = SchemaTypes::CarWorld();
+  for (int trial = 0; trial < options_.trials; ++trial) {
+    if (static_cast<int>(report.failures.size()) >= options_.max_failures) {
+      break;
+    }
+    uint64_t world_seed = static_cast<uint64_t>(
+        rng.Uniform(0, std::numeric_limits<int64_t>::max()));
+    RandomWorldOptions world = RandomWorldOptions::FromSeed(world_seed);
+    auto db = BuildRandomWorld(world);
+
+    Rng query_rng = rng.Fork();
+    QueryGenerator generator(&schema, db.get(), &query_rng,
+                             QueryGenOptions{.max_depth = options_.gen_depth});
+    auto query = generator.RandomQuery();
+    ++report.trials;
+    if (!query.ok()) {
+      ++report.gen_skipped;
+      continue;
+    }
+
+    // One cheap un-instrumented probe so trials whose baseline cannot
+    // evaluate (runtime type error, step budget) are classified once
+    // instead of once per config.
+    Evaluator probe(db.get(),
+                    EvalOptions{.max_steps = options_.max_eval_steps,
+                                .physical_fastpaths = false});
+    if (!probe.EvalObject(query.value()).ok()) {
+      ++report.eval_skipped;
+      continue;
+    }
+    ++report.evaluated;
+
+    for (const PipelineConfig& config : options_.configs) {
+      ++report.config_runs;
+      RunOutcome out = RunConfig(query.value(), *db, config);
+      if (out.strictness) ++report.strictness;
+      if (!out.diverged) continue;
+      Divergence failure;
+      failure.query = query.value();
+      failure.original_query = query.value();
+      failure.optimized = std::move(out.optimized);
+      failure.world_seed = world.seed;
+      failure.world_scale = world.scale;
+      failure.config = config;
+      failure.planted = !options_.extra_rules.empty();
+      failure.expected = std::move(out.expected);
+      failure.actual = std::move(out.actual);
+      failure.rule_trace = std::move(out.rule_trace);
+      if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
+      report.failures.push_back(std::move(failure));
+      if (static_cast<int>(report.failures.size()) >=
+          options_.max_failures) {
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace kola

@@ -1,0 +1,157 @@
+#ifndef KOLA_VERIFY_SOUNDNESS_H_
+#define KOLA_VERIFY_SOUNDNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "rewrite/rule.h"
+#include "term/term.h"
+#include "values/random_world.h"
+
+namespace kola {
+
+/// One cell of the optimizer configuration matrix the harness sweeps: the
+/// engine tunables that must never change query RESULTS, only performance.
+/// Differential testing across all eight combinations is what catches a
+/// memo/interning/fastpath interaction that per-rule verification cannot.
+struct PipelineConfig {
+  bool interning = false;         // hash-consed Term::Make (term/intern.h)
+  bool fixpoint_memo = true;      // FixpointCache negative-match memo
+  bool physical_fastpaths = true; // hash join / grouping in the evaluator
+
+  /// Compact stable name: "+"-joined feature list ("intern+memo+fast"),
+  /// "plain" when everything is off. Round-trips through
+  /// ParsePipelineConfig; used by `kolaverify --config`.
+  std::string Name() const;
+};
+
+/// Parses a PipelineConfig::Name() back into a config. INVALID_ARGUMENT on
+/// unknown feature names.
+StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name);
+
+/// All eight interning x memo x fastpath combinations.
+std::vector<PipelineConfig> FullConfigMatrix();
+
+/// A rule that is deliberately unsound -- iterate(?p, ?f) => iterate(?p, id)
+/// silently drops the projection. Planted into the harness by tests (and
+/// `kolaverify --plant-unsound`) to prove the end-to-end detector actually
+/// detects: the harness must flag it and shrink the failure to a depth <= 3
+/// query. Never registered in the rule catalog.
+Rule PlantedDropMapRule();
+
+/// Harness tunables.
+struct SoundnessOptions {
+  int trials = 1000;
+  uint64_t seed = 1;
+
+  /// Depth budget for generated query pieces.
+  int gen_depth = 3;
+
+  /// Per-evaluation step bound; RESOURCE_EXHAUSTED evaluations are counted
+  /// as skips, never as divergences.
+  int64_t max_eval_steps = 2'000'000;
+
+  /// The optimizer configurations every trial is checked under.
+  std::vector<PipelineConfig> configs = FullConfigMatrix();
+
+  /// Applied once each to the optimized plan, as if they had fired during
+  /// optimization. Test hook: plant PlantedDropMapRule() here and the
+  /// harness must catch it.
+  std::vector<Rule> extra_rules;
+
+  /// Greedily minimize failures before reporting (term reduction first,
+  /// then database scale).
+  bool shrink = true;
+
+  /// Stop after this many divergences (each is shrunk and fully reported;
+  /// one is usually enough to file).
+  int max_failures = 3;
+};
+
+/// A reproducible optimizer-soundness failure: a query whose optimized form
+/// evaluates to a different result than the original on a concrete
+/// database.
+struct Divergence {
+  TermPtr query;            // minimized diverging query
+  TermPtr original_query;   // as generated, before shrinking
+  TermPtr optimized;        // the plan that disagreed (for `query`)
+  uint64_t world_seed = 0;  // BuildRandomWorld seed
+  int world_scale = 0;      // after database shrinking
+  PipelineConfig config;    // the matrix cell that diverged
+  bool planted = false;     // extra_rules were in play
+  std::string expected;     // baseline result (printed)
+  std::string actual;       // optimized result (printed)
+  std::vector<std::string> rule_trace;  // rule ids, firing order
+
+  /// A one-line `kolaverify --replay ...` invocation that reproduces this
+  /// exact divergence from a fresh process.
+  std::string ReplayCommand() const;
+
+  /// Multi-line human-readable report (query, world, trace, both results,
+  /// replay command).
+  std::string Report() const;
+};
+
+/// Aggregate outcome of a harness run.
+struct SoundnessReport {
+  int trials = 0;            // queries generated and attempted
+  int evaluated = 0;         // trials whose baseline evaluation succeeded
+  int gen_skipped = 0;       // generator could not fill the drawn shape
+  int eval_skipped = 0;      // baseline errored or ran out of steps
+  int config_runs = 0;       // (trial, config) cells checked
+  int strictness = 0;        // optimized plan errored where baseline did not
+  std::vector<Divergence> failures;
+
+  bool clean() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// The end-to-end differential harness: every trial generates a random
+/// query (verify/query_gen.h), builds a fresh random world, evaluates the
+/// query un-optimized (fastpaths off) as ground truth, then runs the full
+/// optimizer pipeline under every PipelineConfig and re-evaluates each
+/// produced plan. Disagreement in results is a Divergence; it is shrunk to
+/// a minimal term and world before being reported.
+///
+/// Error-behavior differences are *not* divergences: code motion may hoist
+/// a predicate over an attribute access that would have errored (the
+/// paper's semantics are total over defined values), so an optimized plan
+/// erroring where the baseline succeeded is tallied under `strictness`.
+class SoundnessHarness {
+ public:
+  explicit SoundnessHarness(SoundnessOptions options)
+      : options_(std::move(options)) {}
+
+  /// Runs the full sweep. Only infrastructure failures (not divergences)
+  /// surface as error Status.
+  StatusOr<SoundnessReport> Run();
+
+  /// Checks one query against one world under one config -- the `--replay`
+  /// path, and the predicate the shrinker minimizes against. Returns the
+  /// (shrunk, when options.shrink) divergence, or nullopt when the query
+  /// and its optimized forms agree.
+  StatusOr<std::optional<Divergence>> CheckQuery(
+      const TermPtr& query, const RandomWorldOptions& world,
+      const PipelineConfig& config);
+
+ private:
+  struct RunOutcome;  // internal per-config evaluation result
+
+  RunOutcome RunConfig(const TermPtr& query, const Database& db,
+                       const PipelineConfig& config) const;
+  Divergence ShrinkDivergence(Divergence failure) const;
+
+  SoundnessOptions options_;
+};
+
+/// Depth of a term with leaves at depth 0 (so `iterate(Kp(T), age) ! P`
+/// has depth 3). The planted-rule acceptance bound is stated in terms of
+/// this metric.
+int TermDepth(const TermPtr& term);
+
+}  // namespace kola
+
+#endif  // KOLA_VERIFY_SOUNDNESS_H_

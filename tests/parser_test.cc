@@ -82,6 +82,23 @@ TEST(ParserTest, SetLiterals) {
   EXPECT_EQ(nested->literal().SetSize(), 2u);
 }
 
+TEST(ParserTest, ObjectLiterals) {
+  // Value prints object references as obj<classid>#objid; the parser
+  // accepts them back so shrunk soundness repros replay verbatim.
+  TermPtr t = MustParse("obj<0>#3", Sort::kObject);
+  ASSERT_EQ(t->kind(), TermKind::kLiteral);
+  EXPECT_EQ(t->literal(), Value::Object(0, 3));
+  EXPECT_EQ(t->ToString(), "obj<0>#3");
+  TermPtr in_set = MustParse("{obj<1>#0, obj<1>#2}", Sort::kObject);
+  EXPECT_EQ(in_set->literal().SetSize(), 2u);
+  TermPtr curried = MustParse("Cp(eq, obj<2>#5) @ id", Sort::kPredicate);
+  EXPECT_EQ(curried->kind(), TermKind::kOplus);
+  // `obj` alone is still an ordinary identifier.
+  EXPECT_EQ(MustParse("obj", Sort::kObject)->kind(), TermKind::kCollection);
+  EXPECT_FALSE(ParseTerm("obj<0>", Sort::kObject).ok());
+  EXPECT_FALSE(ParseTerm("obj<>#1", Sort::kObject).ok());
+}
+
 TEST(ParserTest, ApplyAndTest) {
   TermPtr q = MustParse("iterate(Kp(T), age) ! P", Sort::kObject);
   EXPECT_EQ(q->kind(), TermKind::kApplyFn);
