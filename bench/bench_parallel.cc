@@ -1,0 +1,262 @@
+// Serial-vs-parallel scaling of the batch drivers: Optimizer::OptimizeAll
+// over a mixed query batch, and the differential soundness sweep with
+// SoundnessOptions::jobs. Both drivers promise bit-identical output for
+// every jobs value, so each workload's result digest is checked across all
+// measured jobs levels before any timing is reported; parallelism may only
+// ever buy wall-clock. The table is written to BENCH_parallel.json
+// (override with --out=PATH).
+//
+// Note: speedup is bounded by the physical core count of the machine the
+// bench runs on (hardware_jobs in the JSON); on a single-core container
+// every jobs level times the same serial work plus scheduling overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "optimizer/code_motion.h"
+#include "optimizer/hidden_join.h"
+#include "optimizer/optimizer.h"
+#include "values/car_world.h"
+#include "verify/soundness.h"
+
+namespace kola {
+namespace {
+
+constexpr int kJobsLevels[] = {1, 2, 4};
+
+// ---------------------------------------------------------------------------
+// Workload 1: OptimizeAll over a mixed batch (untangling-heavy).
+// ---------------------------------------------------------------------------
+
+std::vector<TermPtr> MakeBatch() {
+  std::vector<TermPtr> batch;
+  for (int round = 0; round < 4; ++round) {
+    batch.push_back(GarageQueryKG1());
+    batch.push_back(QueryK4());
+    batch.push_back(QueryK3());
+    for (int depth : {4, 5, 6}) {
+      auto query = MakeHiddenJoinQuery(depth);
+      KOLA_CHECK_OK(query.status());
+      batch.push_back(std::move(query).value());
+    }
+  }
+  return batch;  // 24 queries
+}
+
+std::string BatchDigest(const std::vector<OptimizeResult>& results) {
+  std::string digest;
+  for (const OptimizeResult& r : results) {
+    digest += r.query->ToString();
+    for (const std::string& id : r.trace.RuleIds()) {
+      digest += ' ';
+      digest += id;
+    }
+    digest += '\n';
+  }
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: the end-to-end soundness sweep.
+// ---------------------------------------------------------------------------
+
+SoundnessOptions SweepOptions(int jobs) {
+  SoundnessOptions options;
+  options.trials = 48;
+  options.seed = 20260806;
+  options.max_eval_steps = 500'000;
+  options.jobs = jobs;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Harness: per-workload timings at each jobs level, digest equality across
+// levels, table + BENCH_parallel.json.
+// ---------------------------------------------------------------------------
+
+struct Row {
+  std::string name;
+  std::vector<double> ms;       // parallel to kJobsLevels
+  std::vector<double> speedup;  // serial_ms / ms
+};
+
+void FinishRow(Row* row) {
+  for (double ms : row->ms) {
+    row->speedup.push_back(ms > 0 ? row->ms.front() / ms : 0);
+  }
+}
+
+Row MeasureOptimizeAll(int repetitions) {
+  const PropertyStore properties = PropertyStore::Default();
+  CarWorldOptions world;
+  world.num_persons = 24;
+  world.num_vehicles = 12;
+  world.num_addresses = 10;
+  auto db = BuildCarWorld(world);
+  Optimizer optimizer(&properties, db.get());
+  const std::vector<TermPtr> batch = MakeBatch();
+
+  // Identity gate: every jobs level must produce the serial batch, plan
+  // for plan and trace for trace.
+  std::string serial_digest;
+  for (int jobs : kJobsLevels) {
+    auto results = optimizer.OptimizeAll(batch, jobs);
+    KOLA_CHECK_OK(results.status());
+    std::string digest = BatchDigest(results.value());
+    if (jobs == 1) serial_digest = digest;
+    KOLA_CHECK(digest == serial_digest);
+  }
+
+  Row row;
+  row.name = "optimize_all/mixed_batch24";
+  for (size_t level = 0; level < std::size(kJobsLevels); ++level) {
+    double best = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      auto results = optimizer.OptimizeAll(batch, kJobsLevels[level]);
+      auto end = std::chrono::steady_clock::now();
+      KOLA_CHECK_OK(results.status());
+      benchmark::DoNotOptimize(results);
+      double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    row.ms.push_back(best);
+  }
+  FinishRow(&row);
+  return row;
+}
+
+Row MeasureSoundnessSweep(int repetitions) {
+  // Identity gate: counts, failures and repro seeds must not move with
+  // jobs. Summary() covers all of them.
+  std::string serial_summary;
+  for (int jobs : kJobsLevels) {
+    auto report = SoundnessHarness(SweepOptions(jobs)).Run();
+    KOLA_CHECK_OK(report.status());
+    KOLA_CHECK(report->clean());
+    if (jobs == 1) serial_summary = report->Summary();
+    KOLA_CHECK(report->Summary() == serial_summary);
+  }
+
+  Row row;
+  row.name = "soundness_sweep/48_trials_x8_configs";
+  for (size_t level = 0; level < std::size(kJobsLevels); ++level) {
+    double best = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      SoundnessHarness harness(SweepOptions(kJobsLevels[level]));
+      auto start = std::chrono::steady_clock::now();
+      auto report = harness.Run();
+      auto end = std::chrono::steady_clock::now();
+      KOLA_CHECK_OK(report.status());
+      benchmark::DoNotOptimize(report);
+      double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    row.ms.push_back(best);
+  }
+  FinishRow(&row);
+  return row;
+}
+
+std::vector<Row> RunTable() {
+  std::vector<Row> rows;
+  std::printf("== serial vs parallel batch drivers (hardware jobs: %d) ==\n",
+              HardwareJobs());
+  std::printf("%-40s", "workload");
+  for (int jobs : kJobsLevels) std::printf("  jobs=%d(ms)", jobs);
+  std::printf("  speedup@4\n");
+  auto emit = [&](Row row) {
+    std::printf("%-40s", row.name.c_str());
+    for (double ms : row.ms) std::printf("  %10.2f", ms);
+    std::printf("  %8.2fx\n", row.speedup.back());
+    rows.push_back(std::move(row));
+  };
+  emit(MeasureOptimizeAll(3));
+  emit(MeasureSoundnessSweep(3));
+  std::printf("\n");
+  return rows;
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_parallel\",\n");
+  std::fprintf(f, "  \"hardware_jobs\": %d,\n", HardwareJobs());
+  std::fprintf(f, "  \"results_identical_across_jobs\": true,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"levels\": [",
+                 rows[i].name.c_str());
+    for (size_t level = 0; level < rows[i].ms.size(); ++level) {
+      std::fprintf(f, "{\"jobs\": %d, \"ms\": %.3f, \"speedup\": %.2f}%s",
+                   kJobsLevels[level], rows[i].ms[level],
+                   rows[i].speedup[level],
+                   level + 1 < rows[i].ms.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Google-benchmark microbenches for the pool itself.
+// ---------------------------------------------------------------------------
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Dispatch cost of an almost-empty body: what ParallelFor charges per
+  // index when the work itself is negligible.
+  int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<uint64_t> sum{0};
+    ParallelFor(jobs, 256,
+                [&sum](size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_OptimizeAllBatch(benchmark::State& state) {
+  int jobs = static_cast<int>(state.range(0));
+  const PropertyStore properties = PropertyStore::Default();
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Optimizer optimizer(&properties, db.get());
+  const std::vector<TermPtr> batch = MakeBatch();
+  for (auto _ : state) {
+    auto results = optimizer.OptimizeAll(batch, jobs);
+    KOLA_CHECK_OK(results.status());
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_OptimizeAllBatch)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace kola
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+  std::vector<kola::Row> rows = kola::RunTable();
+  kola::WriteJson(rows, out);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -10,6 +10,7 @@
 //
 //   kolaverify                          # 1000 trials, full config matrix
 //   kolaverify --trials 50 --seed 7     # quick CI smoke
+//   kolaverify --jobs 4                 # same report, 4 worker threads
 //   kolaverify --plant-unsound          # prove the detector detects
 //   kolaverify --replay 'iterate(Kp(T), age) ! P' --world-seed 12345
 //              --world-scale 1 --config memo+fast
@@ -21,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "term/parser.h"
 #include "verify/soundness.h"
 
@@ -32,6 +34,8 @@ void PrintUsage() {
       "  --trials N        queries to generate (default 1000)\n"
       "  --seed N          harness seed (default 1)\n"
       "  --depth N         generator depth budget (default 3)\n"
+      "  --jobs N          worker threads (default: hardware concurrency);\n"
+      "                    the report is bit-identical for every N\n"
       "  --config NAME     check one config instead of the full matrix;\n"
       "                    NAME is '+'-joined from intern, memo, fast,\n"
       "                    or 'plain' (e.g. memo+fast)\n"
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
   using namespace kola;  // NOLINT: example brevity
 
   SoundnessOptions options;
+  options.jobs = HardwareJobs();
   std::string replay_text;
   uint64_t world_seed = 1;
   int world_scale = 3;
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(need_value(i++), nullptr, 10);
     } else if (std::strcmp(argv[i], "--depth") == 0) {
       options.gen_depth = std::atoi(need_value(i++));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      options.jobs = std::atoi(need_value(i++));
     } else if (std::strcmp(argv[i], "--config") == 0) {
       auto config = ParsePipelineConfig(need_value(i++));
       if (!config.ok()) {

@@ -1,0 +1,26 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace kola {
+
+bool ParseEnvFlagValue(const std::string& value) {
+  std::string lowered;
+  lowered.reserve(value.size());
+  for (char c : value) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return !lowered.empty() && lowered != "0" && lowered != "false" &&
+         lowered != "off" && lowered != "no";
+}
+
+bool EnvFlagEnabled(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && ParseEnvFlagValue(value);
+}
+
+bool EnvFlagSet(const char* name) { return std::getenv(name) != nullptr; }
+
+}  // namespace kola

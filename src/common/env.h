@@ -1,0 +1,26 @@
+#ifndef KOLA_COMMON_ENV_H_
+#define KOLA_COMMON_ENV_H_
+
+#include <string>
+
+namespace kola {
+
+/// True when the environment variable `name` is set to a truthy value.
+/// Truthy means set and not one of "" / "0" / "false" / "off" / "no"
+/// (case-insensitive), so `KOLA_X=0` reads as *disabled*, not enabled --
+/// every KOLA_* boolean flag routes through this one parser so set-vs-unset
+/// and zero-vs-nonzero cannot drift apart between flags again.
+bool EnvFlagEnabled(const char* name);
+
+/// True when `name` is set at all, regardless of value. Used to distinguish
+/// "explicitly disabled" from "unset" where a flag has a non-trivial
+/// default.
+bool EnvFlagSet(const char* name);
+
+/// The truthiness parse applied by EnvFlagEnabled, exposed for tests and
+/// for callers that already hold the raw value.
+bool ParseEnvFlagValue(const std::string& value);
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_ENV_H_

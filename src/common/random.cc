@@ -42,4 +42,14 @@ std::string Rng::Identifier(size_t length) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng Rng::Child(uint64_t index) const {
+  // One splitmix64 finalizer round over (state, index): children of
+  // distinct indices are decorrelated from each other and from the parent
+  // stream, and the parent state is left untouched.
+  uint64_t z = state_ + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace kola

@@ -33,8 +33,19 @@ class Rng {
   /// Lowercase ASCII identifier of the given length.
   std::string Identifier(size_t length);
 
-  /// Derives an independent child generator (for parallel determinism).
+  /// Derives an independent child generator, advancing this one. The child
+  /// seed depends on how many values were drawn before the fork, so two
+  /// Fork() calls in a row yield different children. For streams that must
+  /// be independent of draw order (parallel trials), use Child instead.
   Rng Fork();
+
+  /// Derives the `index`-th child stream WITHOUT advancing this generator:
+  /// Child(k) depends only on the current state and k, never on other
+  /// draws. This is the parallel-determinism primitive -- trial k of a
+  /// fanned-out sweep seeds itself with Child(k), so its randomness (and
+  /// therefore its repro seed) is identical whether trials 0..k-1 ran
+  /// before it, after it, or on another thread.
+  Rng Child(uint64_t index) const;
 
  private:
   uint64_t state_;

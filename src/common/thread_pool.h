@@ -1,0 +1,70 @@
+#ifndef KOLA_COMMON_THREAD_POOL_H_
+#define KOLA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kola {
+
+/// A small fixed-size thread pool: one shared FIFO queue, no work stealing.
+/// Determinism in this codebase never comes from scheduling -- callers
+/// partition work into independent tasks and fold results in a fixed order
+/// -- so a single locked queue is all the machinery the optimizer, the
+/// soundness harness and the benchmarks need.
+///
+/// Tasks must not throw (the library reports failures through Status); an
+/// escaping exception terminates the process, which is the same contract
+/// KOLA_CHECK already enforces for invariant violations.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Safe to call from any thread, including from inside
+  /// a running task (the pool never blocks a worker on Submit).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Not a barrier against
+  /// concurrent Submit calls from other threads: quiesce producers first.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The default parallelism for `--jobs`-style flags: the hardware
+/// concurrency, or 1 when the runtime cannot report it.
+int HardwareJobs();
+
+/// Runs `fn(i)` for every i in [0, count) across up to `jobs` threads (the
+/// calling thread participates). `jobs <= 1` degenerates to an inline loop
+/// with no threads spawned, so serial and parallel callers share one code
+/// path. `fn` must be safe to invoke concurrently on distinct indices;
+/// index assignment order across threads is unspecified.
+void ParallelFor(int jobs, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_THREAD_POOL_H_

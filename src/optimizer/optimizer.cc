@@ -1,8 +1,12 @@
 #include "optimizer/optimizer.h"
 
+#include <atomic>
 #include <functional>
+#include <optional>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "coko/strategy.h"
 #include "optimizer/code_motion.h"
 #include "optimizer/explore.h"
@@ -107,6 +111,63 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const TermPtr& query) const {
   }
   result.query = result.kept_rewrite ? current : query;
   return result;
+}
+
+StatusOr<std::vector<OptimizeResult>> Optimizer::OptimizeAll(
+    std::span<const TermPtr> queries, int jobs) const {
+  const size_t count = queries.size();
+  std::vector<Status> statuses(count, Status::OK());
+  std::vector<std::optional<OptimizeResult>> slots(count);
+
+  if (jobs > static_cast<int>(count)) jobs = static_cast<int>(count);
+  if (jobs <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      auto result = Optimize(queries[i]);
+      if (result.ok()) {
+        slots[i] = std::move(result).value();
+      } else {
+        statuses[i] = result.status();
+      }
+    }
+  } else {
+    // One Optimizer clone per worker: each clone owns its Rewriter and
+    // fixpoint cache pool, so workers share only immutable inputs (the
+    // PropertyStore, the Database, the queries).
+    const PropertyStore* properties = rewriter_.properties();
+    const RewriterOptions options = rewriter_.options();
+    std::atomic<size_t> next{0};
+    auto drain = [&] {
+      Optimizer worker(properties, db_, options);
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        auto result = worker.Optimize(queries[i]);
+        if (result.ok()) {
+          slots[i] = std::move(result).value();
+        } else {
+          statuses[i] = result.status();
+        }
+      }
+    };
+    ThreadPool pool(jobs - 1);
+    for (int w = 0; w < jobs - 1; ++w) pool.Submit(drain);
+    drain();
+    pool.Wait();
+  }
+
+  // Lowest-index failure wins, independent of scheduling.
+  for (size_t i = 0; i < count; ++i) {
+    if (!statuses[i].ok()) {
+      return statuses[i].WithContext("optimizing batch query " +
+                                     std::to_string(i));
+    }
+  }
+  std::vector<OptimizeResult> results;
+  results.reserve(count);
+  for (std::optional<OptimizeResult>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
 }
 
 }  // namespace kola

@@ -1,6 +1,7 @@
 #ifndef KOLA_OPTIMIZER_OPTIMIZER_H_
 #define KOLA_OPTIMIZER_OPTIMIZER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,22 +31,46 @@ class Optimizer {
  public:
   /// `properties` enables precondition-guarded rules (may be nullptr).
   /// `db` grounds extent cardinalities for the cost model (may be nullptr).
+  /// Both must outlive the optimizer and stay unmodified while it runs.
   Optimizer(const PropertyStore* properties, const Database* db)
-      : rewriter_(properties), cost_model_(db) {}
+      : Optimizer(properties, db, RewriterOptions::Defaults()) {}
 
   /// As above, with explicit engine tunables -- the soundness harness uses
   /// this to run the same pipeline with and without fixpoint memoization.
   Optimizer(const PropertyStore* properties, const Database* db,
             RewriterOptions options)
-      : rewriter_(properties, options), cost_model_(db) {}
+      : rewriter_(properties, WithPooledCaches(options)),
+        cost_model_(db),
+        db_(db) {}
 
   StatusOr<OptimizeResult> Optimize(const TermPtr& query) const;
+
+  /// Optimizes every query of the batch, fanning out across up to `jobs`
+  /// worker threads; results come back in input order and each entry is
+  /// byte-identical to what Optimize(queries[i]) returns, whatever `jobs`
+  /// is (a worker owns its whole Optimizer clone -- rewriter, fixpoint
+  /// cache pool, cost model -- so there is no cross-thread engine state,
+  /// and Optimize itself is deterministic). The first failing query (by
+  /// input index, not wall-clock) decides the error Status.
+  StatusOr<std::vector<OptimizeResult>> OptimizeAll(
+      std::span<const TermPtr> queries, int jobs = 1) const;
 
   const Rewriter& rewriter() const { return rewriter_; }
 
  private:
+  /// The optimizer pipeline re-enters Fixpoint with the same rule blocks
+  /// for every query, so its private Rewriter keeps per-fingerprint caches
+  /// alive across calls (the per-worker cache of OptimizeAll). This is why
+  /// an Optimizer instance must not be shared across threads: clone one per
+  /// worker, as OptimizeAll does.
+  static RewriterOptions WithPooledCaches(RewriterOptions options) {
+    options.reuse_fixpoint_caches = true;
+    return options;
+  }
+
   Rewriter rewriter_;
   CostModel cost_model_;
+  const Database* db_;
 };
 
 }  // namespace kola

@@ -1,9 +1,9 @@
 #include "rewrite/engine.h"
 
-#include <cstdlib>
 #include <functional>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/macros.h"
 #include "rewrite/match.h"
 
@@ -60,7 +60,10 @@ void FixpointCache::Attune(uint64_t fingerprint, size_t rule_count) {
 
 RewriterOptions RewriterOptions::Defaults() {
   RewriterOptions options;
-  options.memoize_fixpoint = std::getenv("KOLA_NO_FIXPOINT_MEMO") == nullptr;
+  // Truthy-set semantics (common/env.h): KOLA_NO_FIXPOINT_MEMO=0 leaves
+  // memoization ON, matching how KOLA_INTERN parses. The old set-vs-unset
+  // check made =0 silently disable it.
+  options.memoize_fixpoint = !EnvFlagEnabled("KOLA_NO_FIXPOINT_MEMO");
   return options;
 }
 
@@ -183,7 +186,16 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
                                      FixpointCache* cache) const {
   FixpointCache local;
   FixpointCache* memo = cache;
-  if (memo == nullptr && options_.memoize_fixpoint) memo = &local;
+  if (memo == nullptr && options_.memoize_fixpoint) {
+    if (options_.reuse_fixpoint_caches) {
+      // One pooled cache per rule-set fingerprint, reused across Fixpoint
+      // calls for the Rewriter's lifetime (Attune below keeps a hash
+      // collision from replaying a different rule set's failures).
+      memo = &cache_pool_[RuleSetFingerprint(rules)];
+    } else {
+      memo = &local;
+    }
+  }
   if (memo != nullptr) memo->Attune(RuleSetFingerprint(rules), rules.size());
   if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
   for (int i = 0; i < max_steps; ++i) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -92,9 +93,21 @@ class FixpointCache {
 struct RewriterOptions {
   /// Memoize failed (rule, subterm) probes inside Fixpoint. On by default:
   /// it is trace-preserving. Defaults() honours the KOLA_NO_FIXPOINT_MEMO
-  /// environment variable (set to disable), so benchmarks can measure the
-  /// un-memoized engine without code changes.
+  /// environment variable (set to a truthy value -- see common/env.h -- to
+  /// disable), so benchmarks can measure the un-memoized engine without
+  /// code changes.
   bool memoize_fixpoint = true;
+
+  /// Keep one FixpointCache per rule-set fingerprint alive inside the
+  /// Rewriter and reuse it across Fixpoint calls, instead of a fresh
+  /// per-call memo. The optimizer pipeline turns this on for its private
+  /// Rewriter: each worker thread owns one Optimizer, so the pool is the
+  /// "per-worker cache" of the batch driver -- negative matches learned on
+  /// one query carry to the next without any cross-thread sharing.
+  /// Requires the caller's PropertyStore to stay fixed for the Rewriter's
+  /// lifetime, and makes the Rewriter instance single-threaded (share
+  /// nothing: one Rewriter per worker). Off by default.
+  bool reuse_fixpoint_caches = false;
 
   static RewriterOptions Defaults();
 };
@@ -158,6 +171,10 @@ class Rewriter {
 
   const PropertyStore* properties_;
   RewriterOptions options_;
+  /// Per-fingerprint caches when options_.reuse_fixpoint_caches is set.
+  /// Mutable because Fixpoint is logically const (memoization never changes
+  /// results or traces); unsynchronized, see RewriterOptions.
+  mutable std::unordered_map<uint64_t, FixpointCache> cache_pool_;
 };
 
 }  // namespace kola

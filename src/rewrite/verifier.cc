@@ -92,12 +92,15 @@ StatusOr<VerifyOutcome> VerifyRule(const Rule& rule, const Database& db,
           .WithContext("unifying side types of rule " + rule.id));
 
   Sort sort = rule.lhs->sort();
-  Rng rng(options.seed);
+  const Rng rng(options.seed);
   VerifyOutcome outcome;
 
   for (int trial = 0; trial < options.trials; ++trial) {
     ++outcome.trials;
-    Rng trial_rng = rng.Fork();
+    // Child, not Fork: trial K's generator depends only on (seed, K), so a
+    // trial reported by a sweep can be re-run in isolation and the loop can
+    // fan out across workers without reordering anyone's randomness.
+    Rng trial_rng = rng.Child(static_cast<uint64_t>(trial));
     TermGenerator gen(&schema, &db, &trial_rng,
                       GenOptions{options.gen_depth, 4});
 

@@ -1,9 +1,11 @@
 #include "term/intern.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <utility>
 #include <vector>
+
+#include "common/env.h"
+#include "common/macros.h"
 
 namespace kola {
 
@@ -15,26 +17,63 @@ uint64_t NextEpoch() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Serializes first-tag writes across arenas. Two arenas hold different
+/// shard locks for the same term, so the "first tag wins" check-then-write
+/// needs its own (leaf) lock; it is only taken on the miss path.
+std::mutex& TagMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// The process-wide KOLA_INTERN default, read exactly once.
+struct EnvLatch {
+  std::once_flag once;
+  bool enabled = false;
+};
+
+EnvLatch& GlobalEnvLatch() {
+  static EnvLatch* latch = new EnvLatch();
+  return *latch;
+}
+
 TermInterner*& ActiveSlot() {
-  static TermInterner* active = [] {
-    const char* env = std::getenv("KOLA_INTERN");
-    bool enabled = env != nullptr && env[0] != '\0' && env[0] != '0';
-    return enabled ? &GlobalTermInterner() : nullptr;
-  }();
+  // Per-thread slot, initialized from the latched env default the first
+  // time the thread consults it. ScopedInterning edits only this thread's
+  // slot, so concurrent workers can run interning-on and interning-off
+  // pipeline configs side by side.
+  thread_local TermInterner* active =
+      LatchGlobalInterningFromEnv() ? &GlobalTermInterner() : nullptr;
   return active;
 }
 
 }  // namespace
 
+bool LatchGlobalInterningFromEnv() {
+  EnvLatch& latch = GlobalEnvLatch();
+  std::call_once(latch.once,
+                 [&] { latch.enabled = EnvFlagEnabled("KOLA_INTERN"); });
+  // A KOLA_INTERN value that changed after the latch (setenv mid-run) used
+  // to mean "whichever thread touched a term first wins"; make it loud.
+  const bool kola_intern_env_unchanged_since_latch =
+      EnvFlagEnabled("KOLA_INTERN") == latch.enabled;
+  KOLA_CHECK(kola_intern_env_unchanged_since_latch);
+  return latch.enabled;
+}
+
 TermInterner::TermInterner() : epoch_(NextEpoch()) {}
 
 TermPtr TermInterner::Intern(TermPtr term) {
   if (term == nullptr) return term;
-  // Already canonical in this arena.
-  if (term->intern_epoch_ == epoch_) return term;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  // Already canonical in this arena. Tags are write-once, so a matching
+  // epoch observed without the shard lock is final.
+  if (term->intern_epoch_.load(std::memory_order_acquire) == epoch) {
+    return term;
+  }
 
   // Canonicalize children first so the bucket probes below resolve equality
-  // through the interned-pointer fast path instead of deep walks.
+  // through the interned-pointer fast path instead of deep walks. No locks
+  // are held across the recursion -- each level locks only its own shard.
   TermPtr node = std::move(term);
   if (!node->is_leaf()) {
     bool changed = false;
@@ -52,32 +91,80 @@ TermPtr TermInterner::Intern(TermPtr term) {
     }
   }
 
-  auto [it, inserted] = canon_.insert(node);
+  Shard& shard = ShardFor(node->hash());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.canon.insert(node);
   if (!inserted) {
-    ++hits_;
+    ++shard.hits;
     return *it;
   }
-  ++misses_;
+  ++shard.misses;
   // First tag wins: a term already canonical in another arena keeps that
   // arena's epoch/id (it still deduplicates here through set membership).
-  if (node->intern_epoch_ == 0) {
-    node->intern_epoch_ = epoch_;
-    node->intern_id_ = next_id_++;
+  // Order matters for lock-free readers: id first, then epoch with release,
+  // so a reader that sees our epoch also sees our id.
+  {
+    std::lock_guard<std::mutex> tag_lock(TagMutex());
+    if (node->intern_epoch_.load(std::memory_order_relaxed) == 0) {
+      node->intern_id_.store(next_id_.fetch_add(1, std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      node->intern_epoch_.store(epoch, std::memory_order_release);
+    }
   }
   return node;
 }
 
 TermId TermInterner::IdOf(const TermPtr& term) const {
-  if (term == nullptr || term->intern_epoch_ != epoch_) return 0;
-  return term->intern_id_;
+  if (term == nullptr) return 0;
+  if (term->intern_epoch_.load(std::memory_order_acquire) !=
+      epoch_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  return term->intern_id_.load(std::memory_order_relaxed);
+}
+
+size_t TermInterner::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.canon.size();
+  }
+  return total;
+}
+
+uint64_t TermInterner::hits() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.hits;
+  }
+  return total;
+}
+
+uint64_t TermInterner::misses() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.misses;
+  }
+  return total;
 }
 
 void TermInterner::Clear() {
-  canon_.clear();
-  epoch_ = NextEpoch();
-  next_id_ = 1;
-  hits_ = 0;
-  misses_ = 0;
+  // Hold every shard lock while the epoch advances so no straggler can
+  // insert under the old epoch after its shard was emptied.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+  for (Shard& shard : shards_) {
+    shard.canon.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+  }
+  epoch_.store(NextEpoch(), std::memory_order_release);
+  next_id_.store(1, std::memory_order_relaxed);
 }
 
 TermInterner& GlobalTermInterner() {

@@ -1,7 +1,9 @@
 #ifndef KOLA_TERM_INTERN_H_
 #define KOLA_TERM_INTERN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 
 #include "term/term.h"
@@ -20,8 +22,17 @@ namespace kola {
 /// from a destroyed or Clear()ed arena can never be confused with live ones.
 ///
 /// The arena owns a reference to every canonical term, so canonical pointers
-/// stay valid (and unique) for the arena's lifetime. Not thread-safe: one
-/// arena per thread, or external synchronization.
+/// stay valid (and unique) for the arena's lifetime.
+///
+/// Thread-safe: the canonical set is sharded by structural hash with one
+/// mutex per shard, so concurrent Intern calls from worker threads only
+/// contend when they touch structurally identical subtrees (which is also
+/// when they must agree on one canonical pointer). Structural equality of
+/// interned pointers is preserved under concurrency: equal terms hash to the
+/// same shard, the shard lock serializes their insertion, and the winner's
+/// pointer is returned to every caller. Clear() takes every shard lock and
+/// must not race in-flight Intern calls that should land in the NEW epoch
+/// (quiesce workers around it, as a generation boundary).
 class TermInterner {
  public:
   TermInterner();
@@ -30,19 +41,20 @@ class TermInterner {
 
   /// Returns the canonical term structurally equal to `term`, interning the
   /// whole subtree bottom-up. Idempotent: interning a canonical term of this
-  /// arena is O(1). Returns nullptr for nullptr.
+  /// arena is O(1). Returns nullptr for nullptr. Safe to call concurrently.
   TermPtr Intern(TermPtr term);
 
   /// The dense id of `term` if it is canonical in this arena, 0 otherwise.
   TermId IdOf(const TermPtr& term) const;
 
-  /// Number of canonical terms held.
-  size_t size() const { return canon_.size(); }
+  /// Number of canonical terms held (sums the shards; a snapshot under
+  /// concurrent interning).
+  size_t size() const;
 
   /// Lookup hits (an equal term was already interned) vs misses (a new
   /// canonical entry) since construction or the last Clear().
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
 
   /// Drops every canonical term and starts a fresh epoch. Previously
   /// canonical terms remain valid, structurally comparable terms -- they are
@@ -59,30 +71,58 @@ class TermInterner {
     }
   };
 
-  uint64_t epoch_ = 0;
-  TermId next_id_ = 1;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::unordered_set<TermPtr, StructuralHash, StructuralEq> canon_;
+  /// Shard count: enough to keep eight soundness workers from serializing
+  /// on one mutex, small enough that Clear()/size() stay trivial.
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<TermPtr, StructuralHash, StructuralEq> canon;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardFor(size_t hash) { return shards_[hash % kShards]; }
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<TermId> next_id_{1};
+  Shard shards_[kShards];
 };
 
 /// The process-wide interner used by `Term::Make` when global interning is
-/// enabled. Lives forever; never destroyed during static teardown.
+/// enabled. Lives forever; never destroyed during static teardown. Shared
+/// by every thread whose active slot points at it (the sharding above makes
+/// that safe).
 TermInterner& GlobalTermInterner();
 
-/// The interner `Term::Make` currently canonicalizes through, or nullptr
-/// when construction-time interning is disabled (the default, unless the
-/// KOLA_INTERN environment variable is set to a non-zero value at first
-/// use).
+/// The interner `Term::Make` currently canonicalizes through on THIS
+/// thread, or nullptr when construction-time interning is disabled. The
+/// slot is thread-local: each thread starts from the process-wide latched
+/// KOLA_INTERN default (see LatchGlobalInterningFromEnv) and toggles
+/// independently, so one worker running an interning pipeline config never
+/// flips interning under a sibling running a plain config.
 TermInterner* ActiveTermInterner();
 
-/// Enables/disables routing `Term::Make` through GlobalTermInterner().
-/// Returns the previous setting.
+/// Latches the KOLA_INTERN default exactly once per process and returns it.
+/// Called implicitly by the first ActiveTermInterner / ScopedInterning /
+/// SetGlobalInterningEnabled on any thread, so the ordering between an
+/// early ScopedInterning and the lazy env read is well-defined: the env
+/// value is always consulted first, exactly once, and scoped toggles apply
+/// on top of it. Call it explicitly at startup to pin the latch point.
+/// Aborts with a KOLA_CHECK diagnostic if KOLA_INTERN is observed with a
+/// different truthiness after latching (setenv after startup is a bug, and
+/// used to silently race the latch).
+bool LatchGlobalInterningFromEnv();
+
+/// Enables/disables routing `Term::Make` through GlobalTermInterner() on
+/// the calling thread. Returns the previous setting for this thread.
 bool SetGlobalInterningEnabled(bool enabled);
 bool GlobalInterningEnabled();
 
-/// RAII toggle for construction-time interning, for tests and benchmarks:
+/// RAII toggle for construction-time interning, for tests, benchmarks and
+/// per-worker pipeline configs. Thread-local:
 ///   { ScopedInterning on(true);  ... all Term::Make results canonical ... }
+/// only affects Term::Make calls made by the entering thread.
 class ScopedInterning {
  public:
   explicit ScopedInterning(bool enabled)

@@ -232,7 +232,9 @@ bool Term::Equal(const TermPtr& a, const TermPtr& b) {
   if (a == nullptr || b == nullptr) return false;
   // Distinct canonical representatives of the same interning arena are
   // structurally distinct: O(1) answer without touching the subtrees.
-  if (a->intern_epoch_ != 0 && a->intern_epoch_ == b->intern_epoch_) {
+  uint64_t a_epoch = a->intern_epoch_.load(std::memory_order_acquire);
+  if (a_epoch != 0 &&
+      a_epoch == b->intern_epoch_.load(std::memory_order_acquire)) {
     return false;
   }
   if (a->hash_ != b->hash_) return false;

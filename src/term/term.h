@@ -1,6 +1,7 @@
 #ifndef KOLA_TERM_TERM_H_
 #define KOLA_TERM_TERM_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -127,10 +128,14 @@ class Term {
 
   /// True when this term is the canonical representative of some
   /// TermInterner arena (see term/intern.h).
-  bool interned() const { return intern_epoch_ != 0; }
+  bool interned() const {
+    return intern_epoch_.load(std::memory_order_acquire) != 0;
+  }
 
   /// The dense id assigned by the interning arena, 0 when not interned.
-  TermId intern_id() const { return intern_id_; }
+  TermId intern_id() const {
+    return intern_id_.load(std::memory_order_relaxed);
+  }
 
   /// Deep structural equality (pointer and hash fast paths; O(1) between
   /// terms canonicalized by the same TermInterner arena).
@@ -174,8 +179,12 @@ class Term {
   /// Interning bookkeeping, written once by the first TermInterner that
   /// canonicalizes this node ("first tag wins"). Two distinct pointers with
   /// the same non-zero epoch are structurally distinct by construction.
-  mutable uint64_t intern_epoch_ = 0;
-  mutable TermId intern_id_ = 0;
+  /// Atomics because terms are shared read-only across worker threads while
+  /// interners tag them: writes are serialized by the interner's tag lock
+  /// (id first, then epoch with release), and a tag never changes once its
+  /// epoch is non-zero, so any non-zero epoch a reader observes is final.
+  mutable std::atomic<uint64_t> intern_epoch_{0};
+  mutable std::atomic<TermId> intern_id_{0};
 };
 
 std::ostream& operator<<(std::ostream& os, const TermPtr& term);

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "eval/evaluator.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/properties.h"
@@ -40,17 +41,23 @@ StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
     size_t plus = name.find('+', start);
     std::string part = name.substr(
         start, plus == std::string::npos ? std::string::npos : plus - start);
+    bool* feature = nullptr;
     if (part == "intern") {
-      config.interning = true;
+      feature = &config.interning;
     } else if (part == "memo") {
-      config.fixpoint_memo = true;
+      feature = &config.fixpoint_memo;
     } else if (part == "fast") {
-      config.physical_fastpaths = true;
+      feature = &config.physical_fastpaths;
     } else {
       return InvalidArgumentError(
           "unknown pipeline feature '" + part +
           "' (expected intern, memo, fast, or the name 'plain')");
     }
+    if (*feature) {
+      return InvalidArgumentError("duplicate pipeline feature '" + part +
+                                  "' in '" + name + "'");
+    }
+    *feature = true;
     if (plus == std::string::npos) break;
     start = plus + 1;
   }
@@ -336,62 +343,121 @@ StatusOr<std::optional<Divergence>> SoundnessHarness::CheckQuery(
   return std::optional<Divergence>(std::move(failure));
 }
 
+/// Everything one trial produced, computed without touching shared state so
+/// trials can run on any worker in any order. The fold back into the report
+/// happens strictly in trial order.
+struct SoundnessHarness::TrialOutcome {
+  bool gen_skipped = false;
+  bool eval_skipped = false;
+  uint64_t world_seed = 0;
+  int world_scale = 0;
+  TermPtr query;
+  std::vector<RunOutcome> cells;  // one per config, in options_.configs order
+};
+
+SoundnessHarness::TrialOutcome SoundnessHarness::RunTrial(int trial) const {
+  TrialOutcome outcome;
+  // Child(trial) is the whole parallel-determinism story: trial K's
+  // randomness (world seed, query) depends only on (options.seed, K), so a
+  // reported repro seed stays valid whether the sweep that found it ran
+  // with --jobs 1 or --jobs 32, and --replay never needs to re-run the
+  // preceding K-1 trials.
+  Rng trial_rng = Rng(options_.seed).Child(static_cast<uint64_t>(trial));
+  uint64_t world_seed = static_cast<uint64_t>(
+      trial_rng.Uniform(0, std::numeric_limits<int64_t>::max()));
+  RandomWorldOptions world = RandomWorldOptions::FromSeed(world_seed);
+  outcome.world_seed = world.seed;
+  outcome.world_scale = world.scale;
+  auto db = BuildRandomWorld(world);
+
+  SchemaTypes schema = SchemaTypes::CarWorld();
+  Rng query_rng = trial_rng.Fork();
+  QueryGenerator generator(&schema, db.get(), &query_rng,
+                           QueryGenOptions{.max_depth = options_.gen_depth});
+  auto query = generator.RandomQuery();
+  if (!query.ok()) {
+    outcome.gen_skipped = true;
+    return outcome;
+  }
+  outcome.query = query.value();
+
+  // One cheap un-instrumented probe so trials whose baseline cannot
+  // evaluate (runtime type error, step budget) are classified once
+  // instead of once per config.
+  Evaluator probe(db.get(),
+                  EvalOptions{.max_steps = options_.max_eval_steps,
+                              .physical_fastpaths = false});
+  if (!probe.EvalObject(query.value()).ok()) {
+    outcome.eval_skipped = true;
+    return outcome;
+  }
+
+  outcome.cells.reserve(options_.configs.size());
+  for (const PipelineConfig& config : options_.configs) {
+    outcome.cells.push_back(RunConfig(query.value(), *db, config));
+  }
+  return outcome;
+}
+
 StatusOr<SoundnessReport> SoundnessHarness::Run() {
   SoundnessReport report;
-  Rng rng(options_.seed);
-  SchemaTypes schema = SchemaTypes::CarWorld();
-  for (int trial = 0; trial < options_.trials; ++trial) {
-    if (static_cast<int>(report.failures.size()) >= options_.max_failures) {
-      break;
-    }
-    uint64_t world_seed = static_cast<uint64_t>(
-        rng.Uniform(0, std::numeric_limits<int64_t>::max()));
-    RandomWorldOptions world = RandomWorldOptions::FromSeed(world_seed);
-    auto db = BuildRandomWorld(world);
+  const int jobs = std::max(1, options_.jobs);
+  // Trials are dispatched in chunks; after each chunk the outcomes fold
+  // into the report in trial order, replicating the serial early-stop at
+  // max_failures exactly. The chunk size only bounds how much speculative
+  // work can be discarded past the cutoff -- it never shows in the report,
+  // so jobs-dependent chunking is safe.
+  const int chunk = std::max(8, jobs * 8);
+  std::vector<TrialOutcome> outcomes;
+  bool stopped = false;
 
-    Rng query_rng = rng.Fork();
-    QueryGenerator generator(&schema, db.get(), &query_rng,
-                             QueryGenOptions{.max_depth = options_.gen_depth});
-    auto query = generator.RandomQuery();
-    ++report.trials;
-    if (!query.ok()) {
-      ++report.gen_skipped;
-      continue;
-    }
+  for (int start = 0; start < options_.trials && !stopped; start += chunk) {
+    const int n = std::min(chunk, options_.trials - start);
+    outcomes.assign(static_cast<size_t>(n), TrialOutcome{});
+    ParallelFor(jobs, static_cast<size_t>(n), [&](size_t i) {
+      outcomes[i] = RunTrial(start + static_cast<int>(i));
+    });
 
-    // One cheap un-instrumented probe so trials whose baseline cannot
-    // evaluate (runtime type error, step budget) are classified once
-    // instead of once per config.
-    Evaluator probe(db.get(),
-                    EvalOptions{.max_steps = options_.max_eval_steps,
-                                .physical_fastpaths = false});
-    if (!probe.EvalObject(query.value()).ok()) {
-      ++report.eval_skipped;
-      continue;
-    }
-    ++report.evaluated;
-
-    for (const PipelineConfig& config : options_.configs) {
-      ++report.config_runs;
-      RunOutcome out = RunConfig(query.value(), *db, config);
-      if (out.strictness) ++report.strictness;
-      if (!out.diverged) continue;
-      Divergence failure;
-      failure.query = query.value();
-      failure.original_query = query.value();
-      failure.optimized = std::move(out.optimized);
-      failure.world_seed = world.seed;
-      failure.world_scale = world.scale;
-      failure.config = config;
-      failure.planted = !options_.extra_rules.empty();
-      failure.expected = std::move(out.expected);
-      failure.actual = std::move(out.actual);
-      failure.rule_trace = std::move(out.rule_trace);
-      if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
-      report.failures.push_back(std::move(failure));
+    for (int i = 0; i < n && !stopped; ++i) {
       if (static_cast<int>(report.failures.size()) >=
           options_.max_failures) {
+        stopped = true;
         break;
+      }
+      TrialOutcome& outcome = outcomes[static_cast<size_t>(i)];
+      ++report.trials;
+      if (outcome.gen_skipped) {
+        ++report.gen_skipped;
+        continue;
+      }
+      if (outcome.eval_skipped) {
+        ++report.eval_skipped;
+        continue;
+      }
+      ++report.evaluated;
+
+      for (size_t c = 0; c < outcome.cells.size(); ++c) {
+        ++report.config_runs;
+        RunOutcome& out = outcome.cells[c];
+        if (out.strictness) ++report.strictness;
+        if (!out.diverged) continue;
+        Divergence failure;
+        failure.query = outcome.query;
+        failure.original_query = outcome.query;
+        failure.optimized = std::move(out.optimized);
+        failure.world_seed = outcome.world_seed;
+        failure.world_scale = outcome.world_scale;
+        failure.config = options_.configs[c];
+        failure.planted = !options_.extra_rules.empty();
+        failure.expected = std::move(out.expected);
+        failure.actual = std::move(out.actual);
+        failure.rule_trace = std::move(out.rule_trace);
+        if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
+        report.failures.push_back(std::move(failure));
+        if (static_cast<int>(report.failures.size()) >=
+            options_.max_failures) {
+          break;
+        }
       }
     }
   }

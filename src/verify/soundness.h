@@ -29,7 +29,7 @@ struct PipelineConfig {
 };
 
 /// Parses a PipelineConfig::Name() back into a config. INVALID_ARGUMENT on
-/// unknown feature names.
+/// unknown or duplicated feature names ("plain" is only valid alone).
 StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name);
 
 /// All eight interning x memo x fastpath combinations.
@@ -69,6 +69,13 @@ struct SoundnessOptions {
   /// Stop after this many divergences (each is shrunk and fully reported;
   /// one is usually enough to file).
   int max_failures = 3;
+
+  /// Worker threads for the trial sweep. Every trial seeds itself via
+  /// Rng::Child(trial), runs on whichever worker picks it up, and is folded
+  /// back in trial order, so the report -- counts, failures, repro seeds,
+  /// shrunk queries -- is bit-identical for every jobs value (including 1,
+  /// which runs inline with no threads). Parallelism buys wall-clock only.
+  int jobs = 1;
 };
 
 /// A reproducible optimizer-soundness failure: a query whose optimized form
@@ -138,10 +145,15 @@ class SoundnessHarness {
       const PipelineConfig& config);
 
  private:
-  struct RunOutcome;  // internal per-config evaluation result
+  struct RunOutcome;    // internal per-config evaluation result
+  struct TrialOutcome;  // internal per-trial result (all configs)
 
   RunOutcome RunConfig(const TermPtr& query, const Database& db,
                        const PipelineConfig& config) const;
+  /// Generates and checks one trial, self-seeded from options_.seed and
+  /// `trial` alone (no shared rng stream): safe to run concurrently with
+  /// other trials, and its outcome is independent of execution order.
+  TrialOutcome RunTrial(int trial) const;
   Divergence ShrinkDivergence(Divergence failure) const;
 
   SoundnessOptions options_;

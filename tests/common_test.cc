@@ -1,10 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/env.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace kola {
 namespace {
@@ -176,6 +183,121 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("iterate", "iter"));
   EXPECT_FALSE(StartsWith("it", "iter"));
 }
+
+TEST(RngTest, ChildDoesNotAdvanceParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.Child(0);
+  (void)a.Child(7);
+  // After deriving children, the parent stream is exactly where an
+  // untouched generator is.
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ChildDependsOnlyOnStateAndIndex) {
+  // The same (seed, index) pair yields the same child regardless of which
+  // other children were derived -- the property the parallel soundness
+  // sweep needs so trial K's repro seed is independent of trials 0..K-1.
+  Rng a(7);
+  Rng b(7);
+  (void)b.Child(0);
+  (void)b.Child(1);
+  EXPECT_EQ(a.Child(5).Next(), b.Child(5).Next());
+  // Distinct indices decorrelate.
+  EXPECT_NE(a.Child(5).Next(), a.Child(6).Next());
+  // But drawing from the parent moves every child.
+  (void)a.Next();
+  EXPECT_NE(a.Child(5).Next(), b.Child(5).Next());
+}
+
+TEST(EnvFlagTest, TruthyAndFalsyValues) {
+  EXPECT_TRUE(ParseEnvFlagValue("1"));
+  EXPECT_TRUE(ParseEnvFlagValue("true"));
+  EXPECT_TRUE(ParseEnvFlagValue("on"));
+  EXPECT_TRUE(ParseEnvFlagValue("yes"));
+  EXPECT_TRUE(ParseEnvFlagValue("2"));
+  EXPECT_FALSE(ParseEnvFlagValue(""));
+  EXPECT_FALSE(ParseEnvFlagValue("0"));
+  EXPECT_FALSE(ParseEnvFlagValue("false"));
+  EXPECT_FALSE(ParseEnvFlagValue("FALSE"));
+  EXPECT_FALSE(ParseEnvFlagValue("off"));
+  EXPECT_FALSE(ParseEnvFlagValue("no"));
+}
+
+TEST(EnvFlagTest, EnabledReadsTheEnvironment) {
+  // A flag no other test (and no library latch) reads, so mutating it here
+  // cannot race a concurrent getenv.
+  constexpr const char* kName = "KOLA_COMMON_TEST_FLAG";
+  ::unsetenv(kName);
+  EXPECT_FALSE(EnvFlagSet(kName));
+  EXPECT_FALSE(EnvFlagEnabled(kName));
+  ::setenv(kName, "0", 1);
+  EXPECT_TRUE(EnvFlagSet(kName));
+  EXPECT_FALSE(EnvFlagEnabled(kName));  // set-but-zero means DISABLED
+  ::setenv(kName, "1", 1);
+  EXPECT_TRUE(EnvFlagEnabled(kName));
+  ::unsetenv(kName);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100);
+  }  // destructor joins cleanly with an empty queue
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 4, 9}) {
+    std::vector<std::atomic<int>> visits(57);
+    ParallelFor(jobs, visits.size(),
+                [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  ParallelFor(8, 1, [&](size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelForTest, ResultsMatchSerialFold) {
+  // A jobs-independent reduction: each index writes into its own slot, the
+  // fold sums in index order afterwards.
+  std::vector<uint64_t> serial(200), parallel(200);
+  auto fill = [](std::vector<uint64_t>& out) {
+    return [&out](size_t i) { out[i] = Rng(0).Child(i).Next(); };
+  };
+  ParallelFor(1, serial.size(), fill(serial));
+  ParallelFor(4, parallel.size(), fill(parallel));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(std::accumulate(serial.begin(), serial.end(), uint64_t{0}),
+            std::accumulate(parallel.begin(), parallel.end(), uint64_t{0}));
+}
+
+TEST(HardwareJobsTest, AtLeastOne) { EXPECT_GE(HardwareJobs(), 1); }
 
 }  // namespace
 }  // namespace kola

@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <vector>
+
 #include "common/macros.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "optimizer/code_motion.h"
 #include "optimizer/hidden_join.h"
 #include "rewrite/engine.h"
@@ -293,6 +298,136 @@ TEST(InterningDeterminismTest, DerivationsByteIdenticalInterningOnAndOff) {
   EXPECT_EQ(off.fig6, on.fig6);
   EXPECT_EQ(off.garage, on.garage);
   EXPECT_FALSE(off.garage.empty());
+}
+
+TEST(ThreadSafetyTest, ConcurrentInterningOfEqualTermsAgreesOnOnePointer) {
+  ScopedInterning off(false);
+  TermInterner interner;
+  // Every worker interns its own freshly parsed copy of the same queries;
+  // all copies of one query must collapse to a single canonical pointer
+  // regardless of interleaving.
+  const char* queries[] = {
+      "iterate(Kp(T), age) ! P",
+      "iterate(gt @ (age, Kf(25)), id) ! P",
+      "join(eq @ (age x age), (pi1, pi2)) ! [P, P]",
+      "iterate(Kp(T), city) o iterate(Kp(T), addr) ! P",
+  };
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::atomic<const Term*>> canon(std::size(queries));
+  for (auto& slot : canon) slot.store(nullptr);
+  ParallelFor(kWorkers, kWorkers, [&](size_t) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (size_t q = 0; q < std::size(queries); ++q) {
+        TermPtr mine = Q(queries[q]);
+        TermPtr canonical = interner.Intern(mine);
+        const Term* expected = nullptr;
+        if (!canon[q].compare_exchange_strong(expected, canonical.get())) {
+          EXPECT_EQ(expected, canonical.get());
+        }
+        EXPECT_NE(interner.IdOf(canonical), 0u);
+      }
+    }
+  });
+  // Exactly one canonical entry per distinct subterm; ids distinct.
+  std::set<TermId> ids;
+  for (size_t q = 0; q < std::size(queries); ++q) {
+    TermPtr again = interner.Intern(Q(queries[q]));
+    EXPECT_EQ(again.get(), canon[q].load());
+    ids.insert(interner.IdOf(again));
+  }
+  EXPECT_EQ(ids.size(), std::size(queries));
+}
+
+TEST(ThreadSafetyTest, ScopedInterningIsThreadLocal) {
+  ScopedInterning off(false);
+  ASSERT_FALSE(GlobalInterningEnabled());
+  std::atomic<int> on_threads{0};
+  std::atomic<int> checks{0};
+  ParallelFor(4, 4, [&](size_t i) {
+    // Workers on even indices enable construction-time interning; workers
+    // on odd indices pin it off. Each scope must only govern its own
+    // thread's Term::Make calls -- the slot is per-thread, not
+    // process-global, so the concurrent ScopedInterning(true) scopes can
+    // never leak into the off workers.
+    if (i % 2 == 0) {
+      ScopedInterning on(true);
+      if (GlobalInterningEnabled()) on_threads.fetch_add(1);
+      TermPtr made = Q("iterate(Kp(T), age) ! P");
+      if (made->interned()) checks.fetch_add(1);
+    } else {
+      ScopedInterning pinned_off(false);
+      TermPtr made = Q("join(eq @ (age x age), (pi1, pi2)) ! [P, P]");
+      if (!made->interned() && !GlobalInterningEnabled()) {
+        checks.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(on_threads.load(), 2);
+  EXPECT_EQ(checks.load(), 4);
+  // The entering thread's own slot is untouched by the workers.
+  EXPECT_FALSE(GlobalInterningEnabled());
+}
+
+TEST(ThreadSafetyTest, ConcurrentEqualUsesTheEpochFastPathSafely) {
+  ScopedInterning off(false);
+  TermInterner interner;
+  TermPtr a = interner.Intern(Q("iterate(Kp(T), age) ! P"));
+  TermPtr b = interner.Intern(Q("iterate(Kp(T), name) ! P"));
+  // Readers compare interned terms while writers keep tagging new ones:
+  // Equal's epoch fast path must stay exact throughout.
+  std::atomic<bool> failed{false};
+  ParallelFor(8, 8, [&](size_t i) {
+    if (i < 4) {
+      for (int round = 0; round < 200; ++round) {
+        if (Term::Equal(a, b)) failed.store(true);
+        if (!Term::Equal(a, a)) failed.store(true);
+      }
+    } else {
+      Rng rng(100 + static_cast<uint64_t>(i));
+      for (int round = 0; round < 50; ++round) {
+        int64_t v = rng.Uniform(0, 1000);
+        interner.Intern(Iterate(ConstPredTrue(), ConstFn(LitInt(v))));
+      }
+    }
+  });
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(ThreadSafetyTest, ParallelUntanglingProducesIdenticalDerivations) {
+  // The full hidden-join pipeline, concurrently, half the workers with
+  // construction-time interning on: every derivation must match the serial
+  // reference byte for byte.
+  Rewriter rewriter(nullptr, RewriterOptions{.memoize_fixpoint = true});
+  auto reference = UntangleHiddenJoin(GarageQueryKG1(), rewriter);
+  ASSERT_TRUE(reference.ok());
+  std::string expected = reference->trace.ToString();
+  std::atomic<int> matches{0};
+  ParallelFor(6, 6, [&](size_t i) {
+    ScopedInterning scope(i % 2 == 0);
+    Rewriter local(nullptr, RewriterOptions{.memoize_fixpoint = true});
+    auto result = UntangleHiddenJoin(GarageQueryKG1(), local);
+    if (result.ok() && result->trace.ToString() == expected) {
+      matches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(matches.load(), 6);
+}
+
+TEST(FixpointMemoTest, PooledCachesPreserveResultsAcrossCalls) {
+  // reuse_fixpoint_caches keeps one cache per rule-set fingerprint inside
+  // the Rewriter; results and traces must match the fresh-cache engine on
+  // every call, including repeats that hit the warm cache.
+  Rewriter pooled(nullptr, RewriterOptions{.memoize_fixpoint = true,
+                                           .reuse_fixpoint_caches = true});
+  Rewriter fresh(nullptr, RewriterOptions{.memoize_fixpoint = true});
+  for (int round = 0; round < 3; ++round) {
+    auto a = UntangleHiddenJoin(GarageQueryKG1(), pooled);
+    auto b = UntangleHiddenJoin(GarageQueryKG1(), fresh);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->trace.ToString(), b->trace.ToString());
+    EXPECT_TRUE(Term::Equal(a->query, b->query));
+  }
 }
 
 TEST(InterningDeterminismTest, GarageDerivationUnchangedByMemoization) {

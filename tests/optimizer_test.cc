@@ -177,6 +177,51 @@ TEST_F(OptimizerTest, FastPathsMatchNaiveSemantics) {
   }
 }
 
+TEST_F(OptimizerTest, OptimizeAllMatchesPerQueryOptimize) {
+  Optimizer optimizer(&properties_, db_.get());
+  std::vector<TermPtr> queries = {
+      GarageQueryKG1(), QueryK4(), QueryK3(),
+      ParseTerm("iterate(Kp(T), age) ! P", Sort::kObject).value(),
+      ParseTerm("join(eq @ (age x age), (pi1, pi2)) ! [P, P]",
+                Sort::kObject).value(),
+      GarageQueryKG1(), QueryK4(),  // repeats exercise the pooled caches
+  };
+
+  std::vector<OptimizeResult> expected;
+  for (const TermPtr& query : queries) {
+    auto one = optimizer.Optimize(query);
+    ASSERT_TRUE(one.ok()) << one.status();
+    expected.push_back(std::move(one).value());
+  }
+
+  for (int jobs : {1, 3}) {
+    auto batch = optimizer.OptimizeAll(queries, jobs);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    ASSERT_EQ(batch->size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const OptimizeResult& got = (*batch)[i];
+      // Input order preserved, and every field identical to the serial
+      // per-query result -- the jobs knob must never change a plan.
+      EXPECT_TRUE(Term::Equal(got.query, expected[i].query))
+          << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(got.query->ToString(), expected[i].query->ToString());
+      EXPECT_EQ(got.cost_before, expected[i].cost_before);
+      EXPECT_EQ(got.cost_after, expected[i].cost_after);
+      EXPECT_EQ(got.kept_rewrite, expected[i].kept_rewrite);
+      EXPECT_EQ(got.applied_blocks, expected[i].applied_blocks);
+      EXPECT_EQ(got.trace.RuleIds(), expected[i].trace.RuleIds())
+          << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST_F(OptimizerTest, OptimizeAllEmptyBatch) {
+  Optimizer optimizer(&properties_, db_.get());
+  auto batch = optimizer.OptimizeAll({}, 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
 TEST_F(OptimizerTest, FastPathIgnoresUnrecognizedShapes) {
   // gt-join has no hash implementation: both modes take the naive path.
   auto query = ParseTerm("join(gt, pi1) ! [Nums, Nums]", Sort::kObject);

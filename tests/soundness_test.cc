@@ -106,14 +106,81 @@ TEST(SoundnessHarnessTest, CheckQueryCleanOnSoundQuery) {
 }
 
 TEST(PipelineConfigTest, NameRoundTrips) {
+  // All 8 matrix cells: Name() -> ParsePipelineConfig is the identity.
+  ASSERT_EQ(FullConfigMatrix().size(), 8u);
   for (const PipelineConfig& config : FullConfigMatrix()) {
     auto parsed = ParsePipelineConfig(config.Name());
     ASSERT_TRUE(parsed.ok()) << config.Name();
     EXPECT_EQ(parsed->interning, config.interning);
     EXPECT_EQ(parsed->fixpoint_memo, config.fixpoint_memo);
     EXPECT_EQ(parsed->physical_fastpaths, config.physical_fastpaths);
+    EXPECT_EQ(parsed->Name(), config.Name());
   }
   EXPECT_FALSE(ParsePipelineConfig("warp-drive").ok());
+}
+
+TEST(PipelineConfigTest, PlainNamesTheAllOffCell) {
+  PipelineConfig all_off{false, false, false};
+  EXPECT_EQ(all_off.Name(), "plain");
+  auto parsed = ParsePipelineConfig("plain");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->interning);
+  EXPECT_FALSE(parsed->fixpoint_memo);
+  EXPECT_FALSE(parsed->physical_fastpaths);
+}
+
+TEST(PipelineConfigTest, ParseRejectsMalformedNames) {
+  // Duplicated features.
+  auto dup = ParsePipelineConfig("memo+memo");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos)
+      << dup.status();
+  EXPECT_FALSE(ParsePipelineConfig("intern+fast+intern").ok());
+  // Unknown features, including 'plain' used as a feature token.
+  EXPECT_FALSE(ParsePipelineConfig("").ok());
+  EXPECT_FALSE(ParsePipelineConfig("intern+warp").ok());
+  EXPECT_FALSE(ParsePipelineConfig("plain+memo").ok());
+  EXPECT_FALSE(ParsePipelineConfig("memo+plain").ok());
+  // Empty token from a trailing or doubled '+'.
+  EXPECT_FALSE(ParsePipelineConfig("intern+").ok());
+  EXPECT_FALSE(ParsePipelineConfig("+memo").ok());
+  EXPECT_FALSE(ParsePipelineConfig("intern++fast").ok());
+}
+
+TEST(SoundnessHarnessTest, JobsDoNotChangeTheCleanReport) {
+  SoundnessOptions serial = BoundedOptions();
+  serial.trials = 24;
+  SoundnessOptions threaded = serial;
+  threaded.jobs = 3;
+  auto a = SoundnessHarness(serial).Run();
+  auto b = SoundnessHarness(threaded).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->Summary(), b->Summary());
+  EXPECT_EQ(a->trials, b->trials);
+  EXPECT_EQ(a->evaluated, b->evaluated);
+  EXPECT_EQ(a->config_runs, b->config_runs);
+  EXPECT_EQ(a->failures.size(), b->failures.size());
+}
+
+TEST(SoundnessHarnessTest, JobsDoNotChangeThePlantedFailureReport) {
+  SoundnessOptions serial = BoundedOptions();
+  serial.trials = 24;
+  serial.extra_rules.push_back(PlantedDropMapRule());
+  serial.max_failures = 2;
+  SoundnessOptions threaded = serial;
+  threaded.jobs = 4;
+  auto a = SoundnessHarness(serial).Run();
+  auto b = SoundnessHarness(threaded).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_FALSE(a->clean());
+  // The whole report -- which trials diverged, their shrunk queries, world
+  // seeds, replay commands -- must be byte-identical: workers only buy
+  // wall-clock, never a different answer.
+  EXPECT_EQ(a->Summary(), b->Summary());
+  ASSERT_EQ(a->failures.size(), b->failures.size());
+  for (size_t i = 0; i < a->failures.size(); ++i) {
+    EXPECT_EQ(a->failures[i].Report(), b->failures[i].Report());
+  }
 }
 
 TEST(TermDepthTest, LeavesAtZero) {
