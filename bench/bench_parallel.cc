@@ -52,9 +52,11 @@ std::vector<TermPtr> MakeBatch() {
   return batch;  // 24 queries
 }
 
-std::string BatchDigest(const std::vector<OptimizeResult>& results) {
+std::string BatchDigest(const std::vector<BatchOptimizeResult>& entries) {
   std::string digest;
-  for (const OptimizeResult& r : results) {
+  for (const BatchOptimizeResult& entry : entries) {
+    KOLA_CHECK_OK(entry.status);
+    const OptimizeResult& r = *entry.result;
     digest += r.query->ToString();
     for (const std::string& id : r.trace.RuleIds()) {
       digest += ' ';
@@ -109,9 +111,7 @@ Row MeasureOptimizeAll(int repetitions) {
   // for plan and trace for trace.
   std::string serial_digest;
   for (int jobs : kJobsLevels) {
-    auto results = optimizer.OptimizeAll(batch, jobs);
-    KOLA_CHECK_OK(results.status());
-    std::string digest = BatchDigest(results.value());
+    std::string digest = BatchDigest(optimizer.OptimizeAll(batch, jobs));
     if (jobs == 1) serial_digest = digest;
     KOLA_CHECK(digest == serial_digest);
   }
@@ -124,7 +124,6 @@ Row MeasureOptimizeAll(int repetitions) {
       auto start = std::chrono::steady_clock::now();
       auto results = optimizer.OptimizeAll(batch, kJobsLevels[level]);
       auto end = std::chrono::steady_clock::now();
-      KOLA_CHECK_OK(results.status());
       benchmark::DoNotOptimize(results);
       double ms =
           std::chrono::duration<double, std::milli>(end - start).count();
@@ -225,8 +224,9 @@ void BM_ParallelForOverhead(benchmark::State& state) {
   int jobs = static_cast<int>(state.range(0));
   for (auto _ : state) {
     std::atomic<uint64_t> sum{0};
-    ParallelFor(jobs, 256,
-                [&sum](size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    KOLA_CHECK_OK(ParallelFor(jobs, 256, [&sum](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }));
     benchmark::DoNotOptimize(sum.load());
   }
 }
@@ -240,7 +240,6 @@ void BM_OptimizeAllBatch(benchmark::State& state) {
   const std::vector<TermPtr> batch = MakeBatch();
   for (auto _ : state) {
     auto results = optimizer.OptimizeAll(batch, jobs);
-    KOLA_CHECK_OK(results.status());
     benchmark::DoNotOptimize(results);
   }
 }

@@ -8,12 +8,19 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "rewrite/verifier.h"
 #include "rules/catalog.h"
 #include "values/car_world.h"
 
 int main(int argc, char** argv) {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
   bool verify = argc > 1 && std::strcmp(argv[1], "--verify") == 0;
 
   struct Section {

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "aqua/transform.h"
+#include "common/fault_injection.h"
 #include "eval/evaluator.h"
 #include "optimizer/hidden_join.h"
 #include "translate/translate.h"
@@ -16,6 +17,11 @@
 
 int main() {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
 
   std::printf("=== 1. The query, as a user would write it (AQUA) ===\n%s\n",
               aqua::AquaGarageQuery()->ToString().c_str());

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "aqua/parser.h"
+#include "common/fault_injection.h"
 #include "eval/evaluator.h"
 #include "oql/oql.h"
 #include "optimizer/optimizer.h"
@@ -68,6 +69,11 @@ StatusOr<TermPtr> ParseInput(Mode mode, const std::string& line) {
 }  // namespace
 
 int main() {
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
   CarWorldOptions options;
   options.num_persons = 20;
   options.num_vehicles = 12;
@@ -165,6 +171,9 @@ int main() {
       std::printf("optimizer error: %s\n",
                   plan.status().ToString().c_str());
       continue;
+    }
+    if (plan->degradation.degraded) {
+      std::printf("degraded:  %s\n", plan->degradation.ToString().c_str());
     }
     if (!Term::Equal(plan->query, query.value())) {
       std::printf("optimized: %s\n", plan->query->ToString().c_str());

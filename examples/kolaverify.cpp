@@ -12,6 +12,10 @@
 //   kolaverify --trials 50 --seed 7     # quick CI smoke
 //   kolaverify --jobs 4                 # same report, 4 worker threads
 //   kolaverify --plant-unsound          # prove the detector detects
+//   kolaverify --chaos                  # deterministic fault injection:
+//                                       # verdicts may degrade or skip,
+//                                       # never go unsound
+//   kolaverify --deadline-ms 50         # per-stage wall-clock budget
 //   kolaverify --replay 'iterate(Kp(T), age) ! P' --world-seed 12345
 //              --world-scale 1 --config memo+fast
 //
@@ -22,11 +26,17 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "term/parser.h"
 #include "verify/soundness.h"
 
 namespace {
+
+// The --chaos schedule: every fault site armed, interner faults (which
+// only cost canonicalization, never soundness) an order of magnitude
+// hotter than the fail-the-phase sites.
+constexpr char kChaosSpec[] = "rule:0.02,strategy:0.02,intern:0.1,pool:0.02";
 
 void PrintUsage() {
   std::printf(
@@ -41,17 +51,34 @@ void PrintUsage() {
       "                    or 'plain' (e.g. memo+fast)\n"
       "  --plant-unsound   plant a deliberately broken rule; the harness\n"
       "                    must catch and shrink it (exit 1 = caught)\n"
+      "  --deadline-ms N   wall-clock budget per pipeline stage; deadline\n"
+      "                    hits degrade (optimizer) or skip (evaluation),\n"
+      "                    never fail a trial (default 0 = ungoverned)\n"
+      "  --faults SPEC     inject faults, SPEC is site:rate,... over the\n"
+      "                    sites rule, strategy, intern, pool\n"
+      "                    (e.g. rule:0.02,intern:0.1)\n"
+      "  --fault-seed N    base seed for the fault streams (default 1);\n"
+      "                    a fixed seed replays the exact chaos schedule\n"
+      "                    at every --jobs level\n"
+      "  --chaos           shorthand for --faults '%s'\n"
       "  --no-shrink       report divergences unminimized\n"
       "  --replay QUERY    re-check one query instead of generating;\n"
-      "                    combine with --world-seed/--world-scale/--config\n"
+      "                    combine with --world-seed/--world-scale/\n"
+      "                    --config/--deadline-ms/--faults/--fault-seed\n"
       "  --world-seed N    replay: random-world seed\n"
-      "  --world-scale N   replay: random-world scale\n");
+      "  --world-scale N   replay: random-world scale\n",
+      kChaosSpec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
 
   SoundnessOptions options;
   options.jobs = HardwareJobs();
@@ -88,6 +115,14 @@ int main(int argc, char** argv) {
       options.configs = {config.value()};
     } else if (std::strcmp(argv[i], "--plant-unsound") == 0) {
       plant = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      options.deadline_ms = std::atoll(need_value(i++));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      options.fault_spec = need_value(i++);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      options.fault_seed = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      options.fault_spec = kChaosSpec;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(argv[i], "--replay") == 0) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "aqua/transform.h"
+#include "common/fault_injection.h"
 #include "eval/evaluator.h"
 #include "optimizer/code_motion.h"
 #include "translate/translate.h"
@@ -17,6 +18,12 @@
 
 int main() {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
 
   std::printf("A3: %s\n", aqua::QueryA3()->ToString().c_str());
   std::printf("A4: %s\n", aqua::QueryA4()->ToString().c_str());

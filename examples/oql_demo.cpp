@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "aqua/eval.h"
+#include "common/fault_injection.h"
 #include "eval/evaluator.h"
 #include "oql/oql.h"
 #include "optimizer/optimizer.h"
@@ -15,6 +16,12 @@
 
 int main(int argc, char** argv) {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
 
   CarWorldOptions options;
   options.num_persons = 15;

@@ -8,6 +8,7 @@
 
 #include "aqua/eval.h"
 #include "aqua/parser.h"
+#include "common/fault_injection.h"
 #include "eval/evaluator.h"
 #include "optimizer/optimizer.h"
 #include "translate/translate.h"
@@ -15,6 +16,12 @@
 
 int main(int argc, char** argv) {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
 
   // 1. A small object database: Persons with ages, addresses, children,
   //    cars and garages; Vehicles; Addresses (the paper's example schema).

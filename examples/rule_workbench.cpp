@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/fault_injection.h"
 #include "rewrite/engine.h"
 #include "rewrite/verifier.h"
 #include "rules/catalog.h"
@@ -13,6 +14,12 @@
 
 int main() {
   using namespace kola;  // NOLINT: example brevity
+
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
 
   CarWorldOptions options;
   options.num_persons = 10;

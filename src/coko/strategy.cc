@@ -100,6 +100,9 @@ class RepeatStrategy : public Strategy {
                                Trace* trace) const override {
     StrategyResult accumulated{term, false};
     for (int round = 0; round < max_rounds_; ++round) {
+      if (rewriter.options().governor != nullptr) {
+        KOLA_RETURN_IF_ERROR(rewriter.options().governor->CheckNow());
+      }
       KOLA_ASSIGN_OR_RETURN(StrategyResult result,
                             body_->Run(accumulated.term, rewriter, trace));
       if (!result.changed) return accumulated;

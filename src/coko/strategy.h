@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/statusor.h"
 #include "rewrite/engine.h"
 #include "rewrite/rule.h"
@@ -73,6 +74,19 @@ class RuleBlock {
   StatusOr<StrategyResult> Apply(const TermPtr& term,
                                  const Rewriter& rewriter,
                                  Trace* trace) const {
+    // Strategy boundaries are a fault-injection site: a block failing as a
+    // unit models a bad rule-set deploy, and the optimizer must degrade to
+    // its best-so-far term rather than fail the request.
+    Status injected = MaybeInjectFault(FaultSite::kStrategy);
+    if (!injected.ok()) {
+      return injected.WithContext("rule block '" + name_ + "'");
+    }
+    if (rewriter.options().governor != nullptr) {
+      Status budget = rewriter.options().governor->CheckNow();
+      if (!budget.ok()) {
+        return budget.WithContext("rule block '" + name_ + "'");
+      }
+    }
     return strategy_->Run(term, rewriter, trace);
   }
 

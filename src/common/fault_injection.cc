@@ -1,0 +1,216 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace kola {
+namespace {
+
+// splitmix64 finalizer: the same mixer Rng uses, inlined here so a keyed
+// draw is a pure stateless function of its inputs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double DrawUnit(uint64_t seed, FaultSite site, uint64_t index) {
+  uint64_t bits =
+      Mix(Mix(seed ^ 0x6b6f6c612d666c74ULL) + // "kola-flt"
+          (static_cast<uint64_t>(site) << 32) + index);
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+FaultInjector* process_injector = nullptr;
+thread_local FaultInjector* thread_injector = nullptr;
+
+constexpr FaultSite kAllSites[kNumFaultSites] = {
+    FaultSite::kRuleApplication, FaultSite::kStrategy, FaultSite::kIntern,
+    FaultSite::kPoolTask};
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kRuleApplication:
+      return "rule";
+    case FaultSite::kStrategy:
+      return "strategy";
+    case FaultSite::kIntern:
+      return "intern";
+    case FaultSite::kPoolTask:
+      return "pool";
+  }
+  return "unknown";
+}
+
+StatusOr<FaultInjector> FaultInjector::Parse(const std::string& spec,
+                                             uint64_t seed) {
+  FaultInjector injector(seed);
+  if (spec.empty()) return injector;
+  for (const std::string& entry : Split(spec, ',')) {
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return InvalidArgumentError("fault spec entry '" + entry +
+                                  "' is not site:rate");
+    }
+    std::string site_name = entry.substr(0, colon);
+    char* end = nullptr;
+    double rate = std::strtod(entry.c_str() + colon + 1, &end);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgumentError("fault rate in '" + entry +
+                                  "' is not a number");
+    }
+    bool known = false;
+    for (FaultSite site : kAllSites) {
+      if (site_name == FaultSiteName(site)) {
+        injector.set_rate(site, rate);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return InvalidArgumentError("unknown fault site '" + site_name +
+                                  "' (want rule|strategy|intern|pool)");
+    }
+  }
+  return injector;
+}
+
+FaultInjector::FaultInjector(const FaultInjector& other)
+    : seed_(other.seed_) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    rates_[i] = other.rates_[i];
+    draws_[i].store(other.draws_[i].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    injected_[i].store(other.injected_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+}
+
+FaultInjector& FaultInjector::operator=(const FaultInjector& other) {
+  if (this == &other) return *this;
+  seed_ = other.seed_;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    rates_[i] = other.rates_[i];
+    draws_[i].store(other.draws_[i].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    injected_[i].store(other.injected_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void FaultInjector::set_rate(FaultSite site, double rate) {
+  if (rate < 0) rate = 0;
+  if (rate > 1) rate = 1;
+  rates_[static_cast<int>(site)] = rate;
+}
+
+double FaultInjector::rate(FaultSite site) const {
+  return rates_[static_cast<int>(site)];
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  int s = static_cast<int>(site);
+  double rate = rates_[s];
+  uint64_t index = draws_[s].fetch_add(1, std::memory_order_relaxed);
+  if (rate <= 0) return false;
+  bool fail = DrawUnit(seed_, site, index) < rate;
+  if (fail) injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+bool FaultInjector::ShouldFailKeyed(FaultSite site, uint64_t key) const {
+  double rate = rates_[static_cast<int>(site)];
+  if (rate <= 0) return false;
+  // Keyed draws use a disjoint index space (top bit set) so they can never
+  // collide with sequential draws at the same site.
+  return DrawUnit(seed_, site, key | (1ULL << 63)) < rate;
+}
+
+Status FaultInjector::InjectedFault(FaultSite site) {
+  return UnavailableError(std::string("injected fault at site '") +
+                          FaultSiteName(site) + "'");
+}
+
+uint64_t FaultInjector::draws(FaultSite site) const {
+  return draws_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(FaultSite site) const {
+  return injected_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::string FaultInjector::spec() const {
+  std::string out;
+  for (FaultSite site : kAllSites) {
+    double r = rate(site);
+    if (r <= 0) continue;
+    if (!out.empty()) out += ',';
+    out += FaultSiteName(site);
+    out += ':';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", r);
+    out += buf;
+  }
+  return out;
+}
+
+FaultInjector* ActiveFaultInjector() {
+  FaultInjector* local = thread_injector;
+  return local != nullptr ? local : process_injector;
+}
+
+FaultInjector* SetProcessFaultInjector(FaultInjector* injector) {
+  FaultInjector* previous = process_injector;
+  process_injector = injector;
+  return previous;
+}
+
+Status LatchFaultInjectionFromEnv() {
+  static std::once_flag once;
+  static Status latch_status;  // written once under `once`
+  std::call_once(once, [] {
+    const char* spec = std::getenv("KOLA_FAULTS");
+    if (spec == nullptr || *spec == '\0') return;
+    uint64_t seed = 1;
+    if (const char* seed_env = std::getenv("KOLA_FAULT_SEED")) {
+      seed = std::strtoull(seed_env, nullptr, 10);
+    }
+    auto injector = FaultInjector::Parse(spec, seed);
+    if (!injector.ok()) {
+      latch_status = injector.status().WithContext("KOLA_FAULTS");
+      return;
+    }
+    // Leaked intentionally: the process injector lives for the process.
+    SetProcessFaultInjector(new FaultInjector(std::move(injector).value()));
+  });
+  return latch_status;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector* injector)
+    : previous_(thread_injector) {
+  thread_injector = injector;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  thread_injector = previous_;
+}
+
+Status MaybeInjectFault(FaultSite site) {
+  FaultInjector* injector = ActiveFaultInjector();
+  if (injector == nullptr || !injector->ShouldFail(site)) {
+    return Status::OK();
+  }
+  return FaultInjector::InjectedFault(site);
+}
+
+}  // namespace kola

@@ -1,0 +1,119 @@
+#ifndef KOLA_COMMON_FAULT_INJECTION_H_
+#define KOLA_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace kola {
+
+/// Places where a fault can be injected. Each site models a distinct
+/// production failure: a rule application erroring out mid-fixpoint, a
+/// whole strategy block failing, the interner being unable to allocate
+/// (degrades to un-interned terms -- still sound), and a thread-pool
+/// worker dying at task start.
+enum class FaultSite {
+  kRuleApplication = 0,
+  kStrategy,
+  kIntern,
+  kPoolTask,
+};
+inline constexpr int kNumFaultSites = 4;
+
+/// Stable spec name for a site ("rule", "strategy", "intern", "pool").
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic, seeded fault injector. Each site carries an independent
+/// failure rate; draws are pure functions of (seed, site, draw index) or
+/// (seed, site, key), so a fixed seed replays the exact same fault
+/// schedule -- including under `--jobs N`, as long as each unit of work
+/// owns its own injector (sequential draws) or keys its draws.
+class FaultInjector {
+ public:
+  /// All rates zero: never fails.
+  FaultInjector() : FaultInjector(0) {}
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  /// Parses a `site:rate,...` spec, e.g. "rule:0.01,intern:0.05".
+  /// Rates are clamped to [0, 1]; unknown sites are an error.
+  static StatusOr<FaultInjector> Parse(const std::string& spec,
+                                       uint64_t seed);
+
+  FaultInjector(const FaultInjector& other);
+  FaultInjector& operator=(const FaultInjector& other);
+
+  void set_rate(FaultSite site, double rate);
+  double rate(FaultSite site) const;
+
+  /// Sequential draw: deterministic function of (seed, site, number of
+  /// prior draws at this site). Use when one thread owns the injector.
+  bool ShouldFail(FaultSite site);
+
+  /// Keyed draw: pure function of (seed, site, key), independent of call
+  /// order. Use from parallel drivers, keyed by the work item's index, so
+  /// the fault schedule is identical at every `--jobs` level.
+  bool ShouldFailKeyed(FaultSite site, uint64_t key) const;
+
+  /// The Status an injected fault surfaces as (UNAVAILABLE, named site).
+  static Status InjectedFault(FaultSite site);
+
+  /// Draws made / faults fired at `site` since construction.
+  uint64_t draws(FaultSite site) const;
+  uint64_t injected(FaultSite site) const;
+
+  /// Canonical `site:rate,...` spec for the non-zero rates ("" when the
+  /// injector never fires).
+  std::string spec() const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_ = 0;
+  double rates_[kNumFaultSites] = {0, 0, 0, 0};
+  std::atomic<uint64_t> draws_[kNumFaultSites] = {};
+  std::atomic<uint64_t> injected_[kNumFaultSites] = {};
+};
+
+/// The injector consulted by the library's injection points: the
+/// thread-local override installed by ScopedFaultInjection if any, else
+/// the process-wide injector, else nullptr (the common case: no faults,
+/// near-zero overhead).
+FaultInjector* ActiveFaultInjector();
+
+/// Installs `injector` as the process-wide fallback (visible to all
+/// threads, including pool workers). Pass nullptr to clear. Returns the
+/// previous injector. Test/CLI hook; not thread-safe against concurrent
+/// injection-point traffic on other threads.
+FaultInjector* SetProcessFaultInjector(FaultInjector* injector);
+
+/// Latches the process injector from KOLA_FAULTS / KOLA_FAULT_SEED once.
+/// No-op (returning OK) when KOLA_FAULTS is unset; an unparsable spec is
+/// an error. Safe to call repeatedly; only the first call reads the env.
+Status LatchFaultInjectionFromEnv();
+
+/// Thread-local injector override for the current scope. The soundness
+/// harness installs one per trial so every fault drawn during the trial
+/// comes from the trial's own seeded stream, keeping chaos sweeps
+/// byte-identical across --jobs levels.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Convenience probe for injection points: OK when no injector is active
+/// or the draw passes; the injected UNAVAILABLE Status otherwise.
+Status MaybeInjectFault(FaultSite site);
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,89 @@
+#ifndef KOLA_COMMON_GOVERNOR_H_
+#define KOLA_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace kola {
+
+/// A shared resource budget for one optimization request: a wall-clock
+/// deadline, a global step budget, and a cooperative cancellation token.
+/// One Governor is threaded through every layer of the pipeline (rewrite
+/// fixpoints, coko strategies, join exploration, evaluation) so a request
+/// has a single budget instead of one scattered `max_steps` per call.
+///
+/// Thread-safe: a batch driver may hand the same Governor to several
+/// workers; charges are atomic and exhaustion is sticky (once stopped,
+/// every subsequent Charge/CheckNow fails with the same cause). The
+/// per-call `max_steps` caps still apply underneath a Governor; the
+/// Governor only ever tightens the budget.
+class Governor {
+ public:
+  enum class StopCause {
+    kNone = 0,
+    kDeadline,   // wall-clock deadline passed
+    kBudget,     // global step budget spent
+    kCancelled,  // Cancel() was called
+  };
+
+  struct Limits {
+    /// Wall-clock budget in milliseconds from Governor construction.
+    /// 0 means no deadline.
+    int64_t deadline_ms = 0;
+    /// Total steps (rule firings + evaluator ticks) across the whole
+    /// request. 0 means unlimited.
+    int64_t step_budget = 0;
+  };
+
+  explicit Governor(Limits limits);
+
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  /// Spends `steps` from the budget and (periodically) checks the
+  /// deadline. OK while the request may continue; RESOURCE_EXHAUSTED once
+  /// any limit is hit. The clock is only sampled every few hundred charges
+  /// so evaluator ticks stay cheap; CheckNow() samples it unconditionally.
+  Status Charge(int64_t steps = 1) const;
+
+  /// Checks the deadline and cancellation immediately without spending
+  /// budget. Use at coarse boundaries (between optimizer blocks).
+  Status CheckNow() const;
+
+  /// Cooperatively cancels the request: every later Charge/CheckNow
+  /// returns RESOURCE_EXHAUSTED with cause kCancelled.
+  void Cancel() const;
+
+  bool stopped() const {
+    return cause_.load(std::memory_order_acquire) != StopCause::kNone;
+  }
+  StopCause cause() const { return cause_.load(std::memory_order_acquire); }
+
+  /// Steps charged so far (still counted after the budget is exhausted,
+  /// so degradation reports can say how much work was done).
+  int64_t steps_spent() const {
+    return spent_.load(std::memory_order_relaxed);
+  }
+
+  const Limits& limits() const { return limits_; }
+
+  static const char* StopCauseName(StopCause cause);
+
+ private:
+  Status Stop(StopCause cause) const;
+  Status StopStatus() const;
+
+  Limits limits_;
+  std::chrono::steady_clock::time_point deadline_;
+  mutable std::atomic<StopCause> cause_{StopCause::kNone};
+  mutable std::atomic<int64_t> spent_{0};
+  mutable std::atomic<uint64_t> charges_{0};
+};
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_GOVERNOR_H_

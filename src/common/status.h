@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnimplemented,     // feature intentionally out of scope
   kInternal,          // invariant violation (a bug in this library)
   kResourceExhausted, // step/recursion budgets exceeded
+  kUnavailable,       // transient failure (injected fault, dead worker)
 };
 
 /// Returns a stable human-readable name for a status code ("TYPE_ERROR"...).
@@ -68,6 +69,7 @@ Status TypeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace kola
 

@@ -1,9 +1,26 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace kola {
+namespace {
+
+Status StatusFromCurrentException(const std::string& where) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return InternalError(where + " threw: " + e.what());
+  } catch (...) {
+    return InternalError(where + " threw a non-std exception");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) threads = 1;
@@ -31,9 +48,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  Status status = std::move(first_error_);
+  first_error_ = Status::OK();
+  return status;
+}
+
+void ThreadPool::RecordError(Status status) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = std::move(status);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,7 +72,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // An injected pool fault models this worker dying right as it picks
+    // the task up: the task is dropped (recorded as the pool's error) but
+    // the pool itself stays healthy.
+    Status injected = MaybeInjectFault(FaultSite::kPoolTask);
+    if (injected.ok()) {
+      try {
+        task();
+      } catch (...) {
+        RecordError(StatusFromCurrentException("thread-pool task"));
+      }
+    } else {
+      RecordError(std::move(injected));
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -60,13 +97,33 @@ int HardwareJobs() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ParallelFor(int jobs, size_t count,
-                 const std::function<void(size_t)>& fn) {
-  if (count == 0) return;
+Status ParallelFor(int jobs, size_t count,
+                   const std::function<void(size_t)>& fn) {
+  if (count == 0) return Status::OK();
   if (jobs > static_cast<int>(count)) jobs = static_cast<int>(count);
+
+  // One slot per failed index, folded lowest-index-first afterwards so the
+  // reported error does not depend on scheduling.
+  std::mutex failures_mu;
+  size_t lowest_failed = count;
+  Status lowest_status;
+  auto guarded = [&](size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      Status status = StatusFromCurrentException(
+          "parallel task " + std::to_string(i));
+      std::unique_lock<std::mutex> lock(failures_mu);
+      if (i < lowest_failed) {
+        lowest_failed = i;
+        lowest_status = std::move(status);
+      }
+    }
+  };
+
   if (jobs <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
-    return;
+    for (size_t i = 0; i < count; ++i) guarded(i);
+    return lowest_status;
   }
   // Self-scheduling over an atomic cursor: no per-index task objects, and
   // uneven index costs (one slow trial next to many fast ones) balance out
@@ -76,13 +133,18 @@ void ParallelFor(int jobs, size_t count,
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
-      fn(i);
+      guarded(i);
     }
   };
   ThreadPool pool(jobs - 1);
   for (int w = 0; w < jobs - 1; ++w) pool.Submit(drain);
   drain();  // the calling thread is the jobs-th worker
-  pool.Wait();
+  // A drain task lost to an injected pool fault is not an index failure:
+  // the cursor guarantees the surviving workers (at minimum the calling
+  // thread) still cover every index, so the pool-level error is dropped
+  // here and only per-index failures surface.
+  (void)pool.Wait();
+  return lowest_status;
 }
 
 }  // namespace kola

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kola {
 
 /// A small fixed-size thread pool: one shared FIFO queue, no work stealing.
@@ -17,9 +19,10 @@ namespace kola {
 /// -- so a single locked queue is all the machinery the optimizer, the
 /// soundness harness and the benchmarks need.
 ///
-/// Tasks must not throw (the library reports failures through Status); an
-/// escaping exception terminates the process, which is the same contract
-/// KOLA_CHECK already enforces for invariant violations.
+/// The library reports failures through Status, but a task that throws
+/// anyway (or dies to an injected pool fault) is contained: the exception
+/// is captured as the pool's first error, the task is charged as finished
+/// so Wait() cannot deadlock, and the remaining tasks still run.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (clamped to >= 1).
@@ -37,12 +40,15 @@ class ThreadPool {
   /// a running task (the pool never blocks a worker on Submit).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. Not a barrier against
-  /// concurrent Submit calls from other threads: quiesce producers first.
-  void Wait();
+  /// Blocks until every submitted task has finished. Returns the first
+  /// task failure (a throw or an injected worker fault) since the last
+  /// Wait(), or OK. Not a barrier against concurrent Submit calls from
+  /// other threads: quiesce producers first.
+  Status Wait();
 
  private:
   void WorkerLoop();
+  void RecordError(Status status);
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
@@ -50,6 +56,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently executing
   bool shutting_down_ = false;
+  Status first_error_;  // guarded by mu_; cleared by Wait()
   std::vector<std::thread> workers_;
 };
 
@@ -62,8 +69,12 @@ int HardwareJobs();
 /// with no threads spawned, so serial and parallel callers share one code
 /// path. `fn` must be safe to invoke concurrently on distinct indices;
 /// index assignment order across threads is unspecified.
-void ParallelFor(int jobs, size_t count,
-                 const std::function<void(size_t)>& fn);
+///
+/// A throwing body fails only its own index: every other index still
+/// runs, and the returned Status carries the lowest failed index (lowest,
+/// not first-observed, so the report is deterministic across schedules).
+Status ParallelFor(int jobs, size_t count,
+                   const std::function<void(size_t)>& fn);
 
 }  // namespace kola
 

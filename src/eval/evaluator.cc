@@ -52,6 +52,7 @@ Status Evaluator::Tick() {
                                   std::to_string(options_.max_steps) +
                                   " steps");
   }
+  if (options_.governor != nullptr) return options_.governor->Charge();
   return Status::OK();
 }
 

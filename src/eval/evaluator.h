@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "term/term.h"
@@ -27,6 +28,10 @@ namespace kola {
 struct EvalOptions {
   int64_t max_steps = 50'000'000;
   bool physical_fastpaths = true;
+  /// Shared request budget: every invocation also charges one step here,
+  /// so a deadline or global budget stops evaluation cooperatively.
+  /// nullptr means ungoverned (max_steps still applies). Not owned.
+  const Governor* governor = nullptr;
 };
 
 /// Operational-semantics interpreter for KOLA terms (Tables 1 and 2 of the

@@ -57,13 +57,28 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
     return true;
   };
 
-  KOLA_ASSIGN_OR_RETURN(
-      TermPtr normalized,
-      rewriter.Fixpoint(cleanup, query, nullptr, 10'000, &cleanup_cache));
-  add(normalized, {});
+  // Exploration degrades instead of failing on an exhausted budget or an
+  // injected fault: every candidate already accumulated is a sound plan,
+  // so running out of resources mid-search just means a smaller plan
+  // space. Genuine errors (anything else) still propagate.
+  auto recoverable = [](const Status& status) {
+    return status.code() == StatusCode::kResourceExhausted ||
+           status.code() == StatusCode::kUnavailable;
+  };
+
+  auto normalized =
+      rewriter.Fixpoint(cleanup, query, nullptr, 10'000, &cleanup_cache);
+  if (normalized.ok()) {
+    add(std::move(normalized).value(), {});
+  } else if (recoverable(normalized.status())) {
+    add(query, {});  // the raw query is always a valid plan
+  } else {
+    return normalized.status();
+  }
 
   std::deque<size_t> frontier = {0};
-  while (!frontier.empty() &&
+  bool budget_hit = false;
+  while (!budget_hit && !frontier.empty() &&
          candidates.size() < static_cast<size_t>(max_candidates)) {
     size_t index = frontier.front();
     frontier.pop_front();
@@ -75,13 +90,18 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
       RewriteStep step;
       auto rewritten = rewriter.ApplyOnce(rule, base, &step);
       if (!rewritten) continue;
-      KOLA_ASSIGN_OR_RETURN(
-          TermPtr cleaned,
-          rewriter.Fixpoint(cleanup, *rewritten, nullptr, 10'000,
-                            &cleanup_cache));
+      auto cleaned = rewriter.Fixpoint(cleanup, *rewritten, nullptr, 10'000,
+                                       &cleanup_cache);
+      if (!cleaned.ok()) {
+        if (recoverable(cleaned.status())) {
+          budget_hit = true;  // keep what we have, stop exploring
+          break;
+        }
+        return cleaned.status();
+      }
       std::vector<std::string> derivation = base_derivation;
       derivation.push_back(rule.id);
-      if (add(std::move(cleaned), std::move(derivation))) {
+      if (add(std::move(cleaned).value(), std::move(derivation))) {
         frontier.push_back(candidates.size() - 1);
         if (candidates.size() >= static_cast<size_t>(max_candidates)) break;
       }

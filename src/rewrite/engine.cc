@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "rewrite/match.h"
 
@@ -198,7 +199,17 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
   }
   if (memo != nullptr) memo->Attune(RuleSetFingerprint(rules), rules.size());
   if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
+  const bool faults_armed = ActiveFaultInjector() != nullptr;
   for (int i = 0; i < max_steps; ++i) {
+    // One governor charge per match sweep (whether or not a rule fires):
+    // the full-term sweep is the unit of work here, and charging before it
+    // keeps the deadline responsive even on the final, fruitless sweep.
+    if (options_.governor != nullptr) {
+      KOLA_RETURN_IF_ERROR(options_.governor->Charge());
+    }
+    if (faults_armed) {
+      KOLA_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kRuleApplication));
+    }
     RewriteStep step;
     auto result = ApplyAnyOnceMemo(rules, term, &step, memo);
     if (!result) return term;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/statusor.h"
 #include "rewrite/properties.h"
 #include "rewrite/rule.h"
@@ -108,6 +109,15 @@ struct RewriterOptions {
   /// lifetime, and makes the Rewriter instance single-threaded (share
   /// nothing: one Rewriter per worker). Off by default.
   bool reuse_fixpoint_caches = false;
+
+  /// Shared resource budget for every Fixpoint driven through this
+  /// Rewriter: each rule firing charges one step, and the deadline is
+  /// probed once per firing, so a non-terminating or merely slow rule set
+  /// stops when the request's budget runs out rather than at each call's
+  /// local max_steps. nullptr (the default) means ungoverned; the per-call
+  /// max_steps caps always still apply. Not owned; must outlive the
+  /// Rewriter.
+  const Governor* governor = nullptr;
 
   static RewriterOptions Defaults();
 };

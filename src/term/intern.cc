@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace kola {
@@ -64,6 +65,14 @@ TermInterner::TermInterner() : epoch_(NextEpoch()) {}
 
 TermPtr TermInterner::Intern(TermPtr term) {
   if (term == nullptr) return term;
+  // An injected interner fault models an arena allocation failing: the
+  // term (and its whole subtree) is handed back un-interned. Structural
+  // Equal still works on un-interned terms -- it just loses the pointer
+  // fast path -- so this degradation is sound by construction.
+  if (ActiveFaultInjector() != nullptr &&
+      ActiveFaultInjector()->ShouldFail(FaultSite::kIntern)) {
+    return term;
+  }
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   // Already canonical in this arena. Tags are write-once, so a matching
   // epoch observed without the shard lock is final.

@@ -256,6 +256,29 @@ class Parser {
   }
 
  private:
+  // Nesting bound for the recursive descent. Every nesting level of the
+  // input (parentheses, `!`/`o` right recursion) costs a handful of native
+  // frames, so adversarially deep inputs -- like the printed form of a
+  // 100k-node spine -- must fail with RESOURCE_EXHAUSTED well before the
+  // native stack runs out. Real queries and shrunk repros nest far below
+  // this.
+  static constexpr int kMaxNestingDepth = 1'000;
+
+  struct DepthGuard {
+    Parser* parser;
+    ~DepthGuard() { --parser->depth_; }
+  };
+
+  Status EnterNesting() {
+    if (depth_ >= kMaxNestingDepth) {
+      return ResourceExhaustedError(
+          "term nesting exceeds " + std::to_string(kMaxNestingDepth) +
+          " levels at position " + std::to_string(Peek().position));
+    }
+    ++depth_;
+    return Status::OK();
+  }
+
   const Token& Peek() const { return tokens_[index_]; }
   Token Advance() { return tokens_[index_++]; }
   bool PeekIsIdent(const char* name) const {
@@ -264,6 +287,8 @@ class Parser {
 
   // Level 0: apply (right associative).
   StatusOr<CstPtr> ParseApply() {
+    KOLA_RETURN_IF_ERROR(EnterNesting());
+    DepthGuard guard{this};
     KOLA_ASSIGN_OR_RETURN(CstPtr left, ParseOr());
     if (Peek().kind == TokKind::kBang || Peek().kind == TokKind::kQuestion) {
       Token op = Advance();
@@ -332,6 +357,8 @@ class Parser {
 
   // Right associative: `f o g o h` parses as f o (g o h).
   StatusOr<CstPtr> ParseCompose() {
+    KOLA_RETURN_IF_ERROR(EnterNesting());
+    DepthGuard guard{this};
     KOLA_ASSIGN_OR_RETURN(CstPtr left, ParseAtom());
     if (PeekIsIdent("o")) {
       Token op = Advance();
@@ -454,6 +481,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t index_ = 0;
+  int depth_ = 0;  // current nesting depth, see EnterNesting()
 };
 
 // ---------------------------------------------------------------------------

@@ -1,4 +1,5 @@
 #include <sstream>
+#include <vector>
 
 #include "common/macros.h"
 #include "term/term.h"
@@ -35,129 +36,155 @@ int Level(TermKind kind) {
   }
 }
 
-void Print(const Term& term, int min_level, std::ostream& os);
+/// One unit of pending output: either a literal piece of text or a term
+/// still to be rendered. Printing walks an explicit job stack instead of
+/// recursing, so adversarially deep terms (a 100k-node compose spine)
+/// render without touching the native stack.
+struct PrintJob {
+  const Term* term;  // nullptr for a text job
+  const char* text;  // used when term is nullptr
+};
 
-void PrintChild(const TermPtr& child, int min_level, std::ostream& os) {
-  bool parens = Level(child->kind()) < min_level;
-  if (parens) os << '(';
-  Print(*child, parens ? 0 : min_level, os);
-  if (parens) os << ')';
-}
+void Print(const Term& root, std::ostream& os) {
+  std::vector<PrintJob> stack = {{&root, nullptr}};
+  // Scratch buffer for the current node's output units, emitted in
+  // left-to-right order, then pushed onto the stack reversed (LIFO).
+  std::vector<PrintJob> parts;
+  auto text = [&parts](const char* t) { parts.push_back({nullptr, t}); };
+  // Renders `child` where contexts of binding strength `min_level` demand
+  // parentheses around anything looser.
+  auto sub = [&](const TermPtr& child, int min_level) {
+    if (Level(child->kind()) < min_level) {
+      text("(");
+      parts.push_back({child.get(), nullptr});
+      text(")");
+    } else {
+      parts.push_back({child.get(), nullptr});
+    }
+  };
+  auto binary = [&](const Term& term, const char* op, int level,
+                    bool right_assoc) {
+    sub(term.child(0), right_assoc ? level + 1 : level);
+    text(" ");
+    text(op);
+    text(" ");
+    sub(term.child(1), right_assoc ? level : level + 1);
+  };
+  auto call = [&](const char* name, const Term& term) {
+    text(name);
+    text("(");
+    for (size_t i = 0; i < term.arity(); ++i) {
+      if (i > 0) text(", ");
+      sub(term.child(i), 0);
+    }
+    text(")");
+  };
 
-void PrintBinary(const Term& term, const char* op, int level, bool right_assoc,
-                 std::ostream& os) {
-  int left_min = right_assoc ? level + 1 : level;
-  int right_min = right_assoc ? level : level + 1;
-  PrintChild(term.child(0), left_min, os);
-  os << ' ' << op << ' ';
-  PrintChild(term.child(1), right_min, os);
-}
-
-void PrintCall(const char* name, const Term& term, std::ostream& os) {
-  os << name << '(';
-  for (size_t i = 0; i < term.arity(); ++i) {
-    if (i > 0) os << ", ";
-    Print(*term.child(i), 0, os);
+  while (!stack.empty()) {
+    PrintJob job = stack.back();
+    stack.pop_back();
+    if (job.term == nullptr) {
+      os << job.text;
+      continue;
+    }
+    const Term& term = *job.term;
+    parts.clear();
+    switch (term.kind()) {
+      case TermKind::kPrimFn:
+      case TermKind::kPrimPred:
+      case TermKind::kCollection:
+        os << term.name();
+        continue;
+      case TermKind::kLiteral:
+        os << term.literal().ToString();
+        continue;
+      case TermKind::kBoolConst:
+        os << (term.bool_const() ? 'T' : 'F');
+        continue;
+      case TermKind::kMetaVar:
+        os << '?' << term.name();
+        continue;
+      case TermKind::kCompose:
+        binary(term, "o", 5, /*right_assoc=*/true);
+        break;
+      case TermKind::kProduct:
+        binary(term, "x", 4, /*right_assoc=*/false);
+        break;
+      case TermKind::kOplus:
+        binary(term, "@", 3, /*right_assoc=*/false);
+        break;
+      case TermKind::kAndP:
+        binary(term, "&", 2, /*right_assoc=*/false);
+        break;
+      case TermKind::kOrP:
+        binary(term, "|", 1, /*right_assoc=*/false);
+        break;
+      case TermKind::kApplyFn:
+        binary(term, "!", 0, /*right_assoc=*/true);
+        break;
+      case TermKind::kApplyPred:
+        binary(term, "?", 0, /*right_assoc=*/true);
+        break;
+      case TermKind::kPairFn:
+        text("(");
+        sub(term.child(0), 0);
+        text(", ");
+        sub(term.child(1), 0);
+        text(")");
+        break;
+      case TermKind::kPairObj:
+        text("[");
+        sub(term.child(0), 0);
+        text(", ");
+        sub(term.child(1), 0);
+        text("]");
+        break;
+      case TermKind::kConstFn:
+        call("Kf", term);
+        break;
+      case TermKind::kCurryFn:
+        call("Cf", term);
+        break;
+      case TermKind::kCond:
+        call("con", term);
+        break;
+      case TermKind::kInvP:
+        call("inv", term);
+        break;
+      case TermKind::kNotP:
+        call("not", term);
+        break;
+      case TermKind::kConstPred:
+        call("Kp", term);
+        break;
+      case TermKind::kCurryPred:
+        call("Cp", term);
+        break;
+      case TermKind::kIterate:
+        call("iterate", term);
+        break;
+      case TermKind::kIter:
+        call("iter", term);
+        break;
+      case TermKind::kJoin:
+        call("join", term);
+        break;
+      case TermKind::kNest:
+        call("nest", term);
+        break;
+      case TermKind::kUnnest:
+        call("unnest", term);
+        break;
+    }
+    for (size_t i = parts.size(); i > 0; --i) stack.push_back(parts[i - 1]);
   }
-  os << ')';
-}
-
-void Print(const Term& term, int min_level, std::ostream& os) {
-  switch (term.kind()) {
-    case TermKind::kPrimFn:
-    case TermKind::kPrimPred:
-    case TermKind::kCollection:
-      os << term.name();
-      return;
-    case TermKind::kLiteral:
-      os << term.literal().ToString();
-      return;
-    case TermKind::kBoolConst:
-      os << (term.bool_const() ? 'T' : 'F');
-      return;
-    case TermKind::kMetaVar:
-      os << '?' << term.name();
-      return;
-    case TermKind::kCompose:
-      PrintBinary(term, "o", 5, /*right_assoc=*/true, os);
-      return;
-    case TermKind::kProduct:
-      PrintBinary(term, "x", 4, /*right_assoc=*/false, os);
-      return;
-    case TermKind::kOplus:
-      PrintBinary(term, "@", 3, /*right_assoc=*/false, os);
-      return;
-    case TermKind::kAndP:
-      PrintBinary(term, "&", 2, /*right_assoc=*/false, os);
-      return;
-    case TermKind::kOrP:
-      PrintBinary(term, "|", 1, /*right_assoc=*/false, os);
-      return;
-    case TermKind::kApplyFn:
-      PrintBinary(term, "!", 0, /*right_assoc=*/true, os);
-      return;
-    case TermKind::kApplyPred:
-      PrintBinary(term, "?", 0, /*right_assoc=*/true, os);
-      return;
-    case TermKind::kPairFn:
-      os << '(';
-      Print(*term.child(0), 0, os);
-      os << ", ";
-      Print(*term.child(1), 0, os);
-      os << ')';
-      return;
-    case TermKind::kPairObj:
-      os << '[';
-      Print(*term.child(0), 0, os);
-      os << ", ";
-      Print(*term.child(1), 0, os);
-      os << ']';
-      return;
-    case TermKind::kConstFn:
-      PrintCall("Kf", term, os);
-      return;
-    case TermKind::kCurryFn:
-      PrintCall("Cf", term, os);
-      return;
-    case TermKind::kCond:
-      PrintCall("con", term, os);
-      return;
-    case TermKind::kInvP:
-      PrintCall("inv", term, os);
-      return;
-    case TermKind::kNotP:
-      PrintCall("not", term, os);
-      return;
-    case TermKind::kConstPred:
-      PrintCall("Kp", term, os);
-      return;
-    case TermKind::kCurryPred:
-      PrintCall("Cp", term, os);
-      return;
-    case TermKind::kIterate:
-      PrintCall("iterate", term, os);
-      return;
-    case TermKind::kIter:
-      PrintCall("iter", term, os);
-      return;
-    case TermKind::kJoin:
-      PrintCall("join", term, os);
-      return;
-    case TermKind::kNest:
-      PrintCall("nest", term, os);
-      return;
-    case TermKind::kUnnest:
-      PrintCall("unnest", term, os);
-      return;
-  }
-  KOLA_CHECK(false);
 }
 
 }  // namespace
 
 std::string Term::ToString() const {
   std::ostringstream os;
-  Print(*this, 0, os);
+  Print(*this, os);
   return os.str();
 }
 

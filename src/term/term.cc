@@ -194,6 +194,34 @@ StatusOr<TermPtr> Term::Make(TermKind kind, std::vector<TermPtr> children,
   return term;
 }
 
+Term::~Term() {
+  // Destroying a deep term recursively (~Term -> children_ -> ~Term ...)
+  // unwinds one native frame per spine node, which overflows the stack on
+  // adversarially deep chains. Instead, steal every sole-owned child into
+  // an explicit worklist and strip its children before it dies, so each
+  // node's destructor runs childless and never recurses. use_count() == 1
+  // is race-free here: this dying node holds the only reference, so no
+  // other thread can acquire one.
+  if (children_.empty()) return;
+  std::vector<TermPtr> pending;
+  auto scavenge = [&pending](std::vector<TermPtr>& children) {
+    for (TermPtr& child : children) {
+      if (child != nullptr && child.use_count() == 1 &&
+          !child->children_.empty()) {
+        pending.push_back(std::move(child));
+      }
+    }
+    children.clear();
+  };
+  scavenge(children_);
+  while (!pending.empty()) {
+    TermPtr term = std::move(pending.back());
+    pending.pop_back();
+    scavenge(const_cast<Term*>(term.get())->children_);
+    // `term` drops here with no children left: a flat destruction.
+  }
+}
+
 TermPtr Term::NewNode(TermKind kind, Sort sort, std::string name,
                       Value literal, bool bool_const,
                       std::vector<TermPtr> children) {
@@ -228,27 +256,38 @@ TermPtr Term::NewNode(TermKind kind, Sort sort, std::string name,
 }
 
 bool Term::Equal(const TermPtr& a, const TermPtr& b) {
-  if (a.get() == b.get()) return true;
-  if (a == nullptr || b == nullptr) return false;
-  // Distinct canonical representatives of the same interning arena are
-  // structurally distinct: O(1) answer without touching the subtrees.
-  uint64_t a_epoch = a->intern_epoch_.load(std::memory_order_acquire);
-  if (a_epoch != 0 &&
-      a_epoch == b->intern_epoch_.load(std::memory_order_acquire)) {
-    return false;
-  }
-  if (a->hash_ != b->hash_) return false;
-  if (a->kind_ != b->kind_ || a->sort_ != b->sort_ || a->name_ != b->name_ ||
-      a->bool_const_ != b->bool_const_ ||
-      a->children_.size() != b->children_.size()) {
-    return false;
-  }
-  if (a->kind_ == TermKind::kLiteral &&
-      Value::Compare(a->literal_, b->literal_) != 0) {
-    return false;
-  }
-  for (size_t i = 0; i < a->children_.size(); ++i) {
-    if (!Equal(a->children_[i], b->children_[i])) return false;
+  // Explicit worklist instead of recursion: the slow path descends one
+  // frame per node on a spine, and adversarially deep terms (100k-node
+  // compose chains) would otherwise overflow the native stack. The
+  // per-node fast paths below keep the common cases O(1).
+  std::vector<std::pair<const Term*, const Term*>> stack = {
+      {a.get(), b.get()}};
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    if (x == y) continue;
+    if (x == nullptr || y == nullptr) return false;
+    // Distinct canonical representatives of the same interning arena are
+    // structurally distinct: O(1) answer without touching the subtrees.
+    uint64_t x_epoch = x->intern_epoch_.load(std::memory_order_acquire);
+    if (x_epoch != 0 &&
+        x_epoch == y->intern_epoch_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (x->hash_ != y->hash_) return false;
+    if (x->kind_ != y->kind_ || x->sort_ != y->sort_ ||
+        x->name_ != y->name_ || x->bool_const_ != y->bool_const_ ||
+        x->children_.size() != y->children_.size()) {
+      return false;
+    }
+    if (x->kind_ == TermKind::kLiteral &&
+        Value::Compare(x->literal_, y->literal_) != 0) {
+      return false;
+    }
+    for (size_t i = x->children_.size(); i > 0; --i) {
+      stack.emplace_back(x->children_[i - 1].get(),
+                         y->children_[i - 1].get());
+    }
   }
   return true;
 }

@@ -156,6 +156,12 @@ class Term {
   /// Renders in the library's concrete syntax (parseable by ParseTerm).
   std::string ToString() const;
 
+  /// Iterative teardown: deep chains are destroyed with an explicit
+  /// worklist so the recursive ~shared_ptr cascade cannot overflow the
+  /// native stack. Public because the shared_ptr control block disposes
+  /// of nodes; terms are only created through Make/NewNode.
+  ~Term();
+
  private:
   friend class TermInterner;
   Term() = default;

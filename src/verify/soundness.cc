@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/governor.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -143,6 +146,11 @@ std::string Divergence::ReplayCommand() const {
                     " --world-scale " + std::to_string(world_scale) +
                     " --config " + config.Name();
   if (planted) cmd += " --plant-unsound";
+  if (deadline_ms > 0) cmd += " --deadline-ms " + std::to_string(deadline_ms);
+  if (!fault_spec.empty()) {
+    cmd += " --faults '" + fault_spec + "' --fault-seed " +
+           std::to_string(fault_stream);
+  }
   return cmd;
 }
 
@@ -158,6 +166,13 @@ std::string Divergence::Report() const {
             (rule_trace.empty() ? std::string("(none fired)")
                                 : Join(rule_trace, ", ")) +
             "\n";
+  if (!fault_spec.empty()) {
+    report += "  faults:    " + fault_spec +
+              " stream=" + std::to_string(fault_stream) + "\n";
+  }
+  if (deadline_ms > 0) {
+    report += "  deadline:  " + std::to_string(deadline_ms) + "ms\n";
+  }
   report += "  expected:  " + expected + "\n";
   report += "  actual:    " + actual + "\n";
   report += "  replay:    " + ReplayCommand() + "\n";
@@ -175,6 +190,7 @@ std::string SoundnessReport::Summary() const {
       std::to_string(eval_skipped) + " eval-skipped), " +
       std::to_string(config_runs) + " config cells, " +
       std::to_string(strictness) + " strictness diffs, " +
+      std::to_string(degraded) + " degraded, " +
       std::to_string(failures.size()) + " divergences";
   summary += failures.empty() ? " -- CLEAN" : " -- UNSOUND";
   return summary;
@@ -186,8 +202,9 @@ std::string SoundnessReport::Summary() const {
 
 /// What happened when one query ran through the pipeline under one config.
 struct SoundnessHarness::RunOutcome {
-  bool skipped = false;     // a step budget was exhausted; no verdict
+  bool skipped = false;     // a step budget or deadline ran out; no verdict
   bool strictness = false;  // pipeline errored where the baseline did not
+  bool degraded = false;    // optimizer stopped early; plan still checked
   bool diverged = false;
   TermPtr optimized;
   std::string expected;
@@ -196,8 +213,8 @@ struct SoundnessHarness::RunOutcome {
 };
 
 SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
-    const TermPtr& query, const Database& db,
-    const PipelineConfig& config) const {
+    const TermPtr& query, const Database& db, const PipelineConfig& config,
+    uint64_t fault_stream) const {
   RunOutcome out;
   ScopedInterning interning(config.interning);
   TermPtr q = config.interning ? GlobalTermInterner().Intern(query) : query;
@@ -205,6 +222,8 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
   // Ground truth: the un-optimized query under the naive nested-loop
   // semantics. Fastpaths are part of what is being tested, so they stay
   // off here even when the config turns them on for the optimized side.
+  // No governor and no faults: ground truth must not depend on wall clock
+  // or on the injected chaos schedule.
   Evaluator baseline(
       &db, EvalOptions{.max_steps = options_.max_eval_steps,
                        .physical_fastpaths = false});
@@ -214,12 +233,34 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
     return out;
   }
 
+  // The optimizer section runs under this cell's own fault stream (the
+  // spec was validated before the sweep started) and, when a deadline is
+  // set, under a fresh per-stage Governor. A degraded pass is the whole
+  // point of chaos testing: its best-so-far plan is still differentially
+  // checked below, so an unsound degradation cannot hide as a skip.
+  std::optional<FaultInjector> injector;
+  if (!options_.fault_spec.empty()) {
+    auto parsed = FaultInjector::Parse(options_.fault_spec, fault_stream);
+    KOLA_CHECK_OK(parsed.status());
+    injector.emplace(std::move(parsed).value());
+  }
+  ScopedFaultInjection faults(injector.has_value() ? &*injector : nullptr);
+  std::optional<Governor> opt_governor;
+  if (options_.deadline_ms > 0) {
+    opt_governor.emplace(
+        Governor::Limits{.deadline_ms = options_.deadline_ms});
+  }
+
   PropertyStore properties = PropertyStore::Default();
   RewriterOptions engine_options;
   engine_options.memoize_fixpoint = config.fixpoint_memo;
   Optimizer optimizer(&properties, &db, engine_options);
-  auto result = optimizer.Optimize(q);
+  auto result = optimizer.Optimize(
+      q, opt_governor.has_value() ? &*opt_governor : nullptr);
   if (!result.ok()) {
+    // Exhaustion and injected faults degrade inside Optimize; an error
+    // escaping here means the pipeline was stricter than the baseline
+    // (except for a residual exhaustion, which stays a skip).
     if (result.status().code() == StatusCode::kResourceExhausted) {
       out.skipped = true;
     } else {
@@ -227,6 +268,7 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
     }
     return out;
   }
+  out.degraded = result->degradation.degraded;
 
   std::vector<std::pair<TermPtr, std::vector<std::string>>> plans;
   std::vector<std::string> fired = result->trace.RuleIds();
@@ -248,9 +290,23 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
   }
 
   for (auto& [plan, trace] : plans) {
+    // Every plan evaluation gets a fresh per-stage deadline: a pass that
+    // degraded at the optimizer's deadline must still have its plan
+    // checked, so the (sticky, possibly expired) optimizer governor is
+    // never reused here. A deadline hit during this evaluation surfaces
+    // as RESOURCE_EXHAUSTED and is classified as a skip below, exactly
+    // like a step-budget skip.
+    std::optional<Governor> eval_governor;
+    if (options_.deadline_ms > 0) {
+      eval_governor.emplace(
+          Governor::Limits{.deadline_ms = options_.deadline_ms});
+    }
     Evaluator eval(
-        &db, EvalOptions{.max_steps = options_.max_eval_steps,
-                         .physical_fastpaths = config.physical_fastpaths});
+        &db,
+        EvalOptions{.max_steps = options_.max_eval_steps,
+                    .physical_fastpaths = config.physical_fastpaths,
+                    .governor = eval_governor.has_value() ? &*eval_governor
+                                                          : nullptr});
     auto actual = eval.EvalObject(plan);
     if (!actual.ok()) {
       if (actual.status().code() == StatusCode::kResourceExhausted) {
@@ -280,7 +336,9 @@ Divergence SoundnessHarness::ShrinkDivergence(Divergence failure) const {
                       const RandomWorldOptions& w,
                       RunOutcome* out) -> bool {
     auto db = BuildRandomWorld(w);
-    *out = RunConfig(candidate, *db, failure.config);
+    // Replaying the divergence's own fault stream keeps the shrinker's
+    // predicate aligned with the failure it is minimizing.
+    *out = RunConfig(candidate, *db, failure.config, failure.fault_stream);
     return out->diverged;
   };
   auto adopt = [&failure](const TermPtr& candidate, RunOutcome out) {
@@ -325,8 +383,15 @@ Divergence SoundnessHarness::ShrinkDivergence(Divergence failure) const {
 StatusOr<std::optional<Divergence>> SoundnessHarness::CheckQuery(
     const TermPtr& query, const RandomWorldOptions& world,
     const PipelineConfig& config) {
+  if (!options_.fault_spec.empty()) {
+    KOLA_RETURN_IF_ERROR(
+        FaultInjector::Parse(options_.fault_spec, options_.fault_seed)
+            .status());
+  }
   auto db = BuildRandomWorld(world);
-  RunOutcome out = RunConfig(query, *db, config);
+  // Replay uses fault_seed directly as the stream -- the seed a reported
+  // ReplayCommand() carries in --fault-seed IS the cell's stream.
+  RunOutcome out = RunConfig(query, *db, config, options_.fault_seed);
   if (!out.diverged) return std::optional<Divergence>();
   Divergence failure;
   failure.query = query;
@@ -339,6 +404,9 @@ StatusOr<std::optional<Divergence>> SoundnessHarness::CheckQuery(
   failure.expected = std::move(out.expected);
   failure.actual = std::move(out.actual);
   failure.rule_trace = std::move(out.rule_trace);
+  failure.deadline_ms = options_.deadline_ms;
+  failure.fault_spec = options_.fault_spec;
+  failure.fault_stream = options_.fault_seed;
   if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
   return std::optional<Divergence>(std::move(failure));
 }
@@ -351,6 +419,7 @@ struct SoundnessHarness::TrialOutcome {
   bool eval_skipped = false;
   uint64_t world_seed = 0;
   int world_scale = 0;
+  uint64_t fault_stream = 0;  // this trial's fault stream seed
   TermPtr query;
   std::vector<RunOutcome> cells;  // one per config, in options_.configs order
 };
@@ -368,6 +437,11 @@ SoundnessHarness::TrialOutcome SoundnessHarness::RunTrial(int trial) const {
   RandomWorldOptions world = RandomWorldOptions::FromSeed(world_seed);
   outcome.world_seed = world.seed;
   outcome.world_scale = world.scale;
+  // The trial's fault stream is a child of fault_seed alone (same
+  // parallel-determinism contract as the query randomness above), so a
+  // chaos sweep's fault schedule never depends on jobs or trial order.
+  outcome.fault_stream =
+      Rng(options_.fault_seed).Child(static_cast<uint64_t>(trial)).Next();
   auto db = BuildRandomWorld(world);
 
   SchemaTypes schema = SchemaTypes::CarWorld();
@@ -394,12 +468,20 @@ SoundnessHarness::TrialOutcome SoundnessHarness::RunTrial(int trial) const {
 
   outcome.cells.reserve(options_.configs.size());
   for (const PipelineConfig& config : options_.configs) {
-    outcome.cells.push_back(RunConfig(query.value(), *db, config));
+    outcome.cells.push_back(
+        RunConfig(query.value(), *db, config, outcome.fault_stream));
   }
   return outcome;
 }
 
 StatusOr<SoundnessReport> SoundnessHarness::Run() {
+  // Surface a malformed fault spec once, up front, instead of aborting
+  // inside a worker mid-sweep.
+  if (!options_.fault_spec.empty()) {
+    KOLA_RETURN_IF_ERROR(
+        FaultInjector::Parse(options_.fault_spec, options_.fault_seed)
+            .status());
+  }
   SoundnessReport report;
   const int jobs = std::max(1, options_.jobs);
   // Trials are dispatched in chunks; after each chunk the outcomes fold
@@ -414,9 +496,10 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
   for (int start = 0; start < options_.trials && !stopped; start += chunk) {
     const int n = std::min(chunk, options_.trials - start);
     outcomes.assign(static_cast<size_t>(n), TrialOutcome{});
-    ParallelFor(jobs, static_cast<size_t>(n), [&](size_t i) {
-      outcomes[i] = RunTrial(start + static_cast<int>(i));
-    });
+    KOLA_RETURN_IF_ERROR(
+        ParallelFor(jobs, static_cast<size_t>(n), [&](size_t i) {
+          outcomes[i] = RunTrial(start + static_cast<int>(i));
+        }));
 
     for (int i = 0; i < n && !stopped; ++i) {
       if (static_cast<int>(report.failures.size()) >=
@@ -440,6 +523,7 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
         ++report.config_runs;
         RunOutcome& out = outcome.cells[c];
         if (out.strictness) ++report.strictness;
+        if (out.degraded) ++report.degraded;
         if (!out.diverged) continue;
         Divergence failure;
         failure.query = outcome.query;
@@ -452,6 +536,9 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
         failure.expected = std::move(out.expected);
         failure.actual = std::move(out.actual);
         failure.rule_trace = std::move(out.rule_trace);
+        failure.deadline_ms = options_.deadline_ms;
+        failure.fault_spec = options_.fault_spec;
+        failure.fault_stream = outcome.fault_stream;
         if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
         report.failures.push_back(std::move(failure));
         if (static_cast<int>(report.failures.size()) >=

@@ -54,6 +54,26 @@ struct SoundnessOptions {
   /// as skips, never as divergences.
   int64_t max_eval_steps = 2'000'000;
 
+  /// Wall-clock budget in milliseconds for each pipeline stage of a config
+  /// cell (the optimization pass and each plan evaluation get their own
+  /// fresh Governor). 0 means ungoverned. A deadline hit during
+  /// optimization degrades -- the best-so-far plan is STILL differentially
+  /// checked; a deadline hit during an evaluation is a skip, exactly like
+  /// a step-budget skip. Deadline hits depend on wall clock, so reports
+  /// from deadline runs need not be bit-identical across machines.
+  int64_t deadline_ms = 0;
+
+  /// Fault-injection spec `site:rate,...` (see common/fault_injection.h)
+  /// installed for the optimizer section of every config cell. "" means no
+  /// faults. The baseline ground-truth evaluation always runs fault-free.
+  std::string fault_spec;
+
+  /// Base seed for fault streams. Trial K draws its faults from the
+  /// independent child stream Rng(fault_seed).Child(K), so the chaos
+  /// schedule is a pure function of (fault_seed, trial) and bit-identical
+  /// at every --jobs level. Replay uses fault_seed directly as the stream.
+  uint64_t fault_seed = 1;
+
   /// The optimizer configurations every trial is checked under.
   std::vector<PipelineConfig> configs = FullConfigMatrix();
 
@@ -92,6 +112,9 @@ struct Divergence {
   std::string expected;     // baseline result (printed)
   std::string actual;       // optimized result (printed)
   std::vector<std::string> rule_trace;  // rule ids, firing order
+  int64_t deadline_ms = 0;      // per-stage deadline in play (0 = none)
+  std::string fault_spec;       // fault spec in play ("" = none)
+  uint64_t fault_stream = 0;    // exact fault stream seed of this cell
 
   /// A one-line `kolaverify --replay ...` invocation that reproduces this
   /// exact divergence from a fresh process.
@@ -110,6 +133,8 @@ struct SoundnessReport {
   int eval_skipped = 0;      // baseline errored or ran out of steps
   int config_runs = 0;       // (trial, config) cells checked
   int strictness = 0;        // optimized plan errored where baseline did not
+  int degraded = 0;          // cells where the optimizer degraded (deadline,
+                             // budget, injected fault) -- plan still checked
   std::vector<Divergence> failures;
 
   bool clean() const { return failures.empty(); }
@@ -148,8 +173,11 @@ class SoundnessHarness {
   struct RunOutcome;    // internal per-config evaluation result
   struct TrialOutcome;  // internal per-trial result (all configs)
 
+  /// `fault_stream` seeds this cell's fault injector when
+  /// options_.fault_spec is non-empty (ignored otherwise).
   RunOutcome RunConfig(const TermPtr& query, const Database& db,
-                       const PipelineConfig& config) const;
+                       const PipelineConfig& config,
+                       uint64_t fault_stream) const;
   /// Generates and checks one trial, self-seeded from options_.seed and
   /// `trial` alone (no shared rng stream): safe to run concurrently with
   /// other trials, and its outcome is independent of execution order.

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/env.h"
@@ -295,6 +297,55 @@ TEST(ParallelForTest, ResultsMatchSerialFold) {
   EXPECT_EQ(serial, parallel);
   EXPECT_EQ(std::accumulate(serial.begin(), serial.end(), uint64_t{0}),
             std::accumulate(parallel.begin(), parallel.end(), uint64_t{0}));
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesAsStatusAndPoolSurvives) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter, i] {
+      if (i == 7) throw std::runtime_error("task 7 exploded");
+      counter.fetch_add(1);
+    });
+  }
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("task 7 exploded"), std::string::npos);
+  // The throw failed only its own task; the other 19 all ran.
+  EXPECT_EQ(counter.load(), 19);
+  // Wait() cleared the error and the pool keeps working.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, NonStdThrowIsContainedToo) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });  // NOLINT: the point is a non-std throw
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ParallelForTest, ThrowingBodyFailsOnlyItsIndex) {
+  for (int jobs : {1, 4}) {
+    std::vector<std::atomic<int>> visits(64);
+    Status status = ParallelFor(jobs, visits.size(), [&](size_t i) {
+      if (i == 5 || i == 41) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      visits[i].fetch_add(1);
+    });
+    ASSERT_FALSE(status.ok()) << "jobs=" << jobs;
+    // The lowest failed index is reported, whatever the schedule was.
+    EXPECT_NE(status.message().find("boom 5"), std::string::npos)
+        << "jobs=" << jobs << ": " << status;
+    for (size_t i = 0; i < visits.size(); ++i) {
+      if (i == 5 || i == 41) continue;
+      EXPECT_EQ(visits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
 }
 
 TEST(HardwareJobsTest, AtLeastOne) { EXPECT_GE(HardwareJobs(), 1); }

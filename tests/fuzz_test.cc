@@ -205,5 +205,65 @@ TEST_P(FuzzTest, PairPatternsOnRandomLiteralsNeverAbort) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 5));
 
+// ---------------------------------------------------------------------------
+// Adversarially deep terms. Printing, structural equality, and destruction
+// are iterative, so a 100k-deep spine must work; the parser is recursive
+// with an explicit depth guard, so re-parsing the printed form must fail
+// with RESOURCE_EXHAUSTED -- never a native stack overflow.
+// ---------------------------------------------------------------------------
+
+constexpr int kDeepChain = 100'000;
+
+TermPtr DeepComposeChain(int depth) {
+  TermPtr term = Id();
+  for (int i = 0; i < depth; ++i) term = Compose(Id(), term);
+  return term;
+}
+
+TEST(DeepTermTest, DeepChainPrintsComparesAndDestructs) {
+  TermPtr a = DeepComposeChain(kDeepChain);
+  {
+    // A structurally equal but pointer-distinct copy forces the full
+    // iterative walk in Equal (the hash fast path cannot prove equality).
+    TermPtr b = DeepComposeChain(kDeepChain);
+    EXPECT_TRUE(Term::Equal(a, b));
+    EXPECT_FALSE(Term::Equal(a, DeepComposeChain(kDeepChain - 1)));
+  }  // iterative teardown of b (and of the shorter chain) happens here
+  std::string text = a->ToString();
+  // "id o id o ... o id": the right-associative chain prints unparenthesized.
+  EXPECT_GT(text.size(), static_cast<size_t>(kDeepChain));
+  EXPECT_EQ(text.substr(0, 10), "id o id o ");
+  EXPECT_EQ(a->node_count(), static_cast<size_t>(2 * kDeepChain + 1));
+}
+
+TEST(DeepTermTest, ParserRejectsPathologicalNestingWithStatus) {
+  std::string text = DeepComposeChain(kDeepChain)->ToString();
+  auto parsed = ParseTerm(text, Sort::kFunction);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(DeepTermTest, ParserRejectsDeepParenthesizedNesting) {
+  // Explicit parentheses drive a different recursion path than the
+  // operator chain; both must hit the same guard.
+  std::string text;
+  for (int i = 0; i < 50'000; ++i) text += "(";
+  text += "id";
+  for (int i = 0; i < 50'000; ++i) text += ")";
+  auto parsed = ParseTerm(text, Sort::kFunction);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeepTermTest, ModeratelyDeepTermsStillParse) {
+  // The guard must not reject legitimate depth: well under the cap, the
+  // round trip still holds.
+  TermPtr term = DeepComposeChain(200);
+  auto parsed = ParseTerm(term->ToString(), Sort::kFunction);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(Term::Equal(term, parsed.value()));
+}
+
 }  // namespace
 }  // namespace kola

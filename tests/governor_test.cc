@@ -1,0 +1,292 @@
+// The resource governor and graceful degradation: every RESOURCE_EXHAUSTED
+// path in the pipeline (evaluator step budget, Fixpoint cap, Exhaust cap,
+// governor budget and deadline) must surface as a reported error or a
+// Degradation, never as an abort -- and a degraded Optimize must still
+// return a sound plan with the input query as the floor.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "coko/strategy.h"
+#include "common/governor.h"
+#include "common/macros.h"
+#include "eval/evaluator.h"
+#include "optimizer/code_motion.h"
+#include "optimizer/hidden_join.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/engine.h"
+#include "rewrite/rule.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+void SleepPastDeadline(int64_t deadline_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(deadline_ms + 5));
+}
+
+// A deliberately non-terminating rule: & commutes, so the fixpoint loop
+// flips the operands forever and only a budget can stop it.
+Rule SpinRule() {
+  auto rule = MakeRule("test.spin", "TEST ONLY: endless & commute",
+                       "?p & ?q", "?q & ?p", Sort::kPredicate);
+  KOLA_CHECK_OK(rule.status());
+  return std::move(rule).value();
+}
+
+TEST(GovernorTest, UnlimitedLimitsNeverStop) {
+  Governor governor(Governor::Limits{});
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(governor.Charge().ok());
+  EXPECT_TRUE(governor.CheckNow().ok());
+  EXPECT_FALSE(governor.stopped());
+  EXPECT_EQ(governor.steps_spent(), 10'000);
+}
+
+TEST(GovernorTest, StepBudgetIsStickyAndCountsSpent) {
+  Governor governor(Governor::Limits{.step_budget = 10});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(governor.Charge().ok()) << "charge " << i;
+  }
+  Status status = governor.Charge();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("step budget"), std::string::npos);
+  EXPECT_EQ(governor.cause(), Governor::StopCause::kBudget);
+  // Sticky: every later probe fails with the same cause, and spent keeps
+  // counting so degradation reports can say how far the request got.
+  EXPECT_FALSE(governor.CheckNow().ok());
+  EXPECT_FALSE(governor.Charge(100).ok());
+  EXPECT_GE(governor.steps_spent(), 11);
+}
+
+TEST(GovernorTest, ExpiredDeadlineStopsChargeAndCheckNow) {
+  Governor governor(Governor::Limits{.deadline_ms = 1});
+  SleepPastDeadline(1);
+  Status status = governor.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("deadline"), std::string::npos);
+  EXPECT_EQ(governor.cause(), Governor::StopCause::kDeadline);
+  EXPECT_FALSE(governor.Charge().ok());
+}
+
+TEST(GovernorTest, DeadlineNoticedByChargeAlone) {
+  // The clock is only sampled every few hundred charges, but the sampling
+  // window starts at charge zero, so an expired deadline is noticed by the
+  // very first Charge().
+  Governor governor(Governor::Limits{.deadline_ms = 1});
+  SleepPastDeadline(1);
+  EXPECT_EQ(governor.Charge().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, FirstStopCauseWins) {
+  Governor governor(Governor::Limits{.step_budget = 1});
+  governor.Cancel();
+  // Exhaust the budget after the cancellation: the reported cause must
+  // stay the first one.
+  EXPECT_FALSE(governor.Charge(100).ok());
+  EXPECT_EQ(governor.cause(), Governor::StopCause::kCancelled);
+  EXPECT_NE(governor.CheckNow().message().find("cancelled"),
+            std::string::npos);
+}
+
+TEST(GovernorTest, StopCauseNames) {
+  EXPECT_STREQ(Governor::StopCauseName(Governor::StopCause::kNone), "none");
+  EXPECT_STREQ(Governor::StopCauseName(Governor::StopCause::kDeadline),
+               "deadline");
+  EXPECT_STREQ(Governor::StopCauseName(Governor::StopCause::kBudget),
+               "budget");
+  EXPECT_STREQ(Governor::StopCauseName(Governor::StopCause::kCancelled),
+               "cancelled");
+}
+
+// ---------------------------------------------------------------------------
+// RESOURCE_EXHAUSTED paths through the pipeline layers.
+// ---------------------------------------------------------------------------
+
+TEST(GovernedRewriteTest, FixpointStopsOnGovernorBudget) {
+  Governor governor(Governor::Limits{.step_budget = 16});
+  RewriterOptions options = RewriterOptions::Defaults();
+  options.governor = &governor;
+  Rewriter rewriter(nullptr, options);
+  TermPtr term = ParseTerm("eq & lt", Sort::kPredicate).value();
+  Trace trace;
+  auto result = rewriter.Fixpoint({SpinRule()}, term, &trace, 1'000'000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("governor"), std::string::npos);
+  EXPECT_GE(governor.steps_spent(), 16);
+}
+
+TEST(GovernedRewriteTest, FixpointPerCallCapStillApplies) {
+  // The old per-call max_steps keeps working underneath a governor (and
+  // without one): the shim did not lose the cap.
+  Rewriter rewriter(nullptr);
+  TermPtr term = ParseTerm("eq & lt", Sort::kPredicate).value();
+  Trace trace;
+  auto result = rewriter.Fixpoint({SpinRule()}, term, &trace, /*max_steps=*/5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedRewriteTest, ExhaustCapReportsResourceExhausted) {
+  Rewriter rewriter(nullptr);
+  TermPtr term = ParseTerm("eq & lt", Sort::kPredicate).value();
+  Trace trace;
+  auto strategy = Exhaust({SpinRule()}, /*max_steps=*/5);
+  auto result = strategy->Run(term, rewriter, &trace);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedRewriteTest, RuleBlockChecksGovernorDeadline) {
+  Governor governor(Governor::Limits{.deadline_ms = 1});
+  SleepPastDeadline(1);
+  RewriterOptions options = RewriterOptions::Defaults();
+  options.governor = &governor;
+  Rewriter rewriter(nullptr, options);
+  RuleBlock block("spin-block", Exhaust({SpinRule()}));
+  Trace trace;
+  TermPtr term = ParseTerm("eq & lt", Sort::kPredicate).value();
+  auto result = block.Apply(term, rewriter, &trace);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The failing block names itself so degradation reports can say where.
+  EXPECT_NE(result.status().message().find("spin-block"), std::string::npos);
+}
+
+TEST(GovernedEvalTest, EvaluatorStepBudgetReportsResourceExhausted) {
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Evaluator evaluator(db.get(), EvalOptions{.max_steps = 5});
+  auto result = evaluator.EvalObject(GarageQueryKG1());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedEvalTest, EvaluatorChargesGovernorBudget) {
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Governor governor(Governor::Limits{.step_budget = 7});
+  Evaluator evaluator(
+      db.get(), EvalOptions{.max_steps = 1'000'000, .governor = &governor});
+  auto result = evaluator.EvalObject(GarageQueryKG1());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("governor"), std::string::npos);
+}
+
+TEST(GovernedEvalTest, EvaluatorStopsOnExpiredDeadline) {
+  auto db = BuildCarWorld(CarWorldOptions{});
+  Governor governor(Governor::Limits{.deadline_ms = 1});
+  SleepPastDeadline(1);
+  Evaluator evaluator(
+      db.get(), EvalOptions{.max_steps = 1'000'000, .governor = &governor});
+  auto result = evaluator.EvalObject(GarageQueryKG1());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation in Optimizer::Optimize.
+// ---------------------------------------------------------------------------
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  DegradationTest() {
+    CarWorldOptions options;
+    options.num_persons = 16;
+    options.num_vehicles = 10;
+    options.num_addresses = 8;
+    options.seed = 5;
+    db_ = BuildCarWorld(options);
+    properties_ = PropertyStore::Default();
+  }
+
+  Value Eval(const TermPtr& query) {
+    auto value = EvalQuery(*db_, query);
+    EXPECT_TRUE(value.ok()) << value.status();
+    return value.ok() ? std::move(value).value() : Value::Null();
+  }
+
+  std::unique_ptr<Database> db_;
+  PropertyStore properties_;
+};
+
+TEST_F(DegradationTest, CleanRunReportsNoDegradation) {
+  Optimizer optimizer(&properties_, db_.get());
+  auto result = optimizer.Optimize(GarageQueryKG1());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->degradation.degraded);
+  EXPECT_EQ(result->degradation.ToString(), "");
+}
+
+TEST_F(DegradationTest, TinyBudgetDegradesToSoundPlan) {
+  Optimizer optimizer(&properties_, db_.get());
+  TermPtr query = GarageQueryKG1();
+  Governor governor(Governor::Limits{.step_budget = 1});
+  auto result = optimizer.Optimize(query, &governor);
+  // Exhaustion is not an error: the pass returns OK with the degradation
+  // reported and the best-so-far plan (here: the input) as the answer.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degradation.degraded);
+  EXPECT_FALSE(result->degradation.phase.empty());
+  EXPECT_EQ(result->degradation.code, StatusCode::kResourceExhausted);
+  EXPECT_NE(result->degradation.ToString().find("degraded at"),
+            std::string::npos);
+  EXPECT_EQ(Eval(result->query), Eval(query));
+}
+
+TEST_F(DegradationTest, ExpiredDeadlineReturnsInputAsFloor) {
+  Optimizer optimizer(&properties_, db_.get());
+  TermPtr query = GarageQueryKG1();
+  Governor governor(Governor::Limits{.deadline_ms = 1});
+  SleepPastDeadline(1);
+  auto result = optimizer.Optimize(query, &governor);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degradation.degraded);
+  EXPECT_EQ(result->degradation.code, StatusCode::kResourceExhausted);
+  EXPECT_NE(result->degradation.reason.find("deadline"), std::string::npos);
+  // Nothing could run before the deadline, so the floor -- the input query
+  // itself -- comes back, and it trivially evaluates to the input's result.
+  EXPECT_TRUE(Term::Equal(result->query, query))
+      << result->query->ToString();
+  EXPECT_EQ(Eval(result->query), Eval(query));
+}
+
+TEST_F(DegradationTest, DegradedTraceDescribesReturnedPlan) {
+  // A mid-pipeline budget: some phases complete, one stops. The surviving
+  // trace and applied_blocks must describe exactly the returned plan (no
+  // steps from the aborted phase leak in), which we verify by replaying
+  // nothing: the plan must still evaluate to the input's result.
+  Optimizer optimizer(&properties_, db_.get());
+  TermPtr query = GarageQueryKG1();
+  for (int64_t budget : {1, 8, 64, 512}) {
+    Governor governor(Governor::Limits{.step_budget = budget});
+    auto result = optimizer.Optimize(query, &governor);
+    ASSERT_TRUE(result.ok()) << "budget " << budget << ": "
+                             << result.status();
+    EXPECT_EQ(Eval(result->query), Eval(query)) << "budget " << budget;
+    if (result->degradation.degraded) {
+      EXPECT_GE(result->degradation.steps_spent, 1) << "budget " << budget;
+    }
+  }
+}
+
+TEST_F(DegradationTest, OptimizeAllSharedBudgetDegradesEveryEntry) {
+  Optimizer optimizer(&properties_, db_.get());
+  std::vector<TermPtr> batch = {GarageQueryKG1(), QueryK4(), QueryK3()};
+  Governor governor(Governor::Limits{.step_budget = 1});
+  auto results = optimizer.OptimizeAll(batch, /*jobs=*/2, &governor);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    // A shared exhausted budget degrades entries; it never errors them.
+    ASSERT_TRUE(results[i].ok()) << results[i].status;
+    EXPECT_TRUE(results[i].result->degradation.degraded) << "entry " << i;
+    EXPECT_EQ(Eval(results[i].result->query), Eval(batch[i]))
+        << "entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kola

@@ -195,11 +195,11 @@ TEST_F(OptimizerTest, OptimizeAllMatchesPerQueryOptimize) {
   }
 
   for (int jobs : {1, 3}) {
-    auto batch = optimizer.OptimizeAll(queries, jobs);
-    ASSERT_TRUE(batch.ok()) << batch.status();
-    ASSERT_EQ(batch->size(), queries.size());
+    std::vector<BatchOptimizeResult> batch = optimizer.OptimizeAll(queries, jobs);
+    ASSERT_EQ(batch.size(), queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      const OptimizeResult& got = (*batch)[i];
+      ASSERT_TRUE(batch[i].ok()) << batch[i].status;
+      const OptimizeResult& got = *batch[i].result;
       // Input order preserved, and every field identical to the serial
       // per-query result -- the jobs knob must never change a plan.
       EXPECT_TRUE(Term::Equal(got.query, expected[i].query))
@@ -209,6 +209,7 @@ TEST_F(OptimizerTest, OptimizeAllMatchesPerQueryOptimize) {
       EXPECT_EQ(got.cost_after, expected[i].cost_after);
       EXPECT_EQ(got.kept_rewrite, expected[i].kept_rewrite);
       EXPECT_EQ(got.applied_blocks, expected[i].applied_blocks);
+      EXPECT_FALSE(got.degradation.degraded);
       EXPECT_EQ(got.trace.RuleIds(), expected[i].trace.RuleIds())
           << "jobs=" << jobs << " i=" << i;
     }
@@ -217,9 +218,8 @@ TEST_F(OptimizerTest, OptimizeAllMatchesPerQueryOptimize) {
 
 TEST_F(OptimizerTest, OptimizeAllEmptyBatch) {
   Optimizer optimizer(&properties_, db_.get());
-  auto batch = optimizer.OptimizeAll({}, 4);
-  ASSERT_TRUE(batch.ok());
-  EXPECT_TRUE(batch->empty());
+  std::vector<BatchOptimizeResult> batch = optimizer.OptimizeAll({}, 4);
+  EXPECT_TRUE(batch.empty());
 }
 
 TEST_F(OptimizerTest, FastPathIgnoresUnrecognizedShapes) {
