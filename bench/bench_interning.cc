@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/macros.h"
 #include "optimizer/explore.h"
 #include "optimizer/hidden_join.h"
@@ -209,6 +210,26 @@ Row Measure(const std::string& name, const WorkloadFn& fn, int iters,
   return row;
 }
 
+/// Accounting pass: the deepest workload re-run once under a pure-meter
+/// governor (byte budget 0 never exhausts) with a private interner arena,
+/// so the JSON records how many bytes the "after" configuration charges at
+/// peak -- interner arena + fixpoint cache + frontier together.
+int64_t MeasurePeakChargedBytes() {
+  Governor meter{Governor::Limits{}};
+  ScopedMemoryGovernor memory_scope(&meter);
+  TermInterner arena;
+  ScopedInterning interning(&arena);
+  RewriterOptions options;
+  options.memoize_fixpoint = true;
+  options.governor = &meter;
+  Rewriter rewriter(nullptr, options);
+  auto query = MakeHiddenJoinQuery(10);
+  KOLA_CHECK_OK(query.status());
+  auto result = UntangleHiddenJoin(query.value(), rewriter);
+  KOLA_CHECK_OK(result.status());
+  return meter.memory().peak_bytes();
+}
+
 std::vector<Row> RunTable() {
   std::vector<Row> rows;
   std::printf("== interning + memoized rewriting: before/after ==\n");
@@ -237,7 +258,8 @@ std::vector<Row> RunTable() {
   return rows;
 }
 
-void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+void WriteJson(const std::vector<Row>& rows, int64_t peak_charged_bytes,
+               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -250,6 +272,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::fprintf(
       f, "  \"after\": \"KOLA_INTERN=1 + fixpoint negative-match memo\",\n");
   std::fprintf(f, "  \"traces_identical\": true,\n");
+  std::fprintf(f, "  \"peak_charged_bytes\": %lld,\n",
+               static_cast<long long>(peak_charged_bytes));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
@@ -342,7 +366,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
   }
   std::vector<kola::Row> rows = kola::RunTable();
-  kola::WriteJson(rows, out);
+  int64_t peak = kola::MeasurePeakChargedBytes();
+  std::printf("peak charged bytes (untangle_depth10, after): %lld\n",
+              static_cast<long long>(peak));
+  kola::WriteJson(rows, peak, out);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

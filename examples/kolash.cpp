@@ -11,6 +11,8 @@
 //   :rules <substring>    list catalog rules matching the substring
 //   :verify <rule-id>     randomized soundness check of one catalog rule
 //   :schema               show extents and their sizes
+//   :stats                interner occupancy, fixpoint-cache hit rates,
+//                         and per-category memory charged this session
 //   :help                 this text
 //   :quit                 exit
 
@@ -26,6 +28,7 @@
 #include "optimizer/optimizer.h"
 #include "rewrite/verifier.h"
 #include "rules/catalog.h"
+#include "term/intern.h"
 #include "term/parser.h"
 #include "translate/translate.h"
 #include "values/car_world.h"
@@ -43,6 +46,7 @@ void PrintHelp() {
       "  :rules <substring>    list catalog rules\n"
       "  :verify <rule-id>     randomized soundness check of one rule\n"
       "  :schema               show extents\n"
+      "  :stats                interner / cache / memory statistics\n"
       "  :help                 this text\n"
       "  :quit                 exit\n");
 }
@@ -81,7 +85,20 @@ int main() {
   options.seed = 1;
   auto db = BuildCarWorld(options);
   PropertyStore properties = PropertyStore::Default();
-  Optimizer optimizer(&properties, db.get());
+
+  // Session-long accounting governor: no limits (a byte budget of 0 never
+  // exhausts), so it is a pure meter -- every interner insertion, fixpoint
+  // cache entry, exploration frontier and evaluator materialization
+  // charges it, and :stats reads the running totals back.
+  Governor session_governor{Governor::Limits{}};
+  ScopedMemoryGovernor memory_scope(&session_governor);
+  // Intern every term for the session so :stats can show arena occupancy
+  // (interning is semantics-free; it only canonicalizes pointers).
+  ScopedInterning session_interning(true);
+
+  RewriterOptions engine_options = RewriterOptions::Defaults();
+  engine_options.governor = &session_governor;
+  Optimizer optimizer(&properties, db.get(), engine_options);
   std::vector<Rule> catalog = AllCatalogRules();
 
   Mode mode = Mode::kOql;
@@ -121,6 +138,28 @@ int main() {
           auto extent = db->Extent(name);
           std::printf("  %-6s %zu elements\n", name.c_str(),
                       extent.ok() ? extent->SetSize() : 0);
+        }
+      } else if (command == "stats") {
+        const TermInterner& interner = GlobalTermInterner();
+        std::printf("  interner:        %zu terms, %lld bytes\n",
+                    interner.size(),
+                    static_cast<long long>(interner.bytes()));
+        Rewriter::CacheStats caches = optimizer.rewriter().PooledCacheStats();
+        std::printf("  fixpoint caches: %zu caches, %zu entries, "
+                    "%llu hits / %llu misses / %llu evictions\n",
+                    caches.caches, caches.entries,
+                    static_cast<unsigned long long>(caches.hits),
+                    static_cast<unsigned long long>(caches.misses),
+                    static_cast<unsigned long long>(caches.evictions));
+        const MemoryBudget& memory = session_governor.memory();
+        std::printf("  memory charged:  %lld bytes live, %lld peak\n",
+                    static_cast<long long>(memory.total_charged()),
+                    static_cast<long long>(memory.peak_bytes()));
+        for (int c = 0; c < kNumMemoryCategories; ++c) {
+          auto category = static_cast<MemoryCategory>(c);
+          std::printf("    %-17s %lld bytes\n",
+                      MemoryCategoryName(category),
+                      static_cast<long long>(memory.charged(category)));
         }
       } else if (command == "rules") {
         int shown = 0;
@@ -184,7 +223,8 @@ int main() {
       std::printf("%s", plan->trace.ToString().c_str());
     }
 
-    Evaluator evaluator(db.get());
+    Evaluator evaluator(db.get(),
+                        EvalOptions{.governor = &session_governor});
     auto value = evaluator.EvalObject(plan->query);
     if (!value.ok()) {
       std::printf("evaluation error: %s\n",

@@ -16,6 +16,10 @@
 //                                       # verdicts may degrade or skip,
 //                                       # never go unsound
 //   kolaverify --deadline-ms 50         # per-stage wall-clock budget
+//   kolaverify --memory-budget 65536    # per-stage byte budget: tight
+//                                       # memory degrades, never unsounds
+//   kolaverify --memory-budget 4096 --retries 2   # escalate degraded
+//                                       # passes through bigger budgets
 //   kolaverify --replay 'iterate(Kp(T), age) ! P' --world-seed 12345
 //              --world-scale 1 --config memo+fast
 //
@@ -54,6 +58,14 @@ void PrintUsage() {
       "  --deadline-ms N   wall-clock budget per pipeline stage; deadline\n"
       "                    hits degrade (optimizer) or skip (evaluation),\n"
       "                    never fail a trial (default 0 = ungoverned)\n"
+      "  --memory-budget N byte budget per pipeline stage (interner arena,\n"
+      "                    fixpoint cache, exploration frontier, evaluator\n"
+      "                    scratch); exhaustion degrades or skips, never\n"
+      "                    fails a trial (default 0 = unlimited)\n"
+      "  --retries N       escalation retries for memory-degraded passes:\n"
+      "                    each retry doubles (roughly) the byte budget;\n"
+      "                    still-degraded passes are quarantined (needs\n"
+      "                    --memory-budget; default 0)\n"
       "  --faults SPEC     inject faults, SPEC is site:rate,... over the\n"
       "                    sites rule, strategy, intern, pool\n"
       "                    (e.g. rule:0.02,intern:0.1)\n"
@@ -64,7 +76,8 @@ void PrintUsage() {
       "  --no-shrink       report divergences unminimized\n"
       "  --replay QUERY    re-check one query instead of generating;\n"
       "                    combine with --world-seed/--world-scale/\n"
-      "                    --config/--deadline-ms/--faults/--fault-seed\n"
+      "                    --config/--deadline-ms/--memory-budget/\n"
+      "                    --retries/--faults/--fault-seed\n"
       "  --world-seed N    replay: random-world seed\n"
       "  --world-scale N   replay: random-world scale\n",
       kChaosSpec);
@@ -117,6 +130,10 @@ int main(int argc, char** argv) {
       plant = true;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       options.deadline_ms = std::atoll(need_value(i++));
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      options.memory_budget_bytes = std::atoll(need_value(i++));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      options.retries = std::atoi(need_value(i++));
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.fault_spec = need_value(i++);
     } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -140,6 +157,12 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 1;
     }
+  }
+
+  if (options.retries > 0 && options.memory_budget_bytes <= 0) {
+    std::fprintf(stderr, "--retries needs --memory-budget\n");
+    PrintUsage();
+    return 1;
   }
 
   if (plant) options.extra_rules.push_back(PlantedDropMapRule());

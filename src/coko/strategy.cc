@@ -59,6 +59,13 @@ class SeqStrategy : public Strategy {
                                Trace* trace) const override {
     StrategyResult accumulated{term, false};
     for (const StrategyPtr& strategy : strategies_) {
+      // Strategy-step boundary: like Repeat, probe the clock before every
+      // component so a deadline that expired inside the previous one stops
+      // the sequence immediately (in-Charge sampling is periodic and can
+      // trail a slow step by hundreds of ms).
+      if (rewriter.options().governor != nullptr) {
+        KOLA_RETURN_IF_ERROR(rewriter.options().governor->CheckNow());
+      }
       KOLA_ASSIGN_OR_RETURN(StrategyResult result,
                             strategy->Run(accumulated.term, rewriter, trace));
       accumulated.term = result.term;

@@ -11,7 +11,8 @@ constexpr uint64_t kClockCheckMask = 511;
 
 }  // namespace
 
-Governor::Governor(Limits limits) : limits_(limits) {
+Governor::Governor(Limits limits)
+    : limits_(limits), memory_(limits.memory_budget_bytes) {
   deadline_ = std::chrono::steady_clock::now() +
               std::chrono::milliseconds(limits_.deadline_ms);
 }
@@ -24,6 +25,8 @@ const char* Governor::StopCauseName(StopCause cause) {
       return "deadline";
     case StopCause::kBudget:
       return "budget";
+    case StopCause::kMemory:
+      return "memory";
     case StopCause::kCancelled:
       return "cancelled";
   }
@@ -50,6 +53,8 @@ Status Governor::StopStatus() const {
       return ResourceExhaustedError("governor step budget of " +
                                     std::to_string(limits_.step_budget) +
                                     " exceeded");
+    case StopCause::kMemory:
+      return memory_.ExhaustedStatus();
     case StopCause::kCancelled:
       return ResourceExhaustedError("request cancelled");
   }
@@ -81,6 +86,37 @@ Status Governor::CheckNow() const {
   return Status::OK();
 }
 
+Status Governor::ChargeMemory(MemoryCategory category, int64_t bytes) const {
+  if (stopped()) return StopStatus();
+  Status status = memory_.Charge(category, bytes);
+  if (!status.ok()) return Stop(StopCause::kMemory);
+  return status;
+}
+
+void Governor::ReleaseMemory(MemoryCategory category, int64_t bytes) const {
+  memory_.Release(category, bytes);
+}
+
 void Governor::Cancel() const { Stop(StopCause::kCancelled); }
+
+namespace {
+
+const Governor*& MemoryGovernorSlot() {
+  thread_local const Governor* governor = nullptr;
+  return governor;
+}
+
+}  // namespace
+
+const Governor* ActiveMemoryGovernor() { return MemoryGovernorSlot(); }
+
+ScopedMemoryGovernor::ScopedMemoryGovernor(const Governor* governor)
+    : previous_(MemoryGovernorSlot()) {
+  MemoryGovernorSlot() = governor;
+}
+
+ScopedMemoryGovernor::~ScopedMemoryGovernor() {
+  MemoryGovernorSlot() = previous_;
+}
 
 }  // namespace kola

@@ -56,6 +56,17 @@ Status Evaluator::Tick() {
   return Status::OK();
 }
 
+namespace {
+/// Estimated bytes per materialized collection element. Values are tagged
+/// unions over small payloads plus shared-ptr-backed collections; one flat
+/// per-element price keeps the accounting O(1) and deterministic.
+constexpr int64_t kEvalValueBytes = 64;
+}  // namespace
+
+Status Evaluator::ChargeScratch(int64_t values) {
+  return scratch_.Add(values * kEvalValueBytes);
+}
+
 StatusOr<Value> Evaluator::EvalObject(const TermPtr& term) {
   KOLA_CHECK(term != nullptr);
   switch (term->kind()) {
@@ -235,6 +246,7 @@ StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
         KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), x));
         if (!keep) continue;
         KOLA_ASSIGN_OR_RETURN(Value y, Apply(fn->child(1), x));
+        KOLA_RETURN_IF_ERROR(ChargeScratch(1));
         out.push_back(std::move(y));
       }
       return MakeLike(argument, std::move(out));
@@ -248,6 +260,7 @@ StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
         KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), env));
         if (!keep) continue;
         KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), env));
+        KOLA_RETURN_IF_ERROR(ChargeScratch(1));
         out.push_back(std::move(v));
       }
       return MakeLike(pair.second, std::move(out));
@@ -273,6 +286,7 @@ StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
           KOLA_ASSIGN_OR_RETURN(bool keep, Holds(fn->child(0), xy));
           if (!keep) continue;
           KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), xy));
+          KOLA_RETURN_IF_ERROR(ChargeScratch(1));
           out.push_back(std::move(v));
         }
       }
@@ -304,8 +318,10 @@ StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
           KOLA_ASSIGN_OR_RETURN(Value key, Apply(fn->child(0), x));
           if (Value::Compare(key, y) != 0) continue;
           KOLA_ASSIGN_OR_RETURN(Value v, Apply(fn->child(1), x));
+          KOLA_RETURN_IF_ERROR(ChargeScratch(1));
           group.push_back(std::move(v));
         }
+        KOLA_RETURN_IF_ERROR(ChargeScratch(1));
         out.push_back(
             Value::MakePair(y, MakeLike(pair.first, std::move(group))));
       }
@@ -320,6 +336,7 @@ StatusOr<Value> Evaluator::Apply(const TermPtr& fn, const Value& argument) {
         KOLA_ASSIGN_OR_RETURN(Value inner, Apply(fn->child(1), x));
         if (!inner.is_collection()) return NotASet("unnest (inner)", inner);
         for (const Value& y : inner.elements()) {
+          KOLA_RETURN_IF_ERROR(ChargeScratch(1));
           out.push_back(Value::MakePair(key, y));
         }
       }
@@ -408,6 +425,7 @@ std::optional<StatusOr<Value>> Evaluator::TryFastJoin(const TermPtr& join,
       KOLA_RETURN_IF_ERROR(Tick());
       KOLA_ASSIGN_OR_RETURN(Value key, Apply(g, b));
       if (op == "eq") {
+        KOLA_RETURN_IF_ERROR(ChargeScratch(1));
         index[std::move(key)].push_back(b);
       } else {
         if (!key.is_set()) {
@@ -415,6 +433,7 @@ std::optional<StatusOr<Value>> Evaluator::TryFastJoin(const TermPtr& join,
                            key.ToString());
         }
         for (const Value& member : key.elements()) {
+          KOLA_RETURN_IF_ERROR(ChargeScratch(1));
           index[member].push_back(b);
         }
       }
@@ -427,6 +446,7 @@ std::optional<StatusOr<Value>> Evaluator::TryFastJoin(const TermPtr& join,
       if (it == index.end()) continue;
       for (const Value& b : it->second) {
         KOLA_ASSIGN_OR_RETURN(Value v, Apply(h, Value::MakePair(a, b)));
+        KOLA_RETURN_IF_ERROR(ChargeScratch(1));
         out.push_back(std::move(v));
       }
     }
@@ -449,6 +469,7 @@ std::optional<StatusOr<Value>> Evaluator::TryFastNest(const TermPtr& nest,
       if (!x.is_pair()) {
         return TypeError("nest(pi1, pi2) expects pairs, got " + x.ToString());
       }
+      KOLA_RETURN_IF_ERROR(ChargeScratch(1));
       groups[x.first()].push_back(x.second());
     }
     std::vector<Value> out;
@@ -457,6 +478,7 @@ std::optional<StatusOr<Value>> Evaluator::TryFastNest(const TermPtr& nest,
       auto it = groups.find(y);
       std::vector<Value> members =
           it == groups.end() ? std::vector<Value>{} : it->second;
+      KOLA_RETURN_IF_ERROR(ChargeScratch(1));
       out.push_back(Value::MakePair(y, Value::MakeSet(std::move(members))));
     }
     ++fastpath_hits_;

@@ -42,7 +42,14 @@ struct EvalOptions {
 class Evaluator {
  public:
   explicit Evaluator(const Database* db, EvalOptions options = EvalOptions())
-      : db_(db), options_(options) {}
+      : db_(db),
+        options_(options),
+        scratch_(options.governor, MemoryCategory::kEvalScratch) {}
+
+  /// Releases the evaluator's scratch charge (see EvalOptions::governor):
+  /// values materialized by collection formers are charged while the
+  /// evaluator lives and handed back here.
+  ~Evaluator() = default;
 
   /// Evaluates a ground object-sorted term (e.g. `iterate(...) ! P`).
   /// Bool-sorted terms evaluate to boolean values.
@@ -65,6 +72,11 @@ class Evaluator {
 
  private:
   Status Tick();
+  /// Charges `values` freshly materialized collection elements against the
+  /// governor's kEvalScratch budget (no-op when ungoverned). The charge is
+  /// held for the evaluator's lifetime -- results built by inner formers
+  /// feed outer ones, so "still charged" approximates "still live".
+  Status ChargeScratch(int64_t values);
   StatusOr<Value> ApplyPrimitive(const std::string& name,
                                  const Value& argument);
   StatusOr<bool> HoldsPrimitive(const std::string& name,
@@ -83,6 +95,7 @@ class Evaluator {
   EvalOptions options_;
   int64_t steps_ = 0;
   int64_t fastpath_hits_ = 0;
+  MemoryCharge scratch_;
 };
 
 /// One-shot helper: evaluates `term` against `db` with default options.

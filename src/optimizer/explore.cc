@@ -45,10 +45,34 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
   // subtrees short-circuit between candidates.
   FixpointCache cleanup_cache;
 
+  // Frontier accounting: every retained candidate charges its plan's node
+  // footprint plus bookkeeping to the request's memory budget, released
+  // when exploration returns (the chosen plan's ownership passes to the
+  // caller; what is modeled here is the live breadth of the search).
+  const Governor* governor = rewriter.options().governor;
+  MemoryCharge frontier_charge(governor, MemoryCategory::kExploreFrontier);
+  bool budget_hit = false;
+  auto candidate_bytes = [](const TermPtr& term) {
+    // Nodes the plan holds (shared subtrees deliberately counted per use:
+    // the estimate prices the logical plan, not allocator luck) plus the
+    // Candidate record itself.
+    return static_cast<int64_t>(term->node_count()) *
+               TermInterner::TermFootprintBytes(*term) +
+           static_cast<int64_t>(sizeof(Candidate));
+  };
+
   auto add = [&](TermPtr term,
                  std::vector<std::string> derivation) -> bool {
     TermPtr canonical = interner.Intern(std::move(term));
     if (seen.count(canonical.get()) > 0) return false;
+    // The input plan (the first add) is always admitted -- it is the floor
+    // every degradation falls back to -- but later candidates that do not
+    // fit in the memory budget stop the search instead of growing it.
+    if (!candidates.empty() &&
+        !frontier_charge.Add(candidate_bytes(canonical)).ok()) {
+      budget_hit = true;
+      return false;
+    }
     seen.emplace(canonical.get(), candidates.size());
     auto cost = model.EstimateQueryCost(canonical);
     candidates.push_back(Candidate{std::move(canonical),
@@ -77,7 +101,6 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
   }
 
   std::deque<size_t> frontier = {0};
-  bool budget_hit = false;
   while (!budget_hit && !frontier.empty() &&
          candidates.size() < static_cast<size_t>(max_candidates)) {
     size_t index = frontier.front();
@@ -105,6 +128,7 @@ StatusOr<std::vector<Candidate>> ExploreJoinPlans(const TermPtr& query,
         frontier.push_back(candidates.size() - 1);
         if (candidates.size() >= static_cast<size_t>(max_candidates)) break;
       }
+      if (budget_hit) break;  // frontier memory exhausted: keep what we have
     }
   }
 

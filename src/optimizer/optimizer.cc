@@ -42,18 +42,32 @@ std::string Degradation::ToString() const {
 }
 
 StatusOr<OptimizeResult> Optimizer::Optimize(const TermPtr& query) const {
+  if (rewriter_.options().memory_budget_bytes > 0) {
+    // A configured byte budget with no caller-supplied governor gets a
+    // private per-call one, so memory exhaustion rides the same sticky
+    // degradation path a deadline does.
+    Governor::Limits limits;
+    limits.memory_budget_bytes = rewriter_.options().memory_budget_bytes;
+    Governor governor(limits);
+    return Optimize(query, &governor);
+  }
   return RunPipeline(query, rewriter_, nullptr);
 }
 
 StatusOr<OptimizeResult> Optimizer::Optimize(const TermPtr& query,
                                              const Governor* governor) const {
-  if (governor == nullptr) return RunPipeline(query, rewriter_, nullptr);
+  // Delegate so a null governor still honors a configured memory budget
+  // (the delegate's private governor is non-null: no recursion).
+  if (governor == nullptr) return Optimize(query);
   // A governed pass runs on a per-call Rewriter clone carrying the
   // governor, so the member rewriter_ (and its cache pool) never aliases a
   // budget that outlives the call.
   RewriterOptions options = rewriter_.options();
   options.governor = governor;
   Rewriter governed(rewriter_.properties(), options);
+  // Interner arena growth charges to the ambient per-thread governor
+  // (interning happens inside Term::Make, which has no options channel).
+  ScopedMemoryGovernor memory_scope(governor);
   return RunPipeline(query, governed, governor);
 }
 

@@ -81,6 +81,9 @@ class Optimizer {
   /// query is the floor -- and returns OK with `degradation` populated.
   /// The returned plan is always sound; a non-OK Status can only come
   /// from the contract being violated before any rewriting starts.
+  /// When RewriterOptions::memory_budget_bytes is set, the call runs under
+  /// a private per-call Governor carrying that byte budget (exceeding it
+  /// degrades exactly like a deadline).
   StatusOr<OptimizeResult> Optimize(const TermPtr& query) const;
 
   /// As above under a shared resource budget: the governor's deadline and
@@ -105,6 +108,11 @@ class Optimizer {
       const Governor* governor = nullptr) const;
 
   const Rewriter& rewriter() const { return rewriter_; }
+
+  /// The database the cost model was grounded on (may be nullptr). Exposed
+  /// so wrappers (RetrySupervisor) can clone this optimizer with adjusted
+  /// engine options.
+  const Database* database() const { return db_; }
 
  private:
   /// The optimizer pipeline re-enters Fixpoint with the same rule blocks

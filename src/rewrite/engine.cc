@@ -40,23 +40,92 @@ uint64_t RuleSetFingerprint(const std::vector<Rule>& rules) {
 
 void FixpointCache::Reset() {
   fingerprint_ = 0;
-  failed_.clear();
+  rule_count_ = 0;
+  slots_.clear();
+  hand_ = 0;
+  index_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  charge_.ReleaseAll();
 }
 
-size_t FixpointCache::size() const {
-  size_t total = 0;
-  for (const FailedSet& set : failed_) total += set.size();
-  return total;
+int64_t FixpointCache::EntryFootprintBytes() {
+  // One ring slot plus one hash-map node (bucket pointer, hash, key,
+  // value) -- a deliberate overestimate of the per-entry overhead so tight
+  // budgets trip before the allocator is actually in trouble.
+  return static_cast<int64_t>(sizeof(Slot) + 4 * sizeof(void*) +
+                              sizeof(size_t) + sizeof(const Term*));
 }
 
 void FixpointCache::Attune(uint64_t fingerprint, size_t rule_count) {
   if (fingerprint_ != fingerprint) {
+    // Reset releases the held bytes but keeps the governor binding.
     Reset();
     fingerprint_ = fingerprint;
   }
-  if (failed_.size() < rule_count) failed_.resize(rule_count);
+  if (rule_count_ < rule_count) rule_count_ = rule_count;
+  if (index_.size() < rule_count_) index_.resize(rule_count_);
+}
+
+void FixpointCache::BindGovernor(const Governor* governor) {
+  // Idempotent for the common case (a pooled cache re-entered by the same
+  // Rewriter): releasing and re-charging live entries every call would
+  // zero the accounting while the entries persist.
+  if (governor == bound_governor_) return;
+  charge_.ReleaseAll();
+  charge_ = MemoryCharge(governor, MemoryCategory::kFixpointCache);
+  bound_governor_ = governor;
+}
+
+bool FixpointCache::CheckFailed(size_t rule_index, const TermPtr& term) {
+  auto& index = index_[rule_index];
+  auto it = index.find(term.get());
+  if (it == index.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  slots_[it->second].referenced = true;
+  return true;
+}
+
+size_t FixpointCache::EvictOne() {
+  // Second chance: sweep from the hand, clearing referenced bits, until an
+  // unreferenced slot turns up (bounded by one full lap plus one step).
+  for (;;) {
+    Slot& slot = slots_[hand_];
+    size_t victim = hand_;
+    hand_ = (hand_ + 1) % slots_.size();
+    if (slot.referenced) {
+      slot.referenced = false;
+      continue;
+    }
+    index_[slot.rule_index].erase(slot.term.get());
+    slot.term = nullptr;
+    ++evictions_;
+    charge_.Release(EntryFootprintBytes());
+    return victim;
+  }
+}
+
+void FixpointCache::RecordFailed(size_t rule_index, TermPtr term) {
+  // Entry bytes are charged before insertion; once the budget is gone the
+  // cache stops growing (and, being sticky, the governor is already
+  // degrading the pass -- this just keeps the loss local).
+  if (!charge_.Add(EntryFootprintBytes()).ok()) return;
+  size_t slot_index;
+  if (capacity_ > 0 && slots_.size() >= capacity_) {
+    slot_index = EvictOne();
+  } else {
+    slot_index = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.rule_index = static_cast<uint32_t>(rule_index);
+  slot.referenced = false;
+  index_[rule_index].emplace(term.get(), slot_index);
+  slot.term = std::move(term);
 }
 
 RewriterOptions RewriterOptions::Defaults() {
@@ -117,13 +186,8 @@ std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
                                                size_t rule_index) const {
   const bool memoizable =
       memo != nullptr && term->node_count() >= kFixpointMemoMinNodes;
-  if (memoizable) {
-    FixpointCache::FailedSet& failed = memo->failed_[rule_index];
-    if (failed.count(term) > 0) {
-      ++memo->hits_;
-      return std::nullopt;
-    }
-    ++memo->misses_;
+  if (memoizable && memo->CheckFailed(rule_index, term)) {
+    return std::nullopt;
   }
   if (auto rewritten = ApplyAtRoot(rule, term)) {
     if (step != nullptr) {
@@ -148,7 +212,7 @@ std::optional<TermPtr> Rewriter::ApplyOnceImpl(const Rule& rule,
   // The rule fires nowhere in this subtree; a subterm's reducibility depends
   // only on its own structure (conditions consult the fixed PropertyStore),
   // so this fact stays true for the cache's lifetime.
-  if (memoizable) memo->failed_[rule_index].insert(term);
+  if (memoizable) memo->RecordFailed(rule_index, term);
   return std::nullopt;
 }
 
@@ -181,10 +245,28 @@ std::optional<TermPtr> Rewriter::ApplyAnyOnceMemo(
   return std::nullopt;
 }
 
+Rewriter::CacheStats Rewriter::PooledCacheStats() const {
+  CacheStats stats;
+  stats.caches = cache_pool_.size();
+  for (const auto& [fingerprint, cache] : cache_pool_) {
+    stats.entries += cache.size();
+    stats.hits += cache.hits();
+    stats.misses += cache.misses();
+    stats.evictions += cache.evictions();
+  }
+  return stats;
+}
+
 StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
                                      TermPtr term, Trace* trace,
                                      int max_steps,
                                      FixpointCache* cache) const {
+  // Entry boundary: an unconditional clock probe, so a fixpoint entered
+  // after a slow rule application (the periodic in-Charge sampling can
+  // trail the deadline by hundreds of ms) stops before sweeping at all.
+  if (options_.governor != nullptr) {
+    KOLA_RETURN_IF_ERROR(options_.governor->CheckNow());
+  }
   FixpointCache local;
   FixpointCache* memo = cache;
   if (memo == nullptr && options_.memoize_fixpoint) {
@@ -197,7 +279,11 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
       memo = &local;
     }
   }
-  if (memo != nullptr) memo->Attune(RuleSetFingerprint(rules), rules.size());
+  if (memo != nullptr) {
+    memo->Attune(RuleSetFingerprint(rules), rules.size());
+    memo->set_capacity(options_.fixpoint_cache_capacity);
+    memo->BindGovernor(options_.governor);
+  }
   if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
   const bool faults_armed = ActiveFaultInjector() != nullptr;
   for (int i = 0; i < max_steps; ++i) {
@@ -212,7 +298,13 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
     }
     RewriteStep step;
     auto result = ApplyAnyOnceMemo(rules, term, &step, memo);
-    if (!result) return term;
+    if (!result) {
+      // Exit boundary: latch a just-passed deadline now (ignoring the
+      // verdict -- this fixpoint's work is complete and keeps) so the next
+      // phase stops at its first probe instead of up to 512 charges later.
+      if (options_.governor != nullptr) (void)options_.governor->CheckNow();
+      return term;
+    }
     term = std::move(*result);
     if (trace != nullptr) trace->steps.push_back(std::move(step));
   }

@@ -54,40 +54,89 @@ uint64_t RuleSetFingerprint(const std::vector<Rule>& rules);
 /// Assumes the PropertyStore consulted by rule conditions does not change
 /// while the cache is live. Memoization never changes results or traces:
 /// only already-failed (rule, subterm) probes are skipped.
+///
+/// Capacity-bounded: past `capacity` entries, inserting evicts one old
+/// entry by deterministic second-chance (clock) replacement -- a hit sets
+/// the entry's referenced bit, the clock hand sweeps the insertion-ordered
+/// ring clearing bits until it finds an unreferenced victim. Eviction is
+/// purely a function of the probe/insert sequence (no pointers, no wall
+/// clock), and losing an entry only costs a re-probe, so results and
+/// traces stay byte-identical at any capacity. Entry bytes are charged to
+/// the bound governor's memory budget (see BindGovernor); a failed charge
+/// just stops the cache growing.
 class FixpointCache {
  public:
+  FixpointCache() = default;
+  ~FixpointCache() { charge_.ReleaseAll(); }
+  FixpointCache(const FixpointCache&) = delete;
+  FixpointCache& operator=(const FixpointCache&) = delete;
+
   void Reset();
 
   /// Number of memoized (rule, subterm) failure entries.
-  size_t size() const;
+  size_t size() const { return slots_.size(); }
+
+  /// Maximum entries held; 0 means unbounded. Takes effect on the next
+  /// insert; set it before the cache fills (shrinking a full cache below
+  /// its size is not supported).
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
   uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Estimated bytes per cache entry (slot + index node + key reference),
+  /// the unit of kFixpointCache memory charges.
+  static int64_t EntryFootprintBytes();
 
  private:
   friend class Rewriter;
 
   struct PtrHash {
-    size_t operator()(const TermPtr& t) const {
-      return std::hash<const Term*>{}(t.get());
+    size_t operator()(const Term* t) const {
+      return std::hash<const Term*>{}(t);
     }
   };
-  struct PtrEq {
-    bool operator()(const TermPtr& a, const TermPtr& b) const {
-      return a.get() == b.get();
-    }
+
+  /// One memoized failure: `rule_index` provably fires nowhere in `term`.
+  struct Slot {
+    TermPtr term;
+    uint32_t rule_index = 0;
+    bool referenced = false;  // second-chance bit, set on hit
   };
-  using FailedSet = std::unordered_set<TermPtr, PtrHash, PtrEq>;
 
   /// Binds the cache to `fingerprint` over `rule_count` rules, resetting
   /// when it was attuned to a different rule set.
   void Attune(uint64_t fingerprint, size_t rule_count);
 
+  /// Points entry charges at `governor`'s memory budget (nullptr detaches;
+  /// the governor must outlive the cache or its Reset).
+  void BindGovernor(const Governor* governor);
+
+  /// True when (rule_index, term) is memoized as failed; counts hits and
+  /// misses and refreshes the second-chance bit.
+  bool CheckFailed(size_t rule_index, const TermPtr& term);
+
+  /// Memoizes (rule_index, term) as failed, evicting if at capacity.
+  void RecordFailed(size_t rule_index, TermPtr term);
+
+  /// Clock sweep: frees one slot's contents and returns its index.
+  size_t EvictOne();
+
   uint64_t fingerprint_ = 0;
-  std::vector<FailedSet> failed_;
+  size_t rule_count_ = 0;
+  size_t capacity_ = 0;
+  std::vector<Slot> slots_;  // insertion-ordered ring once at capacity
+  size_t hand_ = 0;          // clock hand over slots_
+  /// (rule, term pointer) -> slot index, one map per rule.
+  std::vector<std::unordered_map<const Term*, size_t, PtrHash>> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  const Governor* bound_governor_ = nullptr;
+  MemoryCharge charge_;
 };
 
 /// Tunables for the rewrite engine.
@@ -118,6 +167,18 @@ struct RewriterOptions {
   /// max_steps caps always still apply. Not owned; must outlive the
   /// Rewriter.
   const Governor* governor = nullptr;
+
+  /// Entry bound for every FixpointCache a Fixpoint call uses (per-call,
+  /// pooled, or caller-owned): past it, deterministic second-chance
+  /// eviction recycles old entries. 0 disables the bound. Results and
+  /// traces are identical at any value; only re-probe work changes.
+  size_t fixpoint_cache_capacity = 1 << 16;
+
+  /// Convenience byte budget: when set (and no explicit Governor is passed
+  /// to Optimizer::Optimize), the optimizer runs the pass under a private
+  /// Governor with exactly this memory budget, so exceeding it degrades
+  /// the pass the same way a deadline does. 0 means no budget.
+  int64_t memory_budget_bytes = 0;
 
   static RewriterOptions Defaults();
 };
@@ -163,6 +224,17 @@ class Rewriter {
 
   const PropertyStore* properties() const { return properties_; }
   const RewriterOptions& options() const { return options_; }
+
+  /// Aggregate counters over the pooled per-fingerprint caches (all zero
+  /// when reuse_fixpoint_caches is off). For stats displays.
+  struct CacheStats {
+    size_t caches = 0;
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  CacheStats PooledCacheStats() const;
 
  private:
   bool ConditionsHold(const Rule& rule, const Bindings& bindings) const;

@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/governor.h"
 #include "common/macros.h"
 
 namespace kola {
@@ -107,7 +108,23 @@ TermPtr TermInterner::Intern(TermPtr term) {
     ++shard.hits;
     return *it;
   }
+  // Arena growth is charged to the thread's ambient memory governor before
+  // the entry is kept: a failed charge hands the term back un-interned,
+  // exactly like an injected arena fault above -- sound, it only loses the
+  // pointer fast path. The charge is not released per-entry (the arena
+  // retains the term for the request's lifetime); a request-scoped
+  // governor's accounting simply ends with the request, and a long-lived
+  // one reads as cumulative arena occupancy.
+  const int64_t footprint = TermFootprintBytes(*node);
+  if (const Governor* governor = ActiveMemoryGovernor(); governor != nullptr) {
+    if (!governor->ChargeMemory(MemoryCategory::kInternerArena, footprint)
+             .ok()) {
+      shard.canon.erase(it);
+      return node;
+    }
+  }
   ++shard.misses;
+  shard.bytes += footprint;
   // First tag wins: a term already canonical in another arena keeps that
   // arena's epoch/id (it still deduplicates here through set membership).
   // Order matters for lock-free readers: id first, then epoch with release,
@@ -159,6 +176,54 @@ uint64_t TermInterner::misses() const {
   return total;
 }
 
+int64_t TermInterner::bytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+int64_t TermInterner::TermFootprintBytes(const Term& term) {
+  // The node, its control block, its name and child-vector allocations.
+  // Literal payloads are deliberately not walked (a Value can own arbitrary
+  // collections; the estimate must stay O(1) per node).
+  return static_cast<int64_t>(sizeof(Term) + 2 * sizeof(void*) +
+                              term.name().capacity() +
+                              term.children().capacity() * sizeof(TermPtr));
+}
+
+size_t TermInterner::Compact() {
+  size_t dropped_total = 0;
+  for (;;) {
+    size_t dropped = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.canon.begin(); it != shard.canon.end();) {
+        // use_count 1 means the arena is the only owner, and it stays the
+        // only owner while we hold the shard lock (acquiring a new
+        // reference requires a lookup through this shard). Erasing the
+        // entry destroys the term -- stale tag and all -- so the epoch
+        // invariant Equal's fast path needs cannot be violated by a later
+        // re-intern (which tags a brand-new node with a brand-new id).
+        if (it->use_count() == 1) {
+          shard.bytes -= TermFootprintBytes(**it);
+          it = shard.canon.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    dropped_total += dropped;
+    // A dropped parent may have been the last external owner of its
+    // children's entries; sweep again until nothing moves.
+    if (dropped == 0) break;
+  }
+  return dropped_total;
+}
+
 void TermInterner::Clear() {
   // Hold every shard lock while the epoch advances so no straggler can
   // insert under the old epoch after its shard was emptied.
@@ -171,6 +236,7 @@ void TermInterner::Clear() {
     shard.canon.clear();
     shard.hits = 0;
     shard.misses = 0;
+    shard.bytes = 0;
   }
   epoch_.store(NextEpoch(), std::memory_order_release);
   next_id_.store(1, std::memory_order_relaxed);
@@ -183,6 +249,13 @@ TermInterner& GlobalTermInterner() {
 }
 
 TermInterner* ActiveTermInterner() { return ActiveSlot(); }
+
+TermInterner* ExchangeActiveTermInterner(TermInterner* interner) {
+  TermInterner*& slot = ActiveSlot();
+  TermInterner* previous = slot;
+  slot = interner;
+  return previous;
+}
 
 bool SetGlobalInterningEnabled(bool enabled) {
   TermInterner*& slot = ActiveSlot();

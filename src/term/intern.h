@@ -51,6 +51,11 @@ class TermInterner {
   /// concurrent interning).
   size_t size() const;
 
+  /// Estimated bytes held by the arena's canonical terms (node footprints,
+  /// not the hash-set overhead). Grows on insert misses, shrinks on
+  /// Clear()/Compact(). A snapshot, like size().
+  int64_t bytes() const;
+
   /// Lookup hits (an equal term was already interned) vs misses (a new
   /// canonical entry) since construction or the last Clear().
   uint64_t hits() const;
@@ -60,6 +65,22 @@ class TermInterner {
   /// canonical terms remain valid, structurally comparable terms -- they are
   /// just no longer canonical, and re-interning assigns new ids.
   void Clear();
+
+  /// Epoch compaction: drops every canonical entry whose ONLY owner is the
+  /// arena itself (use_count 1 -- nothing outside can ever look it up
+  /// again), sweeping until a fixpoint so a dropped parent lets its
+  /// now-sole-owned children go in a later sweep. Returns the number of
+  /// entries dropped. Safe while the arena is shared: destroying the sole
+  /// reference destroys the term and its (stale) epoch tag with it, so the
+  /// "same epoch => structurally distinct pointers" invariant Equal relies
+  /// on is untouched, and a re-interned equal term is simply a fresh miss
+  /// with a fresh id (ids stay unique, no longer dense). Called by
+  /// ScopedInterning when an interning region ends.
+  size_t Compact();
+
+  /// Estimated heap footprint of one term node (used for byte accounting;
+  /// exposed so caches charging term references agree on the estimate).
+  static int64_t TermFootprintBytes(const Term& term);
 
  private:
   struct StructuralHash {
@@ -80,6 +101,7 @@ class TermInterner {
     std::unordered_set<TermPtr, StructuralHash, StructuralEq> canon;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    int64_t bytes = 0;
   };
 
   Shard& ShardFor(size_t hash) { return shards_[hash % kShards]; }
@@ -119,20 +141,40 @@ bool LatchGlobalInterningFromEnv();
 bool SetGlobalInterningEnabled(bool enabled);
 bool GlobalInterningEnabled();
 
+/// Points the calling thread's active-arena slot at `interner` (nullptr
+/// disables construction-time interning). Returns the previous slot value.
+/// Prefer ScopedInterning, which restores and compacts on scope exit.
+TermInterner* ExchangeActiveTermInterner(TermInterner* interner);
+
 /// RAII toggle for construction-time interning, for tests, benchmarks and
 /// per-worker pipeline configs. Thread-local:
 ///   { ScopedInterning on(true);  ... all Term::Make results canonical ... }
 /// only affects Term::Make calls made by the entering thread.
+///
+/// The bool form routes through the process-wide GlobalTermInterner(); the
+/// pointer form routes through a caller-owned private arena, which is how a
+/// memory-budgeted request gets per-request interner accounting that does
+/// not depend on how warm the shared arena happens to be. On scope exit the
+/// region's arena is epoch-compacted (TermInterner::Compact): canonical
+/// entries nothing else holds -- the region's garbage -- are dropped.
 class ScopedInterning {
  public:
   explicit ScopedInterning(bool enabled)
-      : previous_(SetGlobalInterningEnabled(enabled)) {}
-  ~ScopedInterning() { SetGlobalInterningEnabled(previous_); }
+      : ScopedInterning(enabled ? &GlobalTermInterner() : nullptr) {}
+  explicit ScopedInterning(TermInterner* arena)
+      : previous_(ExchangeActiveTermInterner(arena)), arena_(arena) {}
+  ~ScopedInterning() {
+    ExchangeActiveTermInterner(previous_);
+    // Leaving an interning region (not merely re-entering the same arena
+    // from a nested scope) is the compaction point.
+    if (arena_ != nullptr && arena_ != previous_) arena_->Compact();
+  }
   ScopedInterning(const ScopedInterning&) = delete;
   ScopedInterning& operator=(const ScopedInterning&) = delete;
 
  private:
-  bool previous_;
+  TermInterner* previous_;
+  TermInterner* arena_;
 };
 
 }  // namespace kola

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "eval/evaluator.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/retry.h"
 #include "rewrite/properties.h"
 #include "rewrite/types.h"
 #include "term/intern.h"
@@ -147,6 +148,10 @@ std::string Divergence::ReplayCommand() const {
                     " --config " + config.Name();
   if (planted) cmd += " --plant-unsound";
   if (deadline_ms > 0) cmd += " --deadline-ms " + std::to_string(deadline_ms);
+  if (memory_budget_bytes > 0) {
+    cmd += " --memory-budget " + std::to_string(memory_budget_bytes);
+  }
+  if (retries > 0) cmd += " --retries " + std::to_string(retries);
   if (!fault_spec.empty()) {
     cmd += " --faults '" + fault_spec + "' --fault-seed " +
            std::to_string(fault_stream);
@@ -173,6 +178,13 @@ std::string Divergence::Report() const {
   if (deadline_ms > 0) {
     report += "  deadline:  " + std::to_string(deadline_ms) + "ms\n";
   }
+  if (memory_budget_bytes > 0) {
+    report += "  memory:    " + std::to_string(memory_budget_bytes) +
+              " bytes" +
+              (retries > 0 ? " (+" + std::to_string(retries) + " retries)"
+                           : std::string()) +
+              "\n";
+  }
   report += "  expected:  " + expected + "\n";
   report += "  actual:    " + actual + "\n";
   report += "  replay:    " + ReplayCommand() + "\n";
@@ -191,6 +203,9 @@ std::string SoundnessReport::Summary() const {
       std::to_string(config_runs) + " config cells, " +
       std::to_string(strictness) + " strictness diffs, " +
       std::to_string(degraded) + " degraded, " +
+      (supervised ? std::to_string(retried) + " retried, " +
+                        std::to_string(quarantined) + " quarantined, "
+                  : std::string()) +
       std::to_string(failures.size()) + " divergences";
   summary += failures.empty() ? " -- CLEAN" : " -- UNSOUND";
   return summary;
@@ -205,6 +220,8 @@ struct SoundnessHarness::RunOutcome {
   bool skipped = false;     // a step budget or deadline ran out; no verdict
   bool strictness = false;  // pipeline errored where the baseline did not
   bool degraded = false;    // optimizer stopped early; plan still checked
+  bool retried = false;     // RetrySupervisor ran more than one attempt
+  bool quarantined = false; // still degraded at the top of the escalation
   bool diverged = false;
   TermPtr optimized;
   std::string expected;
@@ -216,8 +233,16 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
     const TermPtr& query, const Database& db, const PipelineConfig& config,
     uint64_t fault_stream) const {
   RunOutcome out;
-  ScopedInterning interning(config.interning);
-  TermPtr q = config.interning ? GlobalTermInterner().Intern(query) : query;
+  // Interning cells use a PRIVATE per-cell arena, not the shared global
+  // one: with a memory budget in play, arena growth is charged to the
+  // cell's governor, and charges against a shared arena would depend on
+  // which trials warmed it first -- an execution-order (therefore --jobs)
+  // dependence. A fresh arena makes every charge a pure function of the
+  // cell. Results never differ (interning is semantics-free either way).
+  std::optional<TermInterner> arena;
+  if (config.interning) arena.emplace();
+  ScopedInterning interning(config.interning ? &*arena : nullptr);
+  TermPtr q = config.interning ? arena->Intern(query) : query;
 
   // Ground truth: the un-optimized query under the naive nested-loop
   // semantics. Fastpaths are part of what is being tested, so they stay
@@ -246,17 +271,41 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
   }
   ScopedFaultInjection faults(injector.has_value() ? &*injector : nullptr);
   std::optional<Governor> opt_governor;
-  if (options_.deadline_ms > 0) {
-    opt_governor.emplace(
-        Governor::Limits{.deadline_ms = options_.deadline_ms});
+  if (options_.deadline_ms > 0 || options_.memory_budget_bytes > 0) {
+    Governor::Limits limits;
+    limits.deadline_ms = options_.deadline_ms;
+    limits.memory_budget_bytes = options_.memory_budget_bytes;
+    opt_governor.emplace(limits);
   }
 
   PropertyStore properties = PropertyStore::Default();
   RewriterOptions engine_options;
   engine_options.memoize_fixpoint = config.fixpoint_memo;
   Optimizer optimizer(&properties, &db, engine_options);
-  auto result = optimizer.Optimize(
-      q, opt_governor.has_value() ? &*opt_governor : nullptr);
+  StatusOr<OptimizeResult> result = InternalError("unreached");
+  if (options_.retries > 0 && options_.memory_budget_bytes > 0) {
+    // Supervised path: memory-degraded passes re-run under escalated
+    // budgets. The jitter key is the cell's fault stream -- already a pure
+    // function of (seed, trial), so the escalation schedule is
+    // jobs-invariant like everything else.
+    RetryOptions retry;
+    retry.memory_budget_bytes = options_.memory_budget_bytes;
+    retry.deadline_ms = options_.deadline_ms;
+    retry.max_attempts = options_.retries + 1;
+    retry.seed = options_.seed;
+    RetrySupervisor supervisor(&optimizer, retry);
+    RetryOutcome supervised = supervisor.Optimize(q, fault_stream);
+    out.retried = supervised.report.attempts > 1;
+    out.quarantined = supervised.report.quarantined;
+    if (supervised.ok()) {
+      result = std::move(*supervised.result);
+    } else {
+      result = supervised.status;
+    }
+  } else {
+    result = optimizer.Optimize(
+        q, opt_governor.has_value() ? &*opt_governor : nullptr);
+  }
   if (!result.ok()) {
     // Exhaustion and injected faults degrade inside Optimize; an error
     // escaping here means the pipeline was stricter than the baseline
@@ -297,9 +346,11 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
     // as RESOURCE_EXHAUSTED and is classified as a skip below, exactly
     // like a step-budget skip.
     std::optional<Governor> eval_governor;
-    if (options_.deadline_ms > 0) {
-      eval_governor.emplace(
-          Governor::Limits{.deadline_ms = options_.deadline_ms});
+    if (options_.deadline_ms > 0 || options_.memory_budget_bytes > 0) {
+      Governor::Limits limits;
+      limits.deadline_ms = options_.deadline_ms;
+      limits.memory_budget_bytes = options_.memory_budget_bytes;
+      eval_governor.emplace(limits);
     }
     Evaluator eval(
         &db,
@@ -405,6 +456,8 @@ StatusOr<std::optional<Divergence>> SoundnessHarness::CheckQuery(
   failure.actual = std::move(out.actual);
   failure.rule_trace = std::move(out.rule_trace);
   failure.deadline_ms = options_.deadline_ms;
+  failure.memory_budget_bytes = options_.memory_budget_bytes;
+  failure.retries = options_.retries;
   failure.fault_spec = options_.fault_spec;
   failure.fault_stream = options_.fault_seed;
   if (options_.shrink) failure = ShrinkDivergence(std::move(failure));
@@ -483,6 +536,8 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
             .status());
   }
   SoundnessReport report;
+  report.supervised =
+      options_.retries > 0 && options_.memory_budget_bytes > 0;
   const int jobs = std::max(1, options_.jobs);
   // Trials are dispatched in chunks; after each chunk the outcomes fold
   // into the report in trial order, replicating the serial early-stop at
@@ -524,6 +579,8 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
         RunOutcome& out = outcome.cells[c];
         if (out.strictness) ++report.strictness;
         if (out.degraded) ++report.degraded;
+        if (out.retried) ++report.retried;
+        if (out.quarantined) ++report.quarantined;
         if (!out.diverged) continue;
         Divergence failure;
         failure.query = outcome.query;
@@ -537,6 +594,8 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
         failure.actual = std::move(out.actual);
         failure.rule_trace = std::move(out.rule_trace);
         failure.deadline_ms = options_.deadline_ms;
+        failure.memory_budget_bytes = options_.memory_budget_bytes;
+        failure.retries = options_.retries;
         failure.fault_spec = options_.fault_spec;
         failure.fault_stream = outcome.fault_stream;
         if (options_.shrink) failure = ShrinkDivergence(std::move(failure));

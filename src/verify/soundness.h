@@ -63,6 +63,24 @@ struct SoundnessOptions {
   /// from deadline runs need not be bit-identical across machines.
   int64_t deadline_ms = 0;
 
+  /// Per-stage memory budget in bytes (0 = unlimited). The optimization
+  /// pass of every config cell runs under a Governor carrying this byte
+  /// budget (interner arena + fixpoint cache + exploration frontier +
+  /// evaluator scratch all charge it); each plan evaluation gets its own
+  /// fresh budget of the same size. Exhaustion degrades the pass / skips
+  /// the evaluation, never errors. Interning cells use a private per-cell
+  /// arena, so charges -- and therefore the report -- are a pure function
+  /// of the cell and stay bit-identical at every --jobs level.
+  int64_t memory_budget_bytes = 0;
+
+  /// Escalation retries for memory-degraded passes (0 = none). When both
+  /// this and memory_budget_bytes are set, each cell's pass runs under a
+  /// RetrySupervisor with max_attempts = retries + 1: a pass degraded on
+  /// RESOURCE_EXHAUSTED re-runs under a geometrically larger budget, and a
+  /// pass still degraded after the last attempt is quarantined (its best
+  /// plan is still differentially checked).
+  int retries = 0;
+
   /// Fault-injection spec `site:rate,...` (see common/fault_injection.h)
   /// installed for the optimizer section of every config cell. "" means no
   /// faults. The baseline ground-truth evaluation always runs fault-free.
@@ -113,6 +131,8 @@ struct Divergence {
   std::string actual;       // optimized result (printed)
   std::vector<std::string> rule_trace;  // rule ids, firing order
   int64_t deadline_ms = 0;      // per-stage deadline in play (0 = none)
+  int64_t memory_budget_bytes = 0;  // per-stage byte budget (0 = none)
+  int retries = 0;              // escalation retries in play (0 = none)
   std::string fault_spec;       // fault spec in play ("" = none)
   uint64_t fault_stream = 0;    // exact fault stream seed of this cell
 
@@ -135,6 +155,12 @@ struct SoundnessReport {
   int strictness = 0;        // optimized plan errored where baseline did not
   int degraded = 0;          // cells where the optimizer degraded (deadline,
                              // budget, injected fault) -- plan still checked
+  int retried = 0;           // cells the RetrySupervisor re-ran (>1 attempt)
+  int quarantined = 0;       // cells still degraded at max escalation
+  bool supervised = false;   // the RetrySupervisor was configured (retries
+                             // > 0): Summary() then reports retried /
+                             // quarantined counts. Options-driven, so the
+                             // format is identical at every --jobs level.
   std::vector<Divergence> failures;
 
   bool clean() const { return failures.empty(); }

@@ -321,12 +321,23 @@ TEST(ChaosSweepTest, ReplayCommandRoundTripsChaosFlags) {
   divergence.world_seed = 5;
   divergence.world_scale = 2;
   divergence.deadline_ms = 250;
+  divergence.memory_budget_bytes = 65536;
+  divergence.retries = 2;
   divergence.fault_spec = "rule:0.1";
   divergence.fault_stream = 42;
   std::string cmd = divergence.ReplayCommand();
   EXPECT_NE(cmd.find("--deadline-ms 250"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--memory-budget 65536"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--retries 2"), std::string::npos) << cmd;
   EXPECT_NE(cmd.find("--faults 'rule:0.1'"), std::string::npos) << cmd;
   EXPECT_NE(cmd.find("--fault-seed 42"), std::string::npos) << cmd;
+
+  // Budget-free divergences stay budget-free on the command line.
+  divergence.memory_budget_bytes = 0;
+  divergence.retries = 0;
+  cmd = divergence.ReplayCommand();
+  EXPECT_EQ(cmd.find("--memory-budget"), std::string::npos) << cmd;
+  EXPECT_EQ(cmd.find("--retries"), std::string::npos) << cmd;
 }
 
 }  // namespace
