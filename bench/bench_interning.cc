@@ -58,7 +58,11 @@ std::string TraceDigest(const Trace& trace, const TermPtr& final_term) {
 }
 
 Rewriter MakeRewriter(const Mode& mode) {
-  return Rewriter(nullptr, RewriterOptions{.memoize_fixpoint = mode.memoize});
+  // The compiled rule index (a later, independent axis) is pinned OFF in
+  // both modes so this table isolates interning + memoization against the
+  // seed linear scan; BENCH_rule_index.json covers the index axis.
+  return Rewriter(nullptr, RewriterOptions{.memoize_fixpoint = mode.memoize,
+                                           .use_rule_index = false});
 }
 
 std::vector<Rule> Fig4Rules() {
@@ -185,7 +189,7 @@ double TimeOnceMs(const WorkloadFn& fn, const Mode& mode, int iters) {
 }
 
 Row Measure(const std::string& name, const WorkloadFn& fn, int iters,
-            int repetitions = 5) {
+            int repetitions = 9) {
   // Derivations and results must not depend on the mode.
   std::string before_digest, after_digest;
   {
@@ -221,6 +225,7 @@ int64_t MeasurePeakChargedBytes() {
   ScopedInterning interning(&arena);
   RewriterOptions options;
   options.memoize_fixpoint = true;
+  options.use_rule_index = false;  // same configuration as the table
   options.governor = &meter;
   Rewriter rewriter(nullptr, options);
   auto query = MakeHiddenJoinQuery(10);

@@ -26,6 +26,7 @@
 #include "eval/evaluator.h"
 #include "oql/oql.h"
 #include "optimizer/optimizer.h"
+#include "rewrite/rule_index.h"
 #include "rewrite/verifier.h"
 #include "rules/catalog.h"
 #include "term/intern.h"
@@ -151,6 +152,12 @@ int main() {
                     static_cast<unsigned long long>(caches.hits),
                     static_cast<unsigned long long>(caches.misses),
                     static_cast<unsigned long long>(caches.evictions));
+        const RuleIndexCacheStats indexes = GetRuleIndexCacheStats();
+        std::printf("  rule indexes:    %zu compiled, %lld bytes, "
+                    "%llu hits / %llu misses\n",
+                    indexes.indexes, static_cast<long long>(indexes.bytes),
+                    static_cast<unsigned long long>(indexes.hits),
+                    static_cast<unsigned long long>(indexes.misses));
         const MemoryBudget& memory = session_governor.memory();
         std::printf("  memory charged:  %lld bytes live, %lld peak\n",
                     static_cast<long long>(memory.total_charged()),

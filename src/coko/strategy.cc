@@ -128,18 +128,23 @@ class RepeatStrategy : public Strategy {
 class EverywhereStrategy : public Strategy {
  public:
   explicit EverywhereStrategy(std::vector<Rule> rules)
-      : rules_(std::move(rules)) {}
+      : rules_(std::move(rules)),
+        fingerprint_(RuleSetFingerprint(rules_)) {}
 
   StatusOr<StrategyResult> Run(const TermPtr& term, const Rewriter& rewriter,
                                Trace* trace) const override {
     bool changed = false;
-    TermPtr result = Sweep(term, rewriter, trace, &changed);
+    // One index acquisition per sweep (the fingerprint is precomputed at
+    // construction), consulted at every node below. nullptr degrades every
+    // ApplyAnyAtRoot to the plain linear probe.
+    auto index = rewriter.IndexFor(rules_, fingerprint_);
+    TermPtr result = Sweep(term, rewriter, index.get(), trace, &changed);
     return StrategyResult{std::move(result), changed};
   }
 
  private:
-  TermPtr Sweep(const TermPtr& term, const Rewriter& rewriter, Trace* trace,
-                bool* changed) const {
+  TermPtr Sweep(const TermPtr& term, const Rewriter& rewriter,
+                const RuleIndex* index, Trace* trace, bool* changed) const {
     // Children first.
     TermPtr current = term;
     if (!term->is_leaf()) {
@@ -147,28 +152,30 @@ class EverywhereStrategy : public Strategy {
       std::vector<TermPtr> children;
       children.reserve(term->arity());
       for (const TermPtr& child : term->children()) {
-        TermPtr swept = Sweep(child, rewriter, trace, changed);
+        TermPtr swept = Sweep(child, rewriter, index, trace, changed);
         child_changed = child_changed || swept.get() != child.get();
         children.push_back(std::move(swept));
       }
       if (child_changed) current = term->WithChildren(std::move(children));
     }
     // Then this position, once.
-    for (const Rule& rule : rules_) {
-      if (auto rewritten = rewriter.ApplyAtRoot(rule, current)) {
-        if (trace != nullptr) {
-          if (trace->initial == nullptr) trace->initial = term;
-          trace->steps.push_back(
-              RewriteStep{rule.id, {}, current, *rewritten, *rewritten});
-        }
-        *changed = true;
-        return *rewritten;
+    size_t fired = 0;
+    if (auto rewritten =
+            rewriter.ApplyAnyAtRoot(rules_, current, index, &fired)) {
+      if (trace != nullptr) {
+        if (trace->initial == nullptr) trace->initial = term;
+        trace->steps.push_back(
+            RewriteStep{rules_[fired].id, {}, current, *rewritten,
+                        *rewritten});
       }
+      *changed = true;
+      return *rewritten;
     }
     return current;
   }
 
   std::vector<Rule> rules_;
+  uint64_t fingerprint_;
 };
 
 /// Collects the catalog rules with the given ids.

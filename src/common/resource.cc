@@ -14,6 +14,8 @@ const char* MemoryCategoryName(MemoryCategory category) {
       return "explore-frontier";
     case MemoryCategory::kEvalScratch:
       return "eval-scratch";
+    case MemoryCategory::kRuleIndex:
+      return "rule-index";
   }
   return "unknown";
 }

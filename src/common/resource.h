@@ -16,9 +16,10 @@ enum class MemoryCategory {
   kFixpointCache,      // negative-match entries in FixpointCache
   kExploreFrontier,    // candidate plans held by ExploreJoinPlans
   kEvalScratch,        // values materialized by the evaluator
+  kRuleIndex,          // compiled discrimination-tree rule indexes
 };
 
-inline constexpr int kNumMemoryCategories = 4;
+inline constexpr int kNumMemoryCategories = 5;
 
 const char* MemoryCategoryName(MemoryCategory category);
 

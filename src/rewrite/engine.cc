@@ -1,37 +1,55 @@
 #include "rewrite/engine.h"
 
-#include <functional>
 #include <sstream>
+
+#include "term/intern.h"
 
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "rewrite/match.h"
+#include "rewrite/rule_index.h"
 
 namespace kola {
 
 namespace {
 
-uint64_t FingerprintCombine(uint64_t seed, uint64_t h) {
-  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
-}
-
 // Subtrees smaller than this are cheaper to re-match than to hash into the
 // failed-set, so the memo skips them.
 constexpr size_t kFixpointMemoMinNodes = 8;
 
+// Whole-term floor for Fixpoint's implicit accelerators (the negative-match
+// memo and construction-time interning of rewrite spines). Small fixpoints
+// converge in a handful of sweeps, where per-sweep memo inserts and arena
+// hashing dominate the matching they save -- this is what held the
+// interning benchmark below 1.0x on untangle_garage (32 nodes) and the
+// Figure 4 queries (11-15 nodes) -- while the hidden-join workloads that
+// profit start at 59+ nodes. Gated once on the ENTRY term: a term that
+// grows past the floor mid-fixpoint keeps its plain sweep (results and
+// traces do not depend on the accelerators, so the gate is pure policy).
+// Caller-provided FixpointCaches are exempt: passing one is an explicit
+// opt-in (and tests rely on small-query caches populating).
+constexpr size_t kFixpointAccelMinTermNodes = 48;
+
+/// Term::stable_hash with the nullptr convention fingerprints use.
+uint64_t StableTermHash(const TermPtr& term) {
+  return term == nullptr ? 0 : term->stable_hash();
+}
+
 }  // namespace
 
 uint64_t RuleSetFingerprint(const std::vector<Rule>& rules) {
+  // Per-term hashes are cached on the nodes (Term::stable_hash), so
+  // re-fingerprinting a live rule set -- every ApplyAnyOnce call does --
+  // costs one string hash and a few mixes per rule, not a pattern walk.
   uint64_t fp = rules.size();
   for (const Rule& rule : rules) {
-    fp = FingerprintCombine(fp, std::hash<std::string>{}(rule.id));
-    fp = FingerprintCombine(fp, rule.lhs == nullptr ? 0 : rule.lhs->hash());
-    fp = FingerprintCombine(fp, rule.rhs == nullptr ? 0 : rule.rhs->hash());
+    fp = StableHashCombine(fp, StableStringHash(rule.id));
+    fp = StableHashCombine(fp, StableTermHash(rule.lhs));
+    fp = StableHashCombine(fp, StableTermHash(rule.rhs));
     for (const PropertyAtom& atom : rule.conditions) {
-      fp = FingerprintCombine(fp, std::hash<std::string>{}(atom.property));
-      fp = FingerprintCombine(
-          fp, atom.pattern == nullptr ? 0 : atom.pattern->hash());
+      fp = StableHashCombine(fp, StableStringHash(atom.property));
+      fp = StableHashCombine(fp, StableTermHash(atom.pattern));
     }
   }
   // Reserve 0 for "not attuned yet".
@@ -228,7 +246,183 @@ std::optional<TermPtr> Rewriter::ApplyOnce(const Rule& rule,
 std::optional<TermPtr> Rewriter::ApplyAnyOnce(const std::vector<Rule>& rules,
                                               const TermPtr& term,
                                               RewriteStep* step) const {
+  if (auto index = IndexFor(rules, RuleSetFingerprint(rules))) {
+    return IndexedApplyAnyOnce(rules, term, step, nullptr, *index);
+  }
   return ApplyAnyOnceMemo(rules, term, step, nullptr);
+}
+
+std::shared_ptr<const RuleIndex> Rewriter::IndexFor(
+    const std::vector<Rule>& rules, uint64_t fingerprint) const {
+  if (!options_.use_rule_index || RuleIndexDisabledByEnv() || rules.empty()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = index_pool_.find(fingerprint);
+  if (it != index_pool_.end()) {
+    // A fingerprint collision between different rule sets must not replay
+    // the wrong index (same defense as FixpointCache::Attune); the rare
+    // colliding set just runs linear.
+    return it->second->rule_count() == rules.size() ? it->second : nullptr;
+  }
+  std::shared_ptr<const RuleIndex> index =
+      AcquireRuleIndex(rules, fingerprint);
+  // Charge-before-keep: a budget that cannot afford this Rewriter's
+  // reference to the compiled tree degrades to the linear scan, exactly
+  // like a FixpointCache that stops growing -- results are identical, only
+  // speed changes.
+  if (!index_charge_.Add(index->footprint_bytes()).ok()) return nullptr;
+  index_pool_.emplace(fingerprint, index);
+  return index;
+}
+
+std::optional<TermPtr> Rewriter::ApplyAnyAtRoot(const std::vector<Rule>& rules,
+                                                const TermPtr& term,
+                                                const RuleIndex* index,
+                                                size_t* fired_rule) const {
+  if (index != nullptr) {
+    std::vector<uint32_t> candidates;
+    index->CandidatesAt(*term, &candidates);
+    for (uint32_t r : candidates) {
+      if (auto rewritten = ApplyAtRoot(rules[r], term)) {
+        if (fired_rule != nullptr) *fired_rule = r;
+        return rewritten;
+      }
+    }
+    return std::nullopt;
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (auto rewritten = ApplyAtRoot(rules[r], term)) {
+      if (fired_rule != nullptr) *fired_rule = r;
+      return rewritten;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Rebuilds the spine from `node` down `path` (starting at `depth`) with
+/// `replacement` grafted at the end -- the same child-vector copy per level
+/// that ApplyOnceImpl performs as its recursion unwinds, so indexed and
+/// linear scans produce pointer-identical sharing structure.
+TermPtr GraftAlongPath(const TermPtr& node, const std::vector<size_t>& path,
+                       size_t depth, const TermPtr& replacement) {
+  if (depth == path.size()) return replacement;
+  std::vector<TermPtr> children = node->children();
+  children[path[depth]] =
+      GraftAlongPath(node->child(path[depth]), path, depth + 1, replacement);
+  return node->WithChildren(std::move(children));
+}
+
+}  // namespace
+
+std::vector<std::optional<TermPtr>> Rewriter::ApplyEachOnce(
+    const std::vector<Rule>& rules, const TermPtr& term) const {
+  std::vector<std::optional<TermPtr>> results(rules.size());
+  std::shared_ptr<const RuleIndex> index =
+      IndexFor(rules, RuleSetFingerprint(rules));
+  if (index == nullptr) {
+    for (size_t r = 0; r < rules.size(); ++r) {
+      results[r] = ApplyOnce(rules[r], term, nullptr);
+    }
+    return results;
+  }
+  // One shared pre-order descent. Pre-order is exactly ApplyOnce's
+  // leftmost-outermost probe order, so the first node where rule r matches
+  // is the position ApplyOnce(rules[r], ...) would have fired at; every
+  // later match of r is ignored via the done bitmap.
+  size_t remaining = rules.size();
+  std::vector<char> done(rules.size(), 0);
+  std::vector<uint32_t> candidates;
+  std::vector<size_t> path;
+  auto visit = [&](auto&& self, const TermPtr& node) -> void {
+    index->CandidatesAt(*node, &candidates);
+    // `candidates` is fully consumed before recursing: CandidatesAt clears
+    // and refills the shared scratch buffer at every node.
+    for (uint32_t r : candidates) {
+      if (done[r]) continue;
+      if (auto rewritten = ApplyAtRoot(rules[r], node)) {
+        results[r] = GraftAlongPath(term, path, 0, *rewritten);
+        done[r] = 1;
+        --remaining;
+      }
+    }
+    for (size_t i = 0; i < node->arity() && remaining > 0; ++i) {
+      path.push_back(i);
+      self(self, node->child(i));
+      path.pop_back();
+    }
+  };
+  visit(visit, term);
+  return results;
+}
+
+std::optional<TermPtr> Rewriter::IndexedApplyAnyOnce(
+    const std::vector<Rule>& rules, const TermPtr& term, RewriteStep* step,
+    FixpointCache* memo, const RuleIndex& index) const {
+  // The linear scan's winner is "the smallest rule index that matches
+  // ANYWHERE, fired at that rule's first pre-order position". One pre-order
+  // descent recovers exactly that: at each node only candidates below the
+  // current best are tested (a larger index can never win, and the best
+  // rule itself already fired at an earlier position), so the best can only
+  // decrease along the walk, and when it reaches rule 0 nothing can beat it
+  // and the walk stops. Every node visited before rule r became best was
+  // probed with r in range (r is below every earlier best), which makes the
+  // node where r first matched its leftmost-outermost position -- the same
+  // node the linear scan fires at.
+  size_t best = rules.size();
+  std::vector<size_t> best_path;
+  TermPtr best_before;
+  TermPtr best_after;
+  std::vector<uint32_t> candidates;
+  std::vector<size_t> path;
+  auto visit = [&](auto&& self, const TermPtr& node) -> void {
+    index.CandidatesAt(*node, &candidates);
+    const bool memoizable =
+        memo != nullptr && node->node_count() >= kFixpointMemoMinNodes;
+    for (uint32_t r : candidates) {
+      if (r >= best) break;  // candidates ascend: nothing below best left
+      // A memoized failure covers the whole subtree, so in particular this
+      // root position.
+      if (memoizable && memo->CheckFailed(r, node)) continue;
+      if (auto rewritten = ApplyAtRoot(rules[r], node)) {
+        best = r;
+        best_path = path;
+        best_before = node;
+        best_after = std::move(*rewritten);
+        if (best == 0) return;
+      }
+    }
+    for (size_t i = 0; i < node->arity(); ++i) {
+      path.push_back(i);
+      self(self, node->child(i));
+      path.pop_back();
+      if (best == 0) return;
+    }
+  };
+  visit(visit, term);
+  // Every rule below the winner (all of them, on a fruitless sweep) was
+  // probed at each visited node and fired nowhere, which is exactly the
+  // whole-term fact the linear scan memoizes at its root -- seed it so the
+  // NEXT sweep (or a pooled re-run of the same term) skips those root
+  // probes. Guarded by CheckFailed: RecordFailed assumes a fresh key.
+  if (memo != nullptr && term->node_count() >= kFixpointMemoMinNodes &&
+      best > 0) {
+    for (size_t r = 0; r < best; ++r) {
+      if (!memo->CheckFailed(r, term)) memo->RecordFailed(r, term);
+    }
+  }
+  if (best == rules.size()) return std::nullopt;
+  TermPtr result = GraftAlongPath(term, best_path, 0, best_after);
+  if (step != nullptr) {
+    step->rule_id = rules[best].id;
+    step->path = std::move(best_path);
+    step->before = std::move(best_before);
+    step->after = std::move(best_after);
+    step->result = result;
+  }
+  return result;
 }
 
 std::optional<TermPtr> Rewriter::ApplyAnyOnceMemo(
@@ -267,23 +461,36 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
   if (options_.governor != nullptr) {
     KOLA_RETURN_IF_ERROR(options_.governor->CheckNow());
   }
+  const uint64_t fingerprint = RuleSetFingerprint(rules);
+  const bool small_workload =
+      term != nullptr && term->node_count() < kFixpointAccelMinTermNodes;
+  // Below the accelerator floor the memo bookkeeping costs more than the
+  // probes it saves, and hash-consing the short-lived rewrite spines is
+  // pure arena churn: run the plain sweep (identical results and traces).
+  std::optional<ScopedInterning> plain_spines;
+  if (small_workload && ActiveTermInterner() != nullptr) {
+    plain_spines.emplace(static_cast<TermInterner*>(nullptr));
+  }
   FixpointCache local;
   FixpointCache* memo = cache;
-  if (memo == nullptr && options_.memoize_fixpoint) {
+  if (memo == nullptr && options_.memoize_fixpoint && !small_workload) {
     if (options_.reuse_fixpoint_caches) {
       // One pooled cache per rule-set fingerprint, reused across Fixpoint
       // calls for the Rewriter's lifetime (Attune below keeps a hash
       // collision from replaying a different rule set's failures).
-      memo = &cache_pool_[RuleSetFingerprint(rules)];
+      memo = &cache_pool_[fingerprint];
     } else {
       memo = &local;
     }
   }
   if (memo != nullptr) {
-    memo->Attune(RuleSetFingerprint(rules), rules.size());
+    memo->Attune(fingerprint, rules.size());
     memo->set_capacity(options_.fixpoint_cache_capacity);
     memo->BindGovernor(options_.governor);
   }
+  // Hoisted out of the sweep loop: one pool probe per Fixpoint call, not
+  // per firing.
+  const std::shared_ptr<const RuleIndex> index = IndexFor(rules, fingerprint);
   if (trace != nullptr && trace->initial == nullptr) trace->initial = term;
   const bool faults_armed = ActiveFaultInjector() != nullptr;
   for (int i = 0; i < max_steps; ++i) {
@@ -297,7 +504,9 @@ StatusOr<TermPtr> Rewriter::Fixpoint(const std::vector<Rule>& rules,
       KOLA_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kRuleApplication));
     }
     RewriteStep step;
-    auto result = ApplyAnyOnceMemo(rules, term, &step, memo);
+    auto result = index != nullptr
+                      ? IndexedApplyAnyOnce(rules, term, &step, memo, *index)
+                      : ApplyAnyOnceMemo(rules, term, &step, memo);
     if (!result) {
       // Exit boundary: latch a just-passed deadline now (ignoring the
       // verdict -- this fixpoint's work is complete and keeps) so the next

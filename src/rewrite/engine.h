@@ -2,6 +2,8 @@
 #define KOLA_REWRITE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -15,6 +17,8 @@
 #include "term/term.h"
 
 namespace kola {
+
+class RuleIndex;
 
 /// One fired rewrite, recorded for derivation traces (Figures 4 and 6 of
 /// the paper are reproduced by asserting on these).
@@ -39,8 +43,11 @@ struct Trace {
 };
 
 /// A stable fingerprint of a rule set (ids, both sides, conditions). Two
-/// rule vectors with the same fingerprint rewrite identically; used to keep
-/// a FixpointCache from being replayed against a different rule set.
+/// rule vectors with the same fingerprint rewrite identically; keys the
+/// FixpointCache pools and the compiled RuleIndex cache, and is safe to
+/// persist: it is computed from explicit FNV-1a/mix steps over the rules'
+/// syntax, never from std::hash or Term::hash (both implementation-defined),
+/// so the value is identical across platforms and standard libraries.
 uint64_t RuleSetFingerprint(const std::vector<Rule>& rules);
 
 /// Negative-match memo for Fixpoint: records, per rule of a fingerprinted
@@ -180,6 +187,17 @@ struct RewriterOptions {
   /// the pass the same way a deadline does. 0 means no budget.
   int64_t memory_budget_bytes = 0;
 
+  /// Consult a compiled discrimination-tree index (rewrite/rule_index.h)
+  /// when scanning a rule set, instead of probing every rule at every node.
+  /// Trace-preserving by construction -- the index only filters rules whose
+  /// lhs provably cannot match, in the linear scan's order -- so it is on
+  /// by default. The KOLA_NO_RULE_INDEX environment variable (truthy --
+  /// see common/env.h) force-disables it process-wide regardless of this
+  /// flag, so differential sweeps can compare the two scans byte-for-byte.
+  /// Index bytes are charged to the governor's kRuleIndex budget; a failed
+  /// charge falls back to the linear scan.
+  bool use_rule_index = true;
+
   static RewriterOptions Defaults();
 };
 
@@ -193,7 +211,9 @@ class Rewriter {
       : Rewriter(properties, RewriterOptions::Defaults()) {}
 
   Rewriter(const PropertyStore* properties, RewriterOptions options)
-      : properties_(properties), options_(options) {}
+      : properties_(properties),
+        options_(options),
+        index_charge_(options.governor, MemoryCategory::kRuleIndex) {}
 
   /// Applies `rule` at the root only. nullopt when the lhs does not match
   /// or a condition fails.
@@ -209,6 +229,34 @@ class Rewriter {
   std::optional<TermPtr> ApplyAnyOnce(const std::vector<Rule>& rules,
                                       const TermPtr& term,
                                       RewriteStep* step) const;
+
+  /// Tries each rule in order at the ROOT position only; first success
+  /// wins. `index` (optional) is a compiled index for exactly `rules`
+  /// (from IndexFor) consulted to skip rules whose lhs cannot match here;
+  /// results are identical with or without it. `fired_rule` (optional)
+  /// receives the index of the rule that fired. The per-node primitive of
+  /// bottom-up strategies (Everywhere), which prefetch the index once per
+  /// sweep rather than per node.
+  std::optional<TermPtr> ApplyAnyAtRoot(const std::vector<Rule>& rules,
+                                        const TermPtr& term,
+                                        const RuleIndex* index,
+                                        size_t* fired_rule) const;
+
+  /// ApplyOnce for every rule independently against the SAME input term:
+  /// result i is exactly ApplyOnce(rules[i], term, nullptr). With the rule
+  /// index enabled this is one shared descent that tests only each node's
+  /// candidates, instead of rules.size() full traversals.
+  std::vector<std::optional<TermPtr>> ApplyEachOnce(
+      const std::vector<Rule>& rules, const TermPtr& term) const;
+
+  /// The compiled rule index this Rewriter consults for `rules`, acquiring
+  /// (and governor-charging) it on first use. `fingerprint` must be
+  /// RuleSetFingerprint(rules) -- passed in so per-sweep callers hoist the
+  /// hash. nullptr when indexing is off (options, KOLA_NO_RULE_INDEX), the
+  /// rule set is empty, or the memory budget cannot afford the compiled
+  /// tree -- callers fall back to the linear scan, with identical results.
+  std::shared_ptr<const RuleIndex> IndexFor(const std::vector<Rule>& rules,
+                                            uint64_t fingerprint) const;
 
   /// Repeats ApplyAnyOnce until no rule fires. RESOURCE_EXHAUSTED after
   /// `max_steps` firings (non-terminating rule sets are a bug in the
@@ -251,12 +299,31 @@ class Rewriter {
                                           RewriteStep* step,
                                           FixpointCache* memo) const;
 
+  /// The indexed equivalent of ApplyAnyOnceMemo: one pre-order descent
+  /// testing only each node's index candidates, returning the same rule
+  /// fired at the same position as the rule-major linear scan (see the
+  /// determinism argument in engine.cc).
+  std::optional<TermPtr> IndexedApplyAnyOnce(const std::vector<Rule>& rules,
+                                             const TermPtr& term,
+                                             RewriteStep* step,
+                                             FixpointCache* memo,
+                                             const RuleIndex& index) const;
+
   const PropertyStore* properties_;
   RewriterOptions options_;
   /// Per-fingerprint caches when options_.reuse_fixpoint_caches is set.
   /// Mutable because Fixpoint is logically const (memoization never changes
   /// results or traces); unsynchronized, see RewriterOptions.
   mutable std::unordered_map<uint64_t, FixpointCache> cache_pool_;
+  /// Compiled-index references held by this Rewriter (the indexes
+  /// themselves are shared process-wide by fingerprint); the mutex makes
+  /// acquisition safe even for a const Rewriter probed from several
+  /// threads, unlike the single-threaded-by-contract cache pool above.
+  mutable std::mutex index_mu_;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<const RuleIndex>>
+      index_pool_;
+  /// Accounts the held indexes' bytes against options_.governor.
+  mutable MemoryCharge index_charge_;
 };
 
 }  // namespace kola

@@ -7,12 +7,19 @@
 
 namespace kola {
 
-bool Bindings::Bind(const std::string& name, TermPtr term) {
+bool Bindings::Bind(const std::string& name, TermPtr term,
+                    bool* newly_bound) {
   auto it = bindings_.find(name);
-  if (it != bindings_.end()) return Term::Equal(it->second, term);
+  if (it != bindings_.end()) {
+    if (newly_bound != nullptr) *newly_bound = false;
+    return Term::Equal(it->second, term);
+  }
   bindings_.emplace(name, std::move(term));
+  if (newly_bound != nullptr) *newly_bound = true;
   return true;
 }
+
+void Bindings::Erase(const std::string& name) { bindings_.erase(name); }
 
 const TermPtr* Bindings::Lookup(const std::string& name) const {
   auto it = bindings_.find(name);
@@ -42,20 +49,39 @@ std::string Bindings::ToString() const {
 
 namespace {
 
+/// Names bound by the current MatchTerm call, in binding order, so a
+/// failure anywhere in the pattern can unwind exactly the bindings this
+/// call introduced (pre-seeded ones are left alone).
+using BindTrail = std::vector<const std::string*>;
+
+bool BindTracked(const TermPtr& pattern, TermPtr term, Bindings* bindings,
+                 BindTrail* trail) {
+  bool newly_bound = false;
+  if (!bindings->Bind(pattern->name(), std::move(term), &newly_bound)) {
+    return false;
+  }
+  // The name string outlives the trail: it lives in the pattern term, which
+  // the caller holds for the whole match.
+  if (newly_bound) trail->push_back(&pattern->name());
+  return true;
+}
+
 /// Matches `pattern` against the components of a pair-valued literal (the
 /// parser folds literal pairs into single literal nodes) without
 /// materializing a Lit node per component: only a metavariable binding
 /// allocates, and that allocation is the binding itself.
 bool MatchLiteralValue(const TermPtr& pattern, const Value& value,
-                       Bindings* bindings) {
+                       Bindings* bindings, BindTrail* trail) {
   if (pattern->is_metavar()) {
     Sort actual = value.is_bool() ? Sort::kBool : Sort::kObject;
     if (!SortMatches(pattern->sort(), actual)) return false;
-    return bindings->Bind(pattern->name(), Lit(value));
+    return BindTracked(pattern, Lit(value), bindings, trail);
   }
   if (pattern->kind() == TermKind::kPairObj && value.is_pair()) {
-    return MatchLiteralValue(pattern->child(0), value.first(), bindings) &&
-           MatchLiteralValue(pattern->child(1), value.second(), bindings);
+    return MatchLiteralValue(pattern->child(0), value.first(), bindings,
+                             trail) &&
+           MatchLiteralValue(pattern->child(1), value.second(), bindings,
+                             trail);
   }
   if (pattern->kind() == TermKind::kLiteral) {
     return Value::Compare(pattern->literal(), value) == 0;
@@ -64,19 +90,16 @@ bool MatchLiteralValue(const TermPtr& pattern, const Value& value,
   return false;
 }
 
-}  // namespace
-
-bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
-               Bindings* bindings) {
-  KOLA_CHECK(pattern != nullptr && term != nullptr && bindings != nullptr);
+bool MatchImpl(const TermPtr& pattern, const TermPtr& term,
+               Bindings* bindings, BindTrail* trail) {
   if (pattern->is_metavar()) {
     if (!SortMatches(pattern->sort(), term->sort())) return false;
-    return bindings->Bind(pattern->name(), term);
+    return BindTracked(pattern, term, bindings, trail);
   }
   // A [x, y] pattern decomposes a pair-valued literal.
   if (pattern->kind() == TermKind::kPairObj &&
       term->kind() == TermKind::kLiteral && term->literal().is_pair()) {
-    return MatchLiteralValue(pattern, term->literal(), bindings);
+    return MatchLiteralValue(pattern, term->literal(), bindings, trail);
   }
   if (pattern->kind() != term->kind()) return false;
   switch (pattern->kind()) {
@@ -96,9 +119,25 @@ bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
   // a future unchecked path -- must yield a clean mismatch, not an abort.
   if (pattern->arity() != term->arity()) return false;
   for (size_t i = 0; i < pattern->arity(); ++i) {
-    if (!MatchTerm(pattern->child(i), term->child(i), bindings)) return false;
+    if (!MatchImpl(pattern->child(i), term->child(i), bindings, trail)) {
+      return false;
+    }
   }
   return true;
+}
+
+}  // namespace
+
+bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
+               Bindings* bindings) {
+  KOLA_CHECK(pattern != nullptr && term != nullptr && bindings != nullptr);
+  BindTrail trail;
+  if (MatchImpl(pattern, term, bindings, &trail)) return true;
+  // A failed probe leaves no trace: a non-linear pattern that binds ?f
+  // early and fails late must not poison the caller's next probe against
+  // the same seeded bindings.
+  for (const std::string* name : trail) bindings->Erase(*name);
+  return false;
 }
 
 StatusOr<TermPtr> Substitute(const TermPtr& pattern,

@@ -18,7 +18,15 @@ class Bindings {
  public:
   /// Binds `name` to `term`. Returns false when `name` is already bound to
   /// a structurally different term (match failure), true otherwise.
-  bool Bind(const std::string& name, TermPtr term);
+  /// `newly_bound` (optional) receives whether this call created the
+  /// binding (as opposed to re-confirming an existing one) -- the hook
+  /// MatchTerm's undo trail is built on.
+  bool Bind(const std::string& name, TermPtr term,
+            bool* newly_bound = nullptr);
+
+  /// Removes the binding for `name` if present (undo support; a no-op for
+  /// unbound names).
+  void Erase(const std::string& name);
 
   /// Returns nullptr when unbound.
   const TermPtr* Lookup(const std::string& name) const;
@@ -43,7 +51,11 @@ class Bindings {
 /// One-way first-order matching: succeeds iff substituting the resulting
 /// bindings into `pattern` yields `term`. Metavariables match any subterm of
 /// a compatible sort. `bindings` may carry pre-existing bindings (used for
-/// conditional rewriting); on failure its contents are unspecified.
+/// conditional rewriting): a pre-bound metavariable only matches a
+/// structurally equal subterm. On failure `bindings` is restored to exactly
+/// its entry state (bindings added before the failing subpattern are
+/// undone), so a caller can probe several patterns against one seeded
+/// binding set without a failed probe poisoning the next.
 bool MatchTerm(const TermPtr& pattern, const TermPtr& term,
                Bindings* bindings);
 

@@ -50,6 +50,22 @@ TermInterner*& ActiveSlot() {
 
 }  // namespace
 
+size_t InternMinNodes() {
+  // Latched on first use, like the KOLA_INTERN default: the floor must not
+  // move mid-run or equal terms built before and after the move would
+  // disagree on canonicality within one region.
+  static const size_t floor = [] {
+    constexpr size_t kDefault = 8;  // == engine.cc kFixpointMemoMinNodes
+    const char* raw = std::getenv("KOLA_INTERN_MIN_NODES");
+    if (raw == nullptr || *raw == '\0') return kDefault;
+    char* end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || value < 1) return kDefault;
+    return static_cast<size_t>(value);
+  }();
+  return floor;
+}
+
 bool LatchGlobalInterningFromEnv() {
   EnvLatch& latch = GlobalEnvLatch();
   std::call_once(latch.once,

@@ -125,6 +125,20 @@ TermInterner& GlobalTermInterner();
 /// flips interning under a sibling running a plain config.
 TermInterner* ActiveTermInterner();
 
+/// Minimum node_count at which Term::Make routes a freshly built term
+/// through the active interner. Terms below the floor are cheaper to
+/// rebuild (and structurally compare) than to hash-cons -- the shard lock
+/// plus hash on a 3-node spine that never re-occurs is pure overhead, which
+/// is what held the small-workload interning benchmarks below 1.0x -- so
+/// Make skips them. The floor deliberately matches the FixpointCache's
+/// kFixpointMemoMinNodes: terms the memo would never key are exactly the
+/// terms whose canonical pointer buys nothing. Explicit TermInterner::
+/// Intern calls ignore the floor and canonicalize the whole subtree, so
+/// deduplication points (plan frontiers, caches) still get fully canonical
+/// trees. Latched once from KOLA_INTERN_MIN_NODES (default 8; values < 1
+/// fall back to the default).
+size_t InternMinNodes();
+
 /// Latches the KOLA_INTERN default exactly once per process and returns it.
 /// Called implicitly by the first ActiveTermInterner / ScopedInterning /
 /// SetGlobalInterningEnabled on any thread, so the ordering between an
@@ -148,8 +162,10 @@ TermInterner* ExchangeActiveTermInterner(TermInterner* interner);
 
 /// RAII toggle for construction-time interning, for tests, benchmarks and
 /// per-worker pipeline configs. Thread-local:
-///   { ScopedInterning on(true);  ... all Term::Make results canonical ... }
-/// only affects Term::Make calls made by the entering thread.
+///   { ScopedInterning on(true);  ... Term::Make results canonical ... }
+/// only affects Term::Make calls made by the entering thread, and only for
+/// terms of at least InternMinNodes() nodes (smaller spines stay
+/// un-interned unless explicitly Interned).
 ///
 /// The bool form routes through the process-wide GlobalTermInterner(); the
 /// pointer form routes through a caller-owned private arena, which is how a

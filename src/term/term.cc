@@ -189,7 +189,13 @@ StatusOr<TermPtr> Term::Make(TermKind kind, std::vector<TermPtr> children,
   TermPtr term = NewNode(kind, sort, std::move(name), std::move(literal),
                          bool_const, std::move(children));
   if (TermInterner* interner = ActiveTermInterner()) {
-    return interner->Intern(std::move(term));
+    // Construction-time canonicalization only pays for itself above the
+    // small-term floor (see InternMinNodes); tiny spines skip the shard
+    // lock and stay un-interned unless an explicit Intern call sweeps them
+    // up as part of a larger tree.
+    if (term->node_count() >= InternMinNodes()) {
+      return interner->Intern(std::move(term));
+    }
   }
   return term;
 }
@@ -305,6 +311,62 @@ StatusOr<TermPtr> Term::TryWithChildren(std::vector<TermPtr> children) const {
 
 std::ostream& operator<<(std::ostream& os, const TermPtr& term) {
   return os << (term == nullptr ? std::string("<null>") : term->ToString());
+}
+
+uint64_t StableStringHash(const std::string& s) {
+  // FNV-1a 64.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Term::stable_hash() const {
+  const uint64_t cached = stable_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Iterative post-order: collect the uncached pre-order spine, then
+  // compute in reverse so every child's hash is stored before its parent
+  // folds it in. (A shared subtree can appear twice in `order`; both
+  // passes store the same content-determined value.)
+  std::vector<const Term*> order;
+  std::vector<const Term*> stack = {this};
+  while (!stack.empty()) {
+    const Term* node = stack.back();
+    stack.pop_back();
+    if (node->stable_hash_.load(std::memory_order_relaxed) != 0) continue;
+    order.push_back(node);
+    for (const TermPtr& child : node->children_) stack.push_back(child.get());
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Term* node = *it;
+    uint64_t h =
+        StableHashCombine(static_cast<uint64_t>(node->kind_) + 1,
+                          static_cast<uint64_t>(node->sort_) + 1);
+    if (!node->name_.empty()) {
+      h = StableHashCombine(h, StableStringHash(node->name_));
+    }
+    switch (node->kind_) {
+      case TermKind::kLiteral:
+        h = StableHashCombine(h, StableStringHash(node->literal_.ToString()));
+        break;
+      case TermKind::kBoolConst:
+        h = StableHashCombine(h, node->bool_const_ ? 2 : 1);
+        break;
+      default:
+        break;
+    }
+    for (const TermPtr& child : node->children_) {
+      h = StableHashCombine(h, child->stable_hash_.load(
+                                   std::memory_order_relaxed));
+    }
+    // A true hash of 0 (vanishingly rare) just stays uncached and is
+    // recomputed per call -- never nudged, so the value is exactly the
+    // content-determined one.
+    node->stable_hash_.store(h, std::memory_order_relaxed);
+  }
+  return stable_hash_.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------

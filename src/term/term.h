@@ -119,6 +119,16 @@ class Term {
   /// Cached structural hash (consistent with Equal).
   size_t hash() const { return hash_; }
 
+  /// Platform-stable structural hash: explicit FNV-1a/mix steps over kind /
+  /// sort / name / payload / children, with literals hashed through their
+  /// rendered form (Value::ToString is deterministic). Unlike hash() it
+  /// never routes through std::hash, so the value is identical across
+  /// platforms and standard libraries and safe to persist (it seeds
+  /// RuleSetFingerprint, the key of the fixpoint-cache and rule-index
+  /// pools). Computed on first call and cached on the node (terms are
+  /// immutable); the walk is iterative, so deep spines are safe.
+  uint64_t stable_hash() const;
+
   /// Cached number of nodes in this subtree (the paper's size metric).
   size_t node_count() const { return node_count_; }
 
@@ -191,9 +201,24 @@ class Term {
   /// epoch is non-zero, so any non-zero epoch a reader observes is final.
   mutable std::atomic<uint64_t> intern_epoch_{0};
   mutable std::atomic<TermId> intern_id_{0};
+  /// Lazily computed stable_hash() cache; 0 means "not computed yet".
+  /// Atomic because shared terms are hashed from concurrent workers; every
+  /// writer stores the same content-determined value, so races are benign.
+  mutable std::atomic<uint64_t> stable_hash_{0};
 };
 
 std::ostream& operator<<(std::ostream& os, const TermPtr& term);
+
+/// FNV-1a 64 over the bytes of `s`: the stable string hash every
+/// fingerprint-like value in the library is built from (see
+/// Term::stable_hash and RuleSetFingerprint).
+uint64_t StableStringHash(const std::string& s);
+
+/// The stable mixing step fingerprints are folded with (boost-style
+/// hash_combine on explicit 64-bit constants).
+inline uint64_t StableHashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
 
 // ---------------------------------------------------------------------------
 // Builder functions. These KOLA_CHECK well-sortedness: passing an ill-sorted

@@ -30,6 +30,7 @@ std::string PipelineConfig::Name() const {
   if (interning) parts.push_back("intern");
   if (fixpoint_memo) parts.push_back("memo");
   if (physical_fastpaths) parts.push_back("fast");
+  if (rule_index) parts.push_back("index");
   if (parts.empty()) return "plain";
   return Join(parts, "+");
 }
@@ -39,6 +40,7 @@ StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
   config.interning = false;
   config.fixpoint_memo = false;
   config.physical_fastpaths = false;
+  config.rule_index = false;
   if (name == "plain") return config;
   size_t start = 0;
   while (start <= name.size()) {
@@ -52,10 +54,12 @@ StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
       feature = &config.fixpoint_memo;
     } else if (part == "fast") {
       feature = &config.physical_fastpaths;
+    } else if (part == "index") {
+      feature = &config.rule_index;
     } else {
       return InvalidArgumentError(
           "unknown pipeline feature '" + part +
-          "' (expected intern, memo, fast, or the name 'plain')");
+          "' (expected intern, memo, fast, index, or the name 'plain')");
     }
     if (*feature) {
       return InvalidArgumentError("duplicate pipeline feature '" + part +
@@ -73,7 +77,9 @@ std::vector<PipelineConfig> FullConfigMatrix() {
   for (bool intern : {false, true}) {
     for (bool memo : {false, true}) {
       for (bool fast : {false, true}) {
-        configs.push_back(PipelineConfig{intern, memo, fast});
+        for (bool index : {false, true}) {
+          configs.push_back(PipelineConfig{intern, memo, fast, index});
+        }
       }
     }
   }
@@ -281,6 +287,7 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
   PropertyStore properties = PropertyStore::Default();
   RewriterOptions engine_options;
   engine_options.memoize_fixpoint = config.fixpoint_memo;
+  engine_options.use_rule_index = config.rule_index;
   Optimizer optimizer(&properties, &db, engine_options);
   StatusOr<OptimizeResult> result = InternalError("unreached");
   if (options_.retries > 0 && options_.memory_budget_bytes > 0) {

@@ -15,16 +15,19 @@ namespace kola {
 
 /// One cell of the optimizer configuration matrix the harness sweeps: the
 /// engine tunables that must never change query RESULTS, only performance.
-/// Differential testing across all eight combinations is what catches a
-/// memo/interning/fastpath interaction that per-rule verification cannot.
+/// Differential testing across all sixteen combinations is what catches a
+/// memo/interning/fastpath/index interaction that per-rule verification
+/// cannot.
 struct PipelineConfig {
   bool interning = false;         // hash-consed Term::Make (term/intern.h)
   bool fixpoint_memo = true;      // FixpointCache negative-match memo
   bool physical_fastpaths = true; // hash join / grouping in the evaluator
+  bool rule_index = true;         // compiled rule matching (rule_index.h)
 
-  /// Compact stable name: "+"-joined feature list ("intern+memo+fast"),
-  /// "plain" when everything is off. Round-trips through
-  /// ParsePipelineConfig; used by `kolaverify --config`.
+  /// Compact stable name: "+"-joined feature list
+  /// ("intern+memo+fast+index"), "plain" when everything is off.
+  /// Round-trips through ParsePipelineConfig; used by
+  /// `kolaverify --config`.
   std::string Name() const;
 };
 
@@ -32,7 +35,7 @@ struct PipelineConfig {
 /// unknown or duplicated feature names ("plain" is only valid alone).
 StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name);
 
-/// All eight interning x memo x fastpath combinations.
+/// All sixteen interning x memo x fastpath x rule-index combinations.
 std::vector<PipelineConfig> FullConfigMatrix();
 
 /// A rule that is deliberately unsound -- iterate(?p, ?f) => iterate(?p, id)

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "eval/evaluator.h"
+#include "rewrite/engine.h"
 #include "rewrite/generate.h"
 #include "rewrite/match.h"
+#include "rewrite/rule_index.h"
 #include "rewrite/types.h"
 #include "rules/catalog.h"
 #include "term/parser.h"
@@ -201,6 +205,102 @@ TEST_P(FuzzTest, PairPatternsOnRandomLiteralsNeverAbort) {
       }
     }
   }
+}
+
+/// A random "catalog": a shuffled subset of the real catalog rules, so the
+/// pool exercises arbitrary rule orders, bucket collisions and wildcard
+/// placements without inventing (possibly ill-formed) synthetic rules.
+std::vector<Rule> RandomCatalog(const std::vector<Rule>& all, Rng* rng) {
+  std::vector<Rule> rules;
+  const size_t count = rng->Index(all.size() - 2) + 2;  // [2, all.size()-1]
+  for (size_t i = 0; i < count; ++i) rules.push_back(all[rng->Index(all.size())]);
+  // Fisher-Yates with the deterministic Rng (std::shuffle's draws are
+  // implementation-defined).
+  for (size_t i = rules.size() - 1; i > 0; --i) {
+    std::swap(rules[i], rules[rng->Index(i + 1)]);
+  }
+  return rules;
+}
+
+TEST_P(FuzzTest, IndexCandidatesNeverMissAMatchOnRandomCatalogs) {
+  // The differential core of the rule index: for random catalogs and random
+  // terms, CandidatesAt must be an ascending superset of the rules
+  // MatchTerm accepts at every subterm.
+  std::vector<Rule> all = AllCatalogRules();
+  for (int round = 0; round < 12; ++round) {
+    std::vector<Rule> rules = RandomCatalog(all, &rng_);
+    auto index = RuleIndex::Build(rules, RuleSetFingerprint(rules));
+    ASSERT_NE(index, nullptr);
+    for (int t = 0; t < 6; ++t) {
+      auto fn = gen_.RandomFn(gen_.RandomType(2), gen_.RandomType(2), 3);
+      ASSERT_TRUE(fn.ok()) << fn.status();
+      // Walk every subterm iteratively (generated terms are shallow, but
+      // stay stack-safe anyway).
+      std::vector<TermPtr> stack = {fn.value()};
+      std::vector<uint32_t> candidates;
+      while (!stack.empty()) {
+        TermPtr node = stack.back();
+        stack.pop_back();
+        for (const TermPtr& child : node->children()) stack.push_back(child);
+        index->CandidatesAt(*node, &candidates);
+        ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+        for (uint32_t r = 0; r < rules.size(); ++r) {
+          Bindings bindings;
+          if (!MatchTerm(rules[r].lhs, node, &bindings)) continue;
+          EXPECT_TRUE(
+              std::binary_search(candidates.begin(), candidates.end(), r))
+              << "rule " << rules[r].id << " (#" << r << ") missing at "
+              << node->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, IndexedAndLinearScansAgreeOnRandomCatalogs) {
+  // Full-pipeline differential: ApplyAnyOnce firing (rule, path, result)
+  // and bounded Fixpoint traces must be byte-identical with the index on
+  // and off, for random catalogs in random orders against random terms.
+  // Random subsets may contain a rule and its reverse, so Fixpoint can
+  // legitimately exhaust its step budget -- then BOTH scans must exhaust,
+  // with identical prefixes.
+  std::vector<Rule> all = AllCatalogRules();
+  Rewriter indexed;
+  RewriterOptions linear_options;
+  linear_options.use_rule_index = false;
+  Rewriter linear(nullptr, linear_options);
+  int fired = 0;
+  for (int round = 0; round < 15; ++round) {
+    std::vector<Rule> rules = RandomCatalog(all, &rng_);
+    for (int t = 0; t < 4; ++t) {
+      auto fn = gen_.RandomFn(gen_.RandomType(2), gen_.RandomType(2), 3);
+      ASSERT_TRUE(fn.ok()) << fn.status();
+
+      RewriteStep step_i, step_l;
+      auto once_i = indexed.ApplyAnyOnce(rules, fn.value(), &step_i);
+      auto once_l = linear.ApplyAnyOnce(rules, fn.value(), &step_l);
+      ASSERT_EQ(once_i.has_value(), once_l.has_value())
+          << fn.value()->ToString();
+      if (once_i.has_value()) {
+        ++fired;
+        EXPECT_EQ(step_i.rule_id, step_l.rule_id) << fn.value()->ToString();
+        EXPECT_EQ(step_i.path, step_l.path) << fn.value()->ToString();
+        EXPECT_TRUE(Term::Equal(*once_i, *once_l)) << fn.value()->ToString();
+      }
+
+      Trace trace_i, trace_l;
+      auto fix_i = indexed.Fixpoint(rules, fn.value(), &trace_i, 60);
+      auto fix_l = linear.Fixpoint(rules, fn.value(), &trace_l, 60);
+      ASSERT_EQ(fix_i.ok(), fix_l.ok()) << fn.value()->ToString();
+      EXPECT_EQ(trace_i.ToString(), trace_l.ToString())
+          << fn.value()->ToString();
+      if (fix_i.ok()) {
+        EXPECT_TRUE(Term::Equal(fix_i.value(), fix_l.value()))
+            << fn.value()->ToString();
+      }
+    }
+  }
+  EXPECT_GT(fired, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 5));

@@ -107,8 +107,11 @@ TEST(TermInternerTest, MetavarsAndGroundTermsNeverCollide) {
 
 TEST(TermInternerTest, WithChildrenStaysCanonicalUnderScopedInterning) {
   ScopedInterning on(true);
-  TermPtr a = Q("iterate(Kp(T), age)", Sort::kFunction);
-  TermPtr b = Q("iterate(Kp(T), city)", Sort::kFunction);
+  // Both queries sit above the small-term floor (InternMinNodes), so
+  // construction-time canonicalization applies to them and their rebuilds.
+  TermPtr a = Q("iterate(lt @ (age, Kf(30)), age)", Sort::kFunction);
+  TermPtr b = Q("iterate(lt @ (age, Kf(30)), city)", Sort::kFunction);
+  ASSERT_GE(a->node_count(), InternMinNodes());
   // Rebuilding b over a's children must land on a's canonical node.
   TermPtr rebuilt = b->WithChildren({a->child(0), a->child(1)});
   EXPECT_EQ(rebuilt.get(), a.get());
@@ -117,16 +120,37 @@ TEST(TermInternerTest, WithChildrenStaysCanonicalUnderScopedInterning) {
 
 TEST(TermInternerTest, ScopedInterningMakesBuildersCanonical) {
   ScopedInterning on(true);
-  TermPtr a = Compose(PrimFn("age"), Pi1());
-  TermPtr b = Compose(PrimFn("age"), Pi1());
+  TermPtr a = Iterate(Oplus(LtP(), PairFn(PrimFn("age"), ConstFn(LitInt(30)))),
+                      PrimFn("age"));
+  TermPtr b = Iterate(Oplus(LtP(), PairFn(PrimFn("age"), ConstFn(LitInt(30)))),
+                      PrimFn("age"));
+  ASSERT_GE(a->node_count(), InternMinNodes());
   EXPECT_EQ(a.get(), b.get());
   EXPECT_TRUE(Term::Equal(a, b));
   {
     ScopedInterning off(false);
-    TermPtr c = Compose(PrimFn("age"), Pi1());
+    TermPtr c = Iterate(
+        Oplus(LtP(), PairFn(PrimFn("age"), ConstFn(LitInt(30)))),
+        PrimFn("age"));
     EXPECT_NE(c.get(), a.get());
     EXPECT_TRUE(Term::Equal(c, a));
   }
+}
+
+TEST(TermInternerTest, SmallTermsSkipConstructionTimeInterning) {
+  ScopedInterning on(true);
+  // Below the floor: Make leaves the spine un-interned (two builds do not
+  // collapse), but an explicit Intern still canonicalizes it.
+  TermPtr a = Compose(PrimFn("age"), Pi1());
+  TermPtr b = Compose(PrimFn("age"), Pi1());
+  ASSERT_LT(a->node_count(), InternMinNodes());
+  EXPECT_FALSE(a->interned());
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_TRUE(Term::Equal(a, b));
+  TermPtr ca = GlobalTermInterner().Intern(a);
+  TermPtr cb = GlobalTermInterner().Intern(b);
+  EXPECT_EQ(ca.get(), cb.get());
+  EXPECT_TRUE(ca->interned());
 }
 
 TEST(TermInternerTest, LiteralValuesDistinguishCanonicals) {
@@ -353,7 +377,8 @@ TEST(ThreadSafetyTest, ScopedInterningIsThreadLocal) {
     if (i % 2 == 0) {
       ScopedInterning on(true);
       if (GlobalInterningEnabled()) on_threads.fetch_add(1);
-      TermPtr made = Q("iterate(Kp(T), age) ! P");
+      // Above the small-term floor, so Make itself canonicalizes.
+      TermPtr made = Q("iterate(lt @ (age, Kf(30)), age) ! P");
       if (made->interned()) checks.fetch_add(1);
     } else {
       ScopedInterning pinned_off(false);

@@ -112,6 +112,51 @@ TEST(BindingsTest, ToStringIsSortedByNameRegardlessOfInsertionOrder) {
   EXPECT_EQ(sorted[2].first, "zz");
 }
 
+TEST(MatchTest, FailedMatchRestoresPreSeededBindings) {
+  // Regression: MatchTerm used to leave `bindings` in an unspecified state
+  // on failure -- partial bindings from the prefix that DID match leaked
+  // out and poisoned the caller's next probe. The contract now guarantees
+  // failure restores the entry state exactly.
+  Bindings b;
+  ASSERT_TRUE(b.Bind("g", P("addr")));
+  // ?f binds to age, then ?g is already bound to addr and conflicts: the
+  // match fails LATE, after ?f was added -- ?f must be gone afterwards,
+  // and the pre-seeded ?g untouched.
+  EXPECT_FALSE(MatchTerm(P("?f o ?g"), P("age o name"), &b));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Lookup("f"), nullptr);
+  ASSERT_NE(b.Lookup("g"), nullptr);
+  EXPECT_TRUE(Term::Equal(*b.Lookup("g"), P("addr")));
+  // The restored set is genuinely reusable: a compatible term now matches.
+  EXPECT_TRUE(MatchTerm(P("?f o ?g"), P("age o addr"), &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), P("age")));
+}
+
+TEST(MatchTest, NonLinearPatternFailingLateUndoesItsOwnBindings) {
+  // ?f o ?f on age o name: the first ?f binds, the second conflicts. After
+  // the failure the SAME Bindings must behave as if never touched -- the
+  // non-linear pattern must then succeed against a consistent term, which
+  // it could not if the stale ?f -> age binding survived.
+  Bindings b;
+  TermPtr pattern = P("?f o ?f");
+  EXPECT_FALSE(MatchTerm(pattern, P("age o name"), &b));
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(MatchTerm(pattern, P("name o name"), &b));
+  EXPECT_TRUE(Term::Equal(*b.Lookup("f"), P("name")));
+}
+
+TEST(MatchTest, FailureInsidePairLiteralRestoresBindings) {
+  // The pair-literal decomposition path has its own binding writes; a deep
+  // shape failure there must unwind them too.
+  Bindings b;
+  ASSERT_TRUE(b.Bind("keep", P("pi1")));
+  EXPECT_FALSE(MatchTerm(P("[?x, [?y, 9]]", Sort::kObject),
+                         P("[7, [8, 3]]", Sort::kObject), &b));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Lookup("x"), nullptr);
+  EXPECT_EQ(b.Lookup("y"), nullptr);
+}
+
 TEST(MatchTest, PairPatternDecomposesPairLiterals) {
   // The parser folds [1, 2] into a single pair-valued literal node.
   TermPtr term = P("[1, 2]", Sort::kObject);

@@ -158,6 +158,10 @@ TEST(FixpointCacheEvictionTest, CapacityBoundHoldsAndEvictionsCount) {
 
   RewriterOptions unbounded_options;
   unbounded_options.fixpoint_cache_capacity = 0;  // unbounded
+  // The linear scan records a failure entry per probed subtree -- the
+  // population this test needs; the indexed scan only seeds whole-term
+  // entries (it prunes the probes the memo would have skipped).
+  unbounded_options.use_rule_index = false;
   Rewriter unbounded_rw(nullptr, unbounded_options);
   FixpointCache unbounded;
   ASSERT_TRUE(
@@ -167,6 +171,7 @@ TEST(FixpointCacheEvictionTest, CapacityBoundHoldsAndEvictionsCount) {
 
   RewriterOptions bounded_options;
   bounded_options.fixpoint_cache_capacity = 2;
+  bounded_options.use_rule_index = false;
   Rewriter bounded_rw(nullptr, bounded_options);
   FixpointCache bounded;
   auto bounded_result = bounded_rw.Fixpoint(rules, q, nullptr, 10'000,
@@ -287,8 +292,9 @@ TEST(InternerMemoryTest, ScopedArenaCompactsOnScopeExit) {
   {
     ScopedInterning scope(&arena);
     ASSERT_EQ(ActiveTermInterner(), &arena);
-    kept = Q("iterate(Kp(T), age) ! P");
-    Q("iterate(Kp(T), city) ! P");  // dropped before the scope ends
+    // Above the small-term floor, so Make routes through the arena.
+    kept = Q("iterate(lt @ (age, Kf(30)), age) ! P");
+    Q("iterate(lt @ (age, Kf(30)), city) ! P");  // dropped pre-scope-exit
     size_inside = arena.size();
     ASSERT_GT(size_inside, 0u);
   }
@@ -298,7 +304,8 @@ TEST(InternerMemoryTest, ScopedArenaCompactsOnScopeExit) {
   EXPECT_GT(arena.size(), 0u);
   EXPECT_EQ(ActiveTermInterner(), nullptr);
   // The survivor is still canonical in the arena.
-  EXPECT_EQ(arena.Intern(Q("iterate(Kp(T), age) ! P")).get(), kept.get());
+  EXPECT_EQ(arena.Intern(Q("iterate(lt @ (age, Kf(30)), age) ! P")).get(),
+            kept.get());
 }
 
 TEST(InternerMemoryTest, ChargesGoToAmbientGovernorAndFailureIsSound) {

@@ -30,7 +30,7 @@ TEST(SoundnessHarnessTest, BoundedSweepIsClean) {
   EXPECT_EQ(report->trials, 40);
   // The sweep must actually exercise the pipeline, not skip everything.
   EXPECT_GT(report->evaluated, report->trials / 2);
-  EXPECT_EQ(report->config_runs, report->evaluated * 8);
+  EXPECT_EQ(report->config_runs, report->evaluated * 16);
 }
 
 TEST(SoundnessHarnessTest, SweepIsDeterministic) {
@@ -106,27 +106,29 @@ TEST(SoundnessHarnessTest, CheckQueryCleanOnSoundQuery) {
 }
 
 TEST(PipelineConfigTest, NameRoundTrips) {
-  // All 8 matrix cells: Name() -> ParsePipelineConfig is the identity.
-  ASSERT_EQ(FullConfigMatrix().size(), 8u);
+  // All 16 matrix cells: Name() -> ParsePipelineConfig is the identity.
+  ASSERT_EQ(FullConfigMatrix().size(), 16u);
   for (const PipelineConfig& config : FullConfigMatrix()) {
     auto parsed = ParsePipelineConfig(config.Name());
     ASSERT_TRUE(parsed.ok()) << config.Name();
     EXPECT_EQ(parsed->interning, config.interning);
     EXPECT_EQ(parsed->fixpoint_memo, config.fixpoint_memo);
     EXPECT_EQ(parsed->physical_fastpaths, config.physical_fastpaths);
+    EXPECT_EQ(parsed->rule_index, config.rule_index);
     EXPECT_EQ(parsed->Name(), config.Name());
   }
   EXPECT_FALSE(ParsePipelineConfig("warp-drive").ok());
 }
 
 TEST(PipelineConfigTest, PlainNamesTheAllOffCell) {
-  PipelineConfig all_off{false, false, false};
+  PipelineConfig all_off{false, false, false, false};
   EXPECT_EQ(all_off.Name(), "plain");
   auto parsed = ParsePipelineConfig("plain");
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(parsed->interning);
   EXPECT_FALSE(parsed->fixpoint_memo);
   EXPECT_FALSE(parsed->physical_fastpaths);
+  EXPECT_FALSE(parsed->rule_index);
 }
 
 TEST(PipelineConfigTest, ParseRejectsMalformedNames) {
