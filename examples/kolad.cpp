@@ -1,0 +1,186 @@
+// kolad -- the KOLA optimization daemon.
+//
+// A long-lived service wrapping OptimizationService + SocketServer: accepts
+// KOLA/OQL/AQUA query text over a line-oriented TCP protocol on 127.0.0.1,
+// optimizes each request under its QoS tier's resource envelope, and
+// answers repeated query shapes from the plan cache.
+//
+//   kolad --port 7070 --jobs 4 &
+//   printf 'Q gold oql select p.name from p in P\n' | nc 127.0.0.1 7070
+//
+// Protocol (one request per line; final response line starts OK or ERR):
+//   Q <tier> <lang> <query>   optimize (cache lookup + fill)
+//   F <tier> <lang> <query>   optimize, bypassing the cache entirely
+//   STATS                     service counters, one "S ..." line each
+//   BUMP                      invalidate the plan cache (catalog change)
+//   PING                      liveness probe
+//   QUIT                      close this connection
+//   SHUTDOWN                  stop the daemon
+//
+// Crash-free by construction: malformed input, oversized lines, exhausted
+// budgets and dropped peers all degrade to per-request or per-connection
+// errors.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "common/fault_injection.h"
+#include "common/parse_number.h"
+#include "rewrite/properties.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "values/car_world.h"
+
+using namespace kola;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  // Async-signal-safe nudge; the watcher thread does the real work.
+  char byte = 1;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--jobs N] [--handlers N] [--cache-capacity N]\n"
+      "          [--max-inflight N] [--world-scale N] [--seed N] "
+      "[--no-cache]\n"
+      "  --port N            TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+      "  --jobs N            concurrent optimizations (default 2)\n"
+      "  --handlers N        concurrently served connections (default 8)\n"
+      "  --cache-capacity N  plan-cache entries, 0 = unbounded "
+      "(default 4096)\n"
+      "  --max-inflight N    shed requests past this many in flight, "
+      "0 = off\n"
+      "  --world-scale N     catalog size multiplier (default 1)\n"
+      "  --seed N            world seed (default 42)\n"
+      "  --no-cache          disable the plan cache\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (Status faults = LatchFaultInjectionFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
+
+  ServiceOptions service_options;
+  service_options.jobs = 2;
+  ServerOptions server_options;
+  server_options.handler_threads = 8;
+  int64_t world_scale = 1;
+  uint64_t world_seed = 42;
+
+  // Every numeric flag goes through the validated ParseInt64InRange helper
+  // (shared with kolaverify): junk or out-of-range values are a usage
+  // error with the offending text echoed back, never an abort.
+  auto int64_flag = [&](int i, int64_t min, int64_t max) -> int64_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "kolad: %s needs a value\n", argv[i]);
+      Usage(argv[0]);
+      std::exit(1);
+    }
+    auto value = ParseInt64InRange(argv[i + 1], argv[i], min, max);
+    if (!value.ok()) {
+      std::fprintf(stderr, "kolad: %s\n", value.status().ToString().c_str());
+      std::exit(1);
+    }
+    return value.value();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--port") {
+      server_options.port = static_cast<int>(int64_flag(i++, 0, 65535));
+    } else if (arg == "--jobs") {
+      service_options.jobs = static_cast<int>(int64_flag(i++, 1, 4096));
+    } else if (arg == "--handlers") {
+      server_options.handler_threads =
+          static_cast<int>(int64_flag(i++, 1, 4096));
+    } else if (arg == "--cache-capacity") {
+      service_options.cache_capacity =
+          static_cast<size_t>(int64_flag(i++, 0, int64_t{1} << 32));
+    } else if (arg == "--max-inflight") {
+      service_options.max_inflight =
+          static_cast<int>(int64_flag(i++, 0, 1 << 20));
+    } else if (arg == "--world-scale") {
+      world_scale = int64_flag(i++, 1, 1'000'000);
+    } else if (arg == "--seed") {
+      world_seed = static_cast<uint64_t>(
+          int64_flag(i++, 0, int64_t{1} << 62));
+    } else if (arg == "--no-cache") {
+      service_options.cache_enabled = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "kolad: unknown flag '%s'\n", argv[i]);
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+
+  CarWorldOptions world;
+  world.num_persons *= world_scale;
+  world.num_addresses *= world_scale;
+  world.num_vehicles *= world_scale;
+  world.seed = world_seed;
+  auto db = BuildCarWorld(world);
+  PropertyStore properties = PropertyStore::Default();
+
+  OptimizationService service(db.get(), &properties, service_options);
+  SocketServer server(&service, server_options);
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "kolad: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // SIGINT/SIGTERM stop the daemon as cleanly as the SHUTDOWN verb.
+  if (pipe(g_signal_pipe) == 0) {
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+  }
+  std::thread signal_watcher([&server] {
+    char byte;
+    if (g_signal_pipe[0] >= 0 &&
+        read(g_signal_pipe[0], &byte, 1) > 0) {
+      server.Stop();  // sets the done flag; Wait() returns
+    }
+  });
+
+  std::printf("kolad listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  server.Wait();
+  server.Stop();
+
+  // Unblock and join the watcher whichever path stopped us.
+  if (g_signal_pipe[1] >= 0) {
+    char byte = 0;
+    (void)!write(g_signal_pipe[1], &byte, 1);
+  }
+  signal_watcher.join();
+  if (g_signal_pipe[0] >= 0) close(g_signal_pipe[0]);
+  if (g_signal_pipe[1] >= 0) close(g_signal_pipe[1]);
+
+  ServiceStats stats = service.stats();
+  std::printf("kolad served %llu requests (%llu parse errors, %llu shed); "
+              "cache hits=%llu misses=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.parse_errors),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions));
+  return 0;
+}

@@ -1,0 +1,343 @@
+// kolaload -- soak/load driver for kolad.
+//
+// Connects N client threads to a running kolad, drives repeated query
+// shapes through the plan cache, and asserts service-level invariants:
+//
+//   --min-hit-rate P   post-warmup cache hit rate must reach P percent
+//   --check-identity   every warm hit must be byte-identical to a fresh
+//                      optimization of the same shape (the F verb bypasses
+//                      the cache)
+//
+//   kolaload --port 7070 --clients 4 --requests 100 --shapes 8
+//            --min-hit-rate 90 --check-identity --shutdown
+//
+// Exit status 0 iff every request succeeded and every assertion held.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parse_number.h"
+
+using namespace kola;
+
+namespace {
+
+/// A blocking line-protocol connection to kolad.
+class Conn {
+ public:
+  ~Conn() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Reads lines until the block terminator (a line starting "OK" or
+  /// "ERR"), which is returned; "S ..." stats lines accumulate in `body`.
+  bool ReadBlock(std::string* final_line, std::string* body = nullptr) {
+    std::string line;
+    for (;;) {
+      if (!ReadLine(&line)) return false;
+      if (line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0) {
+        *final_line = line;
+        return true;
+      }
+      if (body != nullptr) *body += line + "\n";
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Deterministic OQL shape pool: template rotated by index, the constant
+/// keeps each shape structurally distinct.
+std::string ShapeQuery(int64_t shape) {
+  const int64_t age = 10 + (shape % 60);
+  switch (shape % 4) {
+    case 0:
+      return "select p.name from p in P where p.age > " +
+             std::to_string(age);
+    case 1:
+      return "select [v, p] from v in V, p in P where v in p.cars and "
+             "p.age > " + std::to_string(age);
+    case 2:
+      return "select c.name from p in P, c in p.child where c.age > " +
+             std::to_string(age);
+    default:
+      return "select a.city from p in P, a in p.grgs where p.age > " +
+             std::to_string(age);
+  }
+}
+
+struct Totals {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+/// Parses "OK <hit> <usec>\t<payload>"; returns false on ERR.
+bool ParseResponse(const std::string& line, bool* hit, std::string* payload) {
+  if (line.rfind("OK ", 0) != 0 || line.size() < 5) return false;
+  *hit = line[3] == '1';
+  size_t tab = line.find('\t');
+  if (payload != nullptr) {
+    *payload = tab == std::string::npos ? "" : line.substr(tab + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int64_t clients = 4;
+  int64_t requests = 50;
+  int64_t shapes = 8;
+  std::string tier = "gold";
+  int64_t min_hit_rate = -1;
+  bool check_identity = false;
+  bool shutdown_daemon = false;
+  bool dump_stats = false;
+
+  auto int64_flag = [&](int i, int64_t min, int64_t max) -> int64_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "kolaload: %s needs a value\n", argv[i]);
+      std::exit(1);
+    }
+    auto value = ParseInt64InRange(argv[i + 1], argv[i], min, max);
+    if (!value.ok()) {
+      std::fprintf(stderr, "kolaload: %s\n",
+                   value.status().ToString().c_str());
+      std::exit(1);
+    }
+    return value.value();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--port") {
+      port = static_cast<int>(int64_flag(i++, 1, 65535));
+    } else if (arg == "--clients") {
+      clients = int64_flag(i++, 1, 1024);
+    } else if (arg == "--requests") {
+      requests = int64_flag(i++, 1, 10'000'000);
+    } else if (arg == "--shapes") {
+      shapes = int64_flag(i++, 1, 100'000);
+    } else if (arg == "--tier" && i + 1 < argc) {
+      tier = argv[++i];
+    } else if (arg == "--min-hit-rate") {
+      min_hit_rate = int64_flag(i++, 0, 100);
+    } else if (arg == "--check-identity") {
+      check_identity = true;
+    } else if (arg == "--shutdown") {
+      shutdown_daemon = true;
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else {
+      std::fprintf(stderr, "kolaload: unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "kolaload: --port is required\n");
+    return 1;
+  }
+
+  // Warmup: one pass over the shape pool on a dedicated connection fills
+  // the cache, so the measured phase's hit rate is the steady state.
+  {
+    Conn warm;
+    if (!warm.Connect(port)) {
+      std::fprintf(stderr, "kolaload: cannot connect to 127.0.0.1:%d\n",
+                   port);
+      return 1;
+    }
+    for (int64_t s = 0; s < shapes; ++s) {
+      std::string response;
+      if (!warm.SendLine("Q " + tier + " oql " + ShapeQuery(s)) ||
+          !warm.ReadBlock(&response)) {
+        std::fprintf(stderr, "kolaload: warmup connection died\n");
+        return 1;
+      }
+      if (response.rfind("OK", 0) != 0) {
+        std::fprintf(stderr, "kolaload: warmup shape %lld failed: %s\n",
+                     static_cast<long long>(s), response.c_str());
+        return 1;
+      }
+    }
+    warm.SendLine("QUIT");
+  }
+
+  Totals totals;
+  std::vector<std::thread> workers;
+  for (int64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      Conn conn;
+      if (!conn.Connect(port)) {
+        totals.errors.fetch_add(static_cast<uint64_t>(requests));
+        return;
+      }
+      for (int64_t r = 0; r < requests; ++r) {
+        // Interleave shape order per client so concurrent clients probe
+        // different slots at any instant.
+        int64_t shape = (r + c) % shapes;
+        std::string response;
+        if (!conn.SendLine("Q " + tier + " oql " + ShapeQuery(shape)) ||
+            !conn.ReadBlock(&response)) {
+          totals.errors.fetch_add(1);
+          return;
+        }
+        bool hit = false;
+        if (!ParseResponse(response, &hit, nullptr)) {
+          totals.errors.fetch_add(1);
+          continue;
+        }
+        (hit ? totals.hits : totals.misses).fetch_add(1);
+      }
+      conn.SendLine("QUIT");
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const uint64_t hits = totals.hits.load();
+  const uint64_t misses = totals.misses.load();
+  const uint64_t errors = totals.errors.load();
+  const uint64_t answered = hits + misses;
+  const double hit_rate =
+      answered == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(answered);
+  std::printf("kolaload: %llu answered, %llu hits, %llu misses, %llu "
+              "errors, hit rate %.1f%%\n",
+              static_cast<unsigned long long>(answered),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(errors), hit_rate);
+
+  bool failed = errors != 0;
+  if (min_hit_rate >= 0 && hit_rate < static_cast<double>(min_hit_rate)) {
+    std::fprintf(stderr, "kolaload: FAIL hit rate %.1f%% < %lld%%\n",
+                 hit_rate, static_cast<long long>(min_hit_rate));
+    failed = true;
+  }
+
+  Conn control;
+  if (!control.Connect(port)) {
+    std::fprintf(stderr, "kolaload: control connection failed\n");
+    return 1;
+  }
+
+  if (check_identity) {
+    // A warm hit (Q) and a cache-bypassing fresh optimization (F) of the
+    // same shape must serialize identically, byte for byte.
+    int64_t mismatches = 0;
+    for (int64_t s = 0; s < shapes; ++s) {
+      std::string text = ShapeQuery(s);
+      std::string warm_line, fresh_line;
+      if (!control.SendLine("Q " + tier + " oql " + text) ||
+          !control.ReadBlock(&warm_line) ||
+          !control.SendLine("F " + tier + " oql " + text) ||
+          !control.ReadBlock(&fresh_line)) {
+        std::fprintf(stderr, "kolaload: identity check connection died\n");
+        return 1;
+      }
+      bool warm_hit = false, fresh_hit = false;
+      std::string warm_payload, fresh_payload;
+      if (!ParseResponse(warm_line, &warm_hit, &warm_payload) ||
+          !ParseResponse(fresh_line, &fresh_hit, &fresh_payload)) {
+        std::fprintf(stderr, "kolaload: identity check error on shape "
+                     "%lld\n", static_cast<long long>(s));
+        ++mismatches;
+        continue;
+      }
+      if (warm_payload != fresh_payload) {
+        std::fprintf(stderr,
+                     "kolaload: FAIL shape %lld cached != fresh\n  warm:  "
+                     "%s\n  fresh: %s\n",
+                     static_cast<long long>(s), warm_payload.c_str(),
+                     fresh_payload.c_str());
+        ++mismatches;
+      }
+    }
+    if (mismatches != 0) {
+      failed = true;
+    } else {
+      std::printf("kolaload: identity check passed for %lld shapes\n",
+                  static_cast<long long>(shapes));
+    }
+  }
+
+  if (dump_stats) {
+    std::string final_line, body;
+    if (control.SendLine("STATS") &&
+        control.ReadBlock(&final_line, &body)) {
+      std::fputs(body.c_str(), stdout);
+    }
+  }
+
+  if (shutdown_daemon) {
+    std::string response;
+    if (!control.SendLine("SHUTDOWN") || !control.ReadBlock(&response) ||
+        response.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "kolaload: shutdown handshake failed\n");
+      failed = true;
+    }
+  } else {
+    control.SendLine("QUIT");
+  }
+
+  return failed ? 1 : 0;
+}

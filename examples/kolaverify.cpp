@@ -31,6 +31,7 @@
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/parse_number.h"
 #include "common/thread_pool.h"
 #include "term/parser.h"
 #include "verify/soundness.h"
@@ -109,16 +110,44 @@ int main(int argc, char** argv) {
     }
     return argv[i + 1];
   };
+  // Numeric flags go through the validated parser: `--trials abc` and
+  // overlong values are hard usage errors, never a silent 0 or UB (the old
+  // std::atoi behavior).
+  auto int_flag = [&](int i, int min, int max) -> int {
+    auto value = ParseIntInRange(need_value(i), argv[i], min, max);
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *value;
+  };
+  auto int64_flag = [&](int i, int64_t min, int64_t max) -> int64_t {
+    auto value = ParseInt64InRange(need_value(i), argv[i], min, max);
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *value;
+  };
+  auto uint64_flag = [&](int i) -> uint64_t {
+    auto value = ParseUint64(need_value(i));
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   value.status().WithContext(argv[i]).ToString().c_str());
+      std::exit(1);
+    }
+    return *value;
+  };
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0) {
-      options.trials = std::atoi(need_value(i++));
+      options.trials = int_flag(i++, 0, 100'000'000);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      options.seed = std::strtoull(need_value(i++), nullptr, 10);
+      options.seed = uint64_flag(i++);
     } else if (std::strcmp(argv[i], "--depth") == 0) {
-      options.gen_depth = std::atoi(need_value(i++));
+      options.gen_depth = int_flag(i++, 0, 64);
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      options.jobs = std::atoi(need_value(i++));
+      options.jobs = int_flag(i++, 1, 4096);
     } else if (std::strcmp(argv[i], "--config") == 0) {
       auto config = ParsePipelineConfig(need_value(i++));
       if (!config.ok()) {
@@ -129,15 +158,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--plant-unsound") == 0) {
       plant = true;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
-      options.deadline_ms = std::atoll(need_value(i++));
+      options.deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
     } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
-      options.memory_budget_bytes = std::atoll(need_value(i++));
+      options.memory_budget_bytes = int64_flag(i++, 0, int64_t{1} << 50);
     } else if (std::strcmp(argv[i], "--retries") == 0) {
-      options.retries = std::atoi(need_value(i++));
+      options.retries = int_flag(i++, 0, 64);
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.fault_spec = need_value(i++);
     } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
-      options.fault_seed = std::strtoull(need_value(i++), nullptr, 10);
+      options.fault_seed = uint64_flag(i++);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       options.fault_spec = kChaosSpec;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
@@ -145,10 +174,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       replay_text = need_value(i++);
     } else if (std::strcmp(argv[i], "--world-seed") == 0) {
-      world_seed = std::strtoull(need_value(i++), nullptr, 10);
+      world_seed = uint64_flag(i++);
       have_world_seed = true;
     } else if (std::strcmp(argv[i], "--world-scale") == 0) {
-      world_scale = std::atoi(need_value(i++));
+      world_scale = int_flag(i++, 0, 1'000'000);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage();
       return 0;

@@ -1,0 +1,76 @@
+#include "common/parse_number.h"
+
+#include <charconv>
+#include <string>
+
+namespace kola {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  // Clip pathological inputs so the error message itself stays bounded.
+  constexpr size_t kMaxEcho = 64;
+  std::string out = "'";
+  if (text.size() <= kMaxEcho) {
+    out.append(text);
+  } else {
+    out.append(text.substr(0, kMaxEcho));
+    out += "...";
+  }
+  out += "'";
+  return out;
+}
+
+template <typename T>
+StatusOr<T> ParseIntegral(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("expected an integer, got empty string");
+  }
+  T value{};
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return InvalidArgumentError("integer " + Quoted(text) +
+                                " does not fit in the target type");
+  }
+  if (ec != std::errc() || ptr != end) {
+    return InvalidArgumentError("expected an integer, got " + Quoted(text));
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseInt64(std::string_view text) {
+  return ParseIntegral<int64_t>(text);
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view text) {
+  return ParseIntegral<uint64_t>(text);
+}
+
+StatusOr<int64_t> ParseInt64InRange(std::string_view text,
+                                    std::string_view what, int64_t min,
+                                    int64_t max) {
+  StatusOr<int64_t> value = ParseInt64(text);
+  if (!value.ok()) {
+    return value.status().WithContext(std::string(what));
+  }
+  if (*value < min || *value > max) {
+    return InvalidArgumentError(std::string(what) + " must be in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "], got " +
+                                Quoted(text));
+  }
+  return value;
+}
+
+StatusOr<int> ParseIntInRange(std::string_view text, std::string_view what,
+                              int min, int max) {
+  StatusOr<int64_t> value = ParseInt64InRange(text, what, min, max);
+  if (!value.ok()) return value.status();
+  return static_cast<int>(*value);
+}
+
+}  // namespace kola

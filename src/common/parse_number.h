@@ -1,0 +1,39 @@
+#ifndef KOLA_COMMON_PARSE_NUMBER_H_
+#define KOLA_COMMON_PARSE_NUMBER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace kola {
+
+/// Validated integer parsing for everything that consumes numbers from the
+/// outside world: query literals in the three text parsers, CLI flags in
+/// kolaverify/kolad/kolaload, and protocol fields in the optimization
+/// service. Unlike std::stoll (throws std::out_of_range -- one overlong
+/// literal in a hostile request would abort the process) and std::atoi
+/// (silently returns 0 on garbage, UB on overflow), these reject every
+/// malformed input with INVALID_ARGUMENT and never throw.
+///
+/// Accepted syntax: an optional leading '-' (signed forms only) followed by
+/// decimal digits, spanning the ENTIRE input -- no leading/trailing
+/// whitespace, no '+', no hex. Overflow of the target type is an error, not
+/// a wrap.
+StatusOr<int64_t> ParseInt64(std::string_view text);
+StatusOr<uint64_t> ParseUint64(std::string_view text);
+
+/// ParseInt64 plus an inclusive range check, for flag/field validation with
+/// a self-describing error ("--trials must be in [1, 100000000], got ...").
+/// `what` names the value being parsed in error messages.
+StatusOr<int64_t> ParseInt64InRange(std::string_view text,
+                                    std::string_view what, int64_t min,
+                                    int64_t max);
+
+/// Convenience for int-typed flags: ParseInt64InRange narrowed to int.
+StatusOr<int> ParseIntInRange(std::string_view text, std::string_view what,
+                              int min, int max);
+
+}  // namespace kola
+
+#endif  // KOLA_COMMON_PARSE_NUMBER_H_

@@ -23,6 +23,7 @@ const char* MemoryCategoryName(MemoryCategory category) {
 MemoryBudget::MemoryBudget(int64_t budget_bytes)
     : budget_bytes_(budget_bytes) {
   for (auto& counter : charged_) counter.store(0, std::memory_order_relaxed);
+  for (auto& peak : category_peak_) peak.store(0, std::memory_order_relaxed);
 }
 
 void MemoryBudget::RaisePeak(int64_t candidate) const {
@@ -46,7 +47,12 @@ Status MemoryBudget::Charge(MemoryCategory category, int64_t bytes) const {
     exhausted_.store(true, std::memory_order_release);
     return ExhaustedStatus();
   }
-  counter.fetch_add(bytes, std::memory_order_relaxed);
+  int64_t live = counter.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  auto& peak = category_peak_[static_cast<int>(category)];
+  int64_t seen = peak.load(std::memory_order_relaxed);
+  while (live > seen && !peak.compare_exchange_weak(
+                            seen, live, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 
@@ -59,6 +65,11 @@ void MemoryBudget::Release(MemoryCategory category, int64_t bytes) const {
 
 int64_t MemoryBudget::charged(MemoryCategory category) const {
   return charged_[static_cast<int>(category)].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryBudget::peak(MemoryCategory category) const {
+  return category_peak_[static_cast<int>(category)].load(
+      std::memory_order_relaxed);
 }
 
 Status MemoryBudget::ExhaustedStatus() const {

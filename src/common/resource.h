@@ -59,6 +59,12 @@ class MemoryBudget {
     return total_.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of charged(category): the most bytes that category
+  /// ever held live at once. Unlike peak_bytes() it excludes failed
+  /// charges (which never became live anywhere). Stats surfaces (kolash,
+  /// kolad) report these so a blown budget names the structure at fault.
+  int64_t peak(MemoryCategory category) const;
+
   /// High-water mark of total_charged(), including the failed charge that
   /// latched exhaustion (it records how much the request wanted).
   int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
@@ -76,6 +82,7 @@ class MemoryBudget {
 
   int64_t budget_bytes_;
   mutable std::atomic<int64_t> charged_[kNumMemoryCategories];
+  mutable std::atomic<int64_t> category_peak_[kNumMemoryCategories];
   mutable std::atomic<int64_t> total_{0};
   mutable std::atomic<int64_t> peak_{0};
   mutable std::atomic<bool> exhausted_{false};

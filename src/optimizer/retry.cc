@@ -70,6 +70,13 @@ RetryOutcome RetrySupervisor::RunOne(const Optimizer& optimizer,
     auto result = optimizer.Optimize(query, &governor);
     outcome.report.attempts = attempt + 1;
     outcome.report.final_budget = limits.memory_budget_bytes;
+    const MemoryBudget& memory = governor.memory();
+    outcome.report.peak_bytes =
+        std::max(outcome.report.peak_bytes, memory.peak_bytes());
+    for (int c = 0; c < kNumMemoryCategories; ++c) {
+      int64_t& held = outcome.report.category_peak_bytes[c];
+      held = std::max(held, memory.peak(static_cast<MemoryCategory>(c)));
+    }
     if (!result.ok()) {
       outcome.status = result.status().WithContext(
           "supervised query " + std::to_string(query_index) + " attempt " +

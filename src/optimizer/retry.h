@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "optimizer/optimizer.h"
 #include "term/term.h"
@@ -43,6 +44,12 @@ struct RetryReport {
   int64_t final_budget = 0;    // byte budget of the last attempt
   bool quarantined = false;    // still degraded after max_attempts
   bool degraded = false;       // final result carries a Degradation
+  /// Peak governed bytes across all attempts, total and per category --
+  /// the attempt governors' MemoryBudget high-water marks, folded with
+  /// max. Stats surfaces (kolad :stats) aggregate these so "which
+  /// structure is eating the budget" is answerable per request.
+  int64_t peak_bytes = 0;
+  int64_t category_peak_bytes[kNumMemoryCategories] = {};
 };
 
 /// One supervised query: `status` is OK iff `result` is populated (a

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parse_number.h"
 
 namespace kola {
 namespace oql {
@@ -316,7 +317,10 @@ class Parser {
     switch (tok.kind) {
       case Tok::kInt: {
         Advance();
-        return Expr::Const(Value::Int(std::stoll(tok.text)));
+        // A lexed integer can still be overlong; reject instead of letting
+        // std::stoll throw out of the parser.
+        KOLA_ASSIGN_OR_RETURN(int64_t value, ParseInt64(tok.text));
+        return Expr::Const(Value::Int(value));
       }
       case Tok::kString: {
         Advance();

@@ -1,0 +1,197 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace kola {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketServer::SocketServer(OptimizationService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.handler_threads < 1) options_.handler_threads = 1;
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket()");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("bind(127.0.0.1:" +
+                          std::to_string(options_.port) + ")");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status = Errno("listen()");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0 || stopping_.load(std::memory_order_acquire)) return;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The listening socket was closed (Stop) or is unusable; either way
+      // the loop is done.
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    client_fds_.push_back(fd);
+    handler_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+bool SocketServer::SendAll(int fd, const std::string& text) {
+  size_t sent = 0;
+  while (sent < text.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must cost us one connection, not a
+    // SIGPIPE for the whole daemon.
+    ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SocketServer::ServeConnection(int fd) {
+  {
+    // Handler-slot back-pressure: past the cap this connection waits its
+    // turn before the first byte is read.
+    std::unique_lock<std::mutex> lock(threads_mu_);
+    slot_cv_.wait(lock, [&] {
+      return active_handlers_ < options_.handler_threads ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    ++active_handlers_;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  bool alive = !stopping_.load(std::memory_order_acquire);
+  while (alive) {
+    size_t newline;
+    while (alive && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty()) continue;
+      if (trimmed == "QUIT") {
+        SendAll(fd, "OK bye\n");
+        alive = false;
+        break;
+      }
+      if (trimmed == "SHUTDOWN") {
+        SendAll(fd, "OK shutting down\n");
+        alive = false;
+        std::lock_guard<std::mutex> lock(wait_mu_);
+        done_ = true;
+        wait_cv_.notify_all();
+        break;
+      }
+      std::string response = service_->HandleLine(line);
+      response += '\n';
+      if (!SendAll(fd, response)) alive = false;
+    }
+    if (!alive) break;
+    if (buffer.size() > options_.max_line_bytes) {
+      SendAll(fd, "ERR INVALID_ARGUMENT: request line exceeds " +
+                      std::to_string(options_.max_line_bytes) + " bytes\n");
+      break;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown()
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  ::shutdown(fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    auto it = std::find(client_fds_.begin(), client_fds_.end(), fd);
+    if (it != client_fds_.end()) client_fds_.erase(it);
+    --active_handlers_;
+  }
+  slot_cv_.notify_one();
+  ::close(fd);
+}
+
+void SocketServer::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait(lock, [&] { return done_; });
+}
+
+void SocketServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    // Unblock every handler parked in recv; they remove and close their
+    // own fds on the way out.
+    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  slot_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    handlers.swap(handler_threads_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    done_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+}  // namespace kola

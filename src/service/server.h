@@ -1,0 +1,97 @@
+#ifndef KOLA_SERVICE_SERVER_H_
+#define KOLA_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "service/service.h"
+
+namespace kola {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from port() after Start).
+  int port = 0;
+  /// Soft cap on concurrently served connections: a connection accepted
+  /// past the cap waits for a free handler slot before its first request
+  /// is read (back-pressure, never a drop).
+  int handler_threads = 4;
+  /// A protocol line longer than this is answered with an error and the
+  /// connection is closed (a stream that never sends '\n' cannot pin a
+  /// handler's buffer forever).
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// The network skin of OptimizationService: a line-oriented TCP server on
+/// 127.0.0.1. One request per '\n'-terminated line, one response block per
+/// request (final response line always starts with OK or ERR). Connection
+/// verbs handled here rather than in the service: QUIT closes the
+/// connection, SHUTDOWN stops the whole server (Wait returns).
+///
+/// Robustness contract: malformed input, oversized lines, dropped
+/// connections and write failures degrade to per-connection errors -- the
+/// daemon never aborts or leaks a handler.
+class SocketServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  SocketServer(OptimizationService* service, ServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Non-OK when the port
+  /// cannot be bound.
+  Status Start();
+
+  /// Blocks until Stop() is called or a client sends SHUTDOWN.
+  void Wait();
+
+  /// Idempotent: closes the listening socket and every live connection,
+  /// then joins all threads.
+  void Stop();
+
+  /// The bound port (after Start); 0 before.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// False when the peer vanished mid-write; the caller drops the
+  /// connection (never a signal: sends pass MSG_NOSIGNAL).
+  bool SendAll(int fd, const std::string& text);
+
+  OptimizationService* service_;
+  ServerOptions options_;
+
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> port_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_{0};
+
+  std::thread accept_thread_;
+  std::mutex threads_mu_;  // guards the three members below
+  std::vector<std::thread> handler_threads_;
+  std::vector<int> client_fds_;
+  int active_handlers_ = 0;
+  std::condition_variable slot_cv_;
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool done_ = false;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_SERVICE_SERVER_H_

@@ -1,0 +1,497 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "aqua/parser.h"
+#include "common/string_util.h"
+#include "oql/oql.h"
+#include "rules/catalog.h"
+#include "term/parser.h"
+#include "translate/translate.h"
+
+namespace kola {
+
+namespace {
+
+/// Key-interner compaction cadence: after this many cache evictions, the
+/// interner sweeps entries nothing holds anymore (the evicted shapes).
+constexpr uint64_t kCompactEveryEvictions = 256;
+
+/// Hard cap on how long one protocol line may be; a longer line is a
+/// malformed request, answered with an error rather than buffered forever.
+constexpr size_t kMaxQueryBytes = 1 << 20;
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Error text travels on a single protocol line; newlines would desync the
+/// stream.
+std::string OneLine(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+/// The stable payload: every OptimizeResult field except the full trace
+/// term dumps (the fired rule ids stand in for it). Fields are
+/// tab-separated -- no term, rule id, or block name renders a tab -- so
+/// clients can split mechanically and byte-compare whole payloads.
+std::string SerializeOutcome(const std::string& tier, const OptimizeResult& r,
+                             const RetryReport& report) {
+  std::string out;
+  out.reserve(256);
+  out += "tier=" + tier;
+  out += "\tdegraded=";
+  out += r.degradation.degraded ? '1' : '0';
+  out += "\tquarantined=";
+  out += report.quarantined ? '1' : '0';
+  out += "\tattempts=" + std::to_string(report.attempts);
+  out += "\tkept=";
+  out += r.kept_rewrite ? '1' : '0';
+  out += "\tcost=" + FormatDouble(r.cost_before) + "->" +
+         FormatDouble(r.cost_after);
+  out += "\tblocks=" + Join(r.applied_blocks, ",");
+  out += "\trules=" + Join(r.trace.RuleIds(), ",");
+  out += "\tplan=" + (r.query == nullptr ? "" : r.query->ToString());
+  out += "\trewritten=" +
+         (r.rewritten == nullptr ? "" : r.rewritten->ToString());
+  out += "\tdegradation=" + OneLine(r.degradation.ToString());
+  return out;
+}
+
+int LatencyBucket(int64_t usec) {
+  if (usec <= 0) return 0;
+  int bucket = std::bit_width(static_cast<uint64_t>(usec)) - 1;
+  return std::min(bucket, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+StatusOr<QueryLanguage> ParseQueryLanguage(std::string_view name) {
+  if (name == "kola") return QueryLanguage::kKola;
+  if (name == "oql") return QueryLanguage::kOql;
+  if (name == "aqua") return QueryLanguage::kAqua;
+  return InvalidArgumentError("unknown query language '" + std::string(name) +
+                              "' (expected kola, oql or aqua)");
+}
+
+const char* QueryLanguageName(QueryLanguage language) {
+  switch (language) {
+    case QueryLanguage::kKola:
+      return "kola";
+    case QueryLanguage::kOql:
+      return "oql";
+    case QueryLanguage::kAqua:
+      return "aqua";
+  }
+  return "unknown";
+}
+
+std::vector<TierPolicy> DefaultTiers() {
+  // gold is deadline-free on purpose: its outcomes are a pure function of
+  // the query (step and byte budgets are deterministic), which is what
+  // makes warm-hit-vs-fresh byte identity assertable in CI. bronze trades
+  // that for a hard latency envelope.
+  return {
+      TierPolicy{.name = "gold",
+                 .deadline_ms = 0,
+                 .step_budget = 0,
+                 .memory_budget_bytes = 256 << 20,
+                 .max_attempts = 3},
+      TierPolicy{.name = "silver",
+                 .deadline_ms = 0,
+                 .step_budget = 2'000'000,
+                 .memory_budget_bytes = 32 << 20,
+                 .max_attempts = 2},
+      TierPolicy{.name = "bronze",
+                 .deadline_ms = 100,
+                 .step_budget = 100'000,
+                 .memory_budget_bytes = 1 << 20,
+                 .max_attempts = 1},
+  };
+}
+
+OptimizationService::OptimizationService(const Database* db,
+                                         const PropertyStore* properties,
+                                         ServiceOptions options)
+    : db_(db),
+      properties_(properties),
+      options_(std::move(options)),
+      rule_fingerprint_(RuleSetFingerprint(AllCatalogRules())),
+      cache_(options_.cache_capacity) {
+  if (options_.jobs < 1) options_.jobs = 1;
+  if (options_.tiers.empty()) options_.tiers = DefaultTiers();
+  tier_latency_.resize(options_.tiers.size());
+  for (int i = 0; i < options_.jobs; ++i) {
+    optimizer_pool_.push_back(
+        std::make_unique<Optimizer>(properties_, db_));
+  }
+}
+
+const TierPolicy* OptimizationService::FindTier(
+    const std::string& name) const {
+  for (const TierPolicy& tier : options_.tiers) {
+    if (tier.name == name) return &tier;
+  }
+  return nullptr;
+}
+
+StatusOr<TermPtr> OptimizationService::ParseRequest(
+    QueryLanguage language, const std::string& text) const {
+  Translator translator;
+  switch (language) {
+    case QueryLanguage::kOql: {
+      auto lowered = oql::ParseOql(text);
+      if (!lowered.ok()) return lowered.status();
+      return translator.TranslateQuery(lowered.value());
+    }
+    case QueryLanguage::kAqua: {
+      auto expr = aqua::ParseAqua(text);
+      if (!expr.ok()) return expr.status();
+      return translator.TranslateQuery(expr.value());
+    }
+    case QueryLanguage::kKola:
+      return ParseQuery(text);
+  }
+  return InternalError("bad query language");
+}
+
+std::unique_ptr<Optimizer> OptimizationService::AcquireOptimizer() {
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return !optimizer_pool_.empty(); });
+  std::unique_ptr<Optimizer> optimizer = std::move(optimizer_pool_.back());
+  optimizer_pool_.pop_back();
+  return optimizer;
+}
+
+void OptimizationService::ReleaseOptimizer(
+    std::unique_ptr<Optimizer> optimizer) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    optimizer_pool_.push_back(std::move(optimizer));
+  }
+  pool_cv_.notify_one();
+}
+
+void OptimizationService::RecordOutcome(const TierPolicy& tier,
+                                        const RetryReport& report,
+                                        int64_t latency_usec) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (report.degraded) ++stats_.degraded;
+  if (report.quarantined) ++stats_.quarantined;
+  if (report.attempts > 1) ++stats_.retried;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, report.peak_bytes);
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    stats_.category_peak_bytes[c] = std::max(
+        stats_.category_peak_bytes[c], report.category_peak_bytes[c]);
+  }
+  size_t index = static_cast<size_t>(&tier - options_.tiers.data());
+  LatencyHistogram& histogram = tier_latency_[index];
+  ++histogram.count;
+  histogram.sum_usec += static_cast<uint64_t>(latency_usec);
+  ++histogram.buckets[LatencyBucket(latency_usec)];
+}
+
+void OptimizationService::MaybeCompactKeyInterner() {
+  uint64_t evictions = cache_.stats().evictions;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (evictions - compacted_at_evictions_ < kCompactEveryEvictions) return;
+    compacted_at_evictions_ = evictions;
+  }
+  // Evicted cache entries were the last holders of their key terms; the
+  // sweep returns that memory. Safe while other threads intern.
+  key_interner_.Compact();
+}
+
+uint64_t OptimizationService::BumpCatalogVersion() {
+  uint64_t version =
+      catalog_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Every cached key carries an older version and can never hit again;
+  // reclaim eagerly instead of waiting for the clock hand.
+  cache_.Clear();
+  key_interner_.Compact();
+  return version;
+}
+
+ServiceResponse OptimizationService::Handle(const ServiceRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  ServiceResponse response;
+  auto finish = [&]() -> ServiceResponse& {
+    response.latency_usec =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return response;
+  };
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+
+  // Admission control: past the in-flight bound the request is shed with a
+  // status, never queued unboundedly and never fatal.
+  struct InflightGuard {
+    std::atomic<int>& counter;
+    ~InflightGuard() { counter.fetch_sub(1, std::memory_order_acq_rel); }
+  };
+  int inflight = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  InflightGuard inflight_guard{inflight_};
+  if (options_.max_inflight > 0 && inflight > options_.max_inflight) {
+    response.shed = true;
+    response.status = ResourceExhaustedError(
+        "admission: " + std::to_string(inflight) + " requests in flight "
+        "(limit " + std::to_string(options_.max_inflight) + "); shed");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed;
+    return finish();
+  }
+
+  const TierPolicy* tier = FindTier(request.tier);
+  if (tier == nullptr) {
+    std::vector<std::string> names;
+    for (const TierPolicy& t : options_.tiers) names.push_back(t.name);
+    response.status = InvalidArgumentError("unknown tier '" + request.tier +
+                                           "' (have " + Join(names, ", ") +
+                                           ")");
+    return finish();
+  }
+  if (request.text.size() > kMaxQueryBytes) {
+    response.status = InvalidArgumentError(
+        "query text exceeds " + std::to_string(kMaxQueryBytes) + " bytes");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.parse_errors;
+    return finish();
+  }
+
+  // Parse OUTSIDE any interning region: TermInterner tags are first-wins,
+  // so the key interner below must be the first arena these nodes meet --
+  // a parse tree tagged by another arena (a request arena, the global
+  // arena under KOLA_INTERN) would make IdOf return 0 and the shape
+  // silently uncacheable.
+  StatusOr<TermPtr> parsed = [&] {
+    ScopedInterning no_interning(static_cast<TermInterner*>(nullptr));
+    return ParseRequest(request.language, request.text);
+  }();
+  if (!parsed.ok()) {
+    response.status = parsed.status();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.parse_errors;
+    return finish();
+  }
+
+  // O(1) cache key: canonicalize the shape in the shared key interner.
+  // An id of 0 means the interner declined (injected fault); such a
+  // request is simply uncacheable, never wrong.
+  TermPtr canonical = key_interner_.Intern(parsed.value());
+  const TermId query_id = key_interner_.IdOf(canonical);
+  const bool cacheable =
+      options_.cache_enabled && !request.bypass_cache && query_id != 0;
+  const PlanCacheKey key{query_id, rule_fingerprint_, catalog_version()};
+
+  if (cacheable) {
+    if (std::optional<std::string> hit = cache_.Lookup(key)) {
+      response.cache_hit = true;
+      response.payload = *std::move(hit);
+      finish();
+      RecordOutcome(*tier, RetryReport{}, response.latency_usec);
+      return response;
+    }
+  }
+
+  RetryOptions retry;
+  retry.memory_budget_bytes = tier->memory_budget_bytes;
+  retry.deadline_ms = tier->deadline_ms;
+  retry.step_budget = tier->step_budget;
+  retry.max_attempts = tier->max_attempts;
+  retry.escalation_factor = tier->escalation_factor;
+
+  std::unique_ptr<Optimizer> optimizer = AcquireOptimizer();
+  // Jitter index 0: the escalation schedule is a pure function of the
+  // tier, so repeated shapes optimize identically regardless of arrival
+  // order -- a warm hit must be indistinguishable from a fresh pass.
+  RetrySupervisor supervisor(optimizer.get(), retry);
+  RetryOutcome outcome;
+  {
+    // The optimizer's intermediate terms intern into a private per-request
+    // arena that dies (and is compacted) with this scope, so one request's
+    // rewrite garbage never bloats the shared key interner.
+    TermInterner request_arena;
+    ScopedInterning request_interning(&request_arena);
+    outcome = supervisor.Optimize(canonical, 0);
+  }
+  ReleaseOptimizer(std::move(optimizer));
+
+  if (!outcome.ok() || !outcome.result.has_value()) {
+    response.status = outcome.ok()
+                          ? InternalError("supervisor returned no result")
+                          : outcome.status;
+    return finish();
+  }
+
+  response.degraded = outcome.report.degraded;
+  response.quarantined = outcome.report.quarantined;
+  response.payload =
+      SerializeOutcome(tier->name, *outcome.result, outcome.report);
+
+  // Only clean plans are cached: a degraded plan is what THIS request's
+  // budget afforded, not the shape's answer, and serving it warm would
+  // pin the degradation long after pressure subsides.
+  if (cacheable && !response.degraded && !response.quarantined) {
+    cache_.Insert(key, canonical, response.payload);
+    MaybeCompactKeyInterner();
+  }
+
+  finish();
+  RecordOutcome(*tier, outcome.report, response.latency_usec);
+  return response;
+}
+
+std::string OptimizationService::HandleLine(const std::string& raw) {
+  std::string_view line = StripWhitespace(raw);
+  if (line.empty()) {
+    return "ERR INVALID_ARGUMENT: empty request";
+  }
+  if (line == "PING") return "OK pong";
+  if (line == "STATS") return StatsText();
+  if (line == "BUMP") {
+    return "OK version=" + std::to_string(BumpCatalogVersion());
+  }
+
+  if (line.rfind("Q ", 0) == 0 || line.rfind("F ", 0) == 0) {
+    const bool bypass = line[0] == 'F';
+    std::string_view rest = line.substr(2);
+    size_t tier_end = rest.find(' ');
+    if (tier_end == std::string_view::npos) {
+      return "ERR INVALID_ARGUMENT: expected '" +
+             std::string(1, line[0]) + " <tier> <lang> <query>'";
+    }
+    std::string_view tier = rest.substr(0, tier_end);
+    rest = StripWhitespace(rest.substr(tier_end + 1));
+    size_t lang_end = rest.find(' ');
+    if (lang_end == std::string_view::npos) {
+      return "ERR INVALID_ARGUMENT: expected '" +
+             std::string(1, line[0]) + " <tier> <lang> <query>'";
+    }
+    StatusOr<QueryLanguage> language =
+        ParseQueryLanguage(rest.substr(0, lang_end));
+    if (!language.ok()) {
+      return "ERR " + OneLine(language.status().ToString());
+    }
+    std::string_view text = StripWhitespace(rest.substr(lang_end + 1));
+    if (text.empty()) {
+      return "ERR INVALID_ARGUMENT: empty query";
+    }
+
+    ServiceRequest request;
+    request.tier = std::string(tier);
+    request.language = *language;
+    request.text = std::string(text);
+    request.bypass_cache = bypass;
+    ServiceResponse response = Handle(request);
+    if (!response.status.ok()) {
+      return "ERR " + OneLine(response.status.ToString());
+    }
+    std::string out = "OK ";
+    out += response.cache_hit ? '1' : '0';
+    out += ' ';
+    out += std::to_string(response.latency_usec);
+    out += '\t';
+    out += response.payload;
+    return out;
+  }
+
+  return "ERR INVALID_ARGUMENT: unknown verb (expected Q, F, STATS, BUMP, "
+         "PING, QUIT or SHUTDOWN)";
+}
+
+ServiceStats OptimizationService::stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.cache = cache_.stats();
+  snapshot.catalog_version = catalog_version();
+  snapshot.rule_fingerprint = rule_fingerprint_;
+  snapshot.key_interner_terms = key_interner_.size();
+  snapshot.key_interner_bytes = key_interner_.bytes();
+  return snapshot;
+}
+
+LatencyHistogram OptimizationService::tier_latency(
+    const std::string& tier) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (size_t i = 0; i < options_.tiers.size(); ++i) {
+    if (options_.tiers[i].name == tier) return tier_latency_[i];
+  }
+  return LatencyHistogram{};
+}
+
+std::string OptimizationService::StatsText() const {
+  ServiceStats s = stats();
+  std::string out;
+  auto line = [&out](const std::string& text) {
+    out += "S " + text + "\n";
+  };
+  line("requests " + std::to_string(s.requests));
+  line("parse_errors " + std::to_string(s.parse_errors));
+  line("shed " + std::to_string(s.shed));
+  line("degraded " + std::to_string(s.degraded));
+  line("quarantined " + std::to_string(s.quarantined));
+  line("retried " + std::to_string(s.retried));
+  line("cache hits=" + std::to_string(s.cache.hits) +
+       " misses=" + std::to_string(s.cache.misses) +
+       " insertions=" + std::to_string(s.cache.insertions) +
+       " evictions=" + std::to_string(s.cache.evictions) +
+       " entries=" + std::to_string(s.cache.entries) +
+       " bytes=" + std::to_string(s.cache.bytes) +
+       " capacity=" + std::to_string(cache_.capacity()));
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof(fingerprint), "0x%016llx",
+                static_cast<unsigned long long>(s.rule_fingerprint));
+  std::string catalog = "catalog version=" + std::to_string(s.catalog_version);
+  catalog += " fingerprint=";
+  catalog += fingerprint;
+  line(catalog);
+  line("key_interner terms=" + std::to_string(s.key_interner_terms) +
+       " bytes=" + std::to_string(s.key_interner_bytes));
+  std::string peaks = "peak_bytes total=" + std::to_string(s.peak_bytes);
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    peaks += " ";
+    peaks += MemoryCategoryName(static_cast<MemoryCategory>(c));
+    peaks += "=";
+    peaks += std::to_string(s.category_peak_bytes[c]);
+  }
+  line(peaks);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (size_t i = 0; i < options_.tiers.size(); ++i) {
+      const LatencyHistogram& h = tier_latency_[i];
+      uint64_t mean = h.count == 0 ? 0 : h.sum_usec / h.count;
+      // Buckets above the highest nonzero one are elided.
+      int top = LatencyHistogram::kBuckets;
+      while (top > 1 && h.buckets[top - 1] == 0) --top;
+      std::string hist;
+      for (int b = 0; b < top; ++b) {
+        if (b > 0) hist += ":";
+        hist += std::to_string(h.buckets[b]);
+      }
+      line("latency " + options_.tiers[i].name +
+           " count=" + std::to_string(h.count) +
+           " mean_usec=" + std::to_string(mean) + " hist=" + hist);
+    }
+  }
+  out += "OK stats";
+  return out;
+}
+
+}  // namespace kola

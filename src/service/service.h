@@ -1,0 +1,207 @@
+#ifndef KOLA_SERVICE_SERVICE_H_
+#define KOLA_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/statusor.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/retry.h"
+#include "rewrite/properties.h"
+#include "service/plan_cache.h"
+#include "term/intern.h"
+#include "values/database.h"
+
+namespace kola {
+
+/// Which front end parses a request's query text.
+enum class QueryLanguage { kKola, kOql, kAqua };
+
+StatusOr<QueryLanguage> ParseQueryLanguage(std::string_view name);
+const char* QueryLanguageName(QueryLanguage language);
+
+/// One QoS tier: a named resource envelope mapped onto Governor::Limits,
+/// plus the retry-escalation depth for requests that exhaust it. Tiers are
+/// how the daemon sheds load -- a request over its tier's budget degrades
+/// to the best-so-far plan (PR 4/5 machinery) instead of being dropped or
+/// crashing the process.
+struct TierPolicy {
+  std::string name;
+  int64_t deadline_ms = 0;           // 0 = no deadline
+  int64_t step_budget = 0;           // 0 = unlimited
+  int64_t memory_budget_bytes = 0;   // 0 = unlimited (still metered)
+  /// RetrySupervisor attempts (1 = no escalation): a query that exhausts
+  /// the envelope is re-run under geometrically escalated budgets, and
+  /// quarantined (best degraded plan returned) when the schedule tops out.
+  int max_attempts = 1;
+  double escalation_factor = 2.0;
+};
+
+/// The stock tier table: `gold` (deadline-free, generous byte budget,
+/// escalating retries -- deterministic outcomes, the cacheable tier),
+/// `silver` (bounded steps and bytes, one retry), `bronze` (tight deadline
+/// and budgets, no retries -- sheds by degrading).
+std::vector<TierPolicy> DefaultTiers();
+
+struct ServiceOptions {
+  /// Plan-cache entry bound (0 = unbounded); eviction is deterministic
+  /// second-chance, see PlanCache.
+  size_t cache_capacity = 4096;
+  bool cache_enabled = true;
+  /// Worker parallelism: how many optimizations may run concurrently (one
+  /// pooled Optimizer each). Clamped to >= 1.
+  int jobs = 1;
+  /// Admission control: with a positive bound, a request arriving while
+  /// this many are already in flight is shed with RESOURCE_EXHAUSTED
+  /// (counted, never fatal). 0 = unlimited (requests queue on the
+  /// optimizer pool instead).
+  int max_inflight = 0;
+  /// Tier table; must be non-empty. The first tier is the default.
+  std::vector<TierPolicy> tiers = DefaultTiers();
+};
+
+struct ServiceRequest {
+  std::string tier;                        // TierPolicy::name
+  QueryLanguage language = QueryLanguage::kKola;
+  std::string text;                        // query in `language`
+  /// Skip the plan cache entirely (no lookup, no insert): the `F` protocol
+  /// verb, which the soak harness uses to check a warm hit against a fresh
+  /// optimization byte-for-byte.
+  bool bypass_cache = false;
+};
+
+struct ServiceResponse {
+  Status status;            // non-OK: the request failed (parse, tier, shed)
+  bool cache_hit = false;
+  bool degraded = false;
+  bool quarantined = false;
+  bool shed = false;        // rejected by admission control
+  int64_t latency_usec = 0;
+  /// Stable serialization of the optimization outcome (plan, rewritten
+  /// candidate, costs, applied blocks, fired rules, degradation) -- every
+  /// OptimizeResult field except the full trace term dumps. Cache entries
+  /// store exactly this string, so a warm hit is byte-identical to a fresh
+  /// optimization of the same shape by construction, and the soak test
+  /// asserts it stays that way.
+  std::string payload;
+};
+
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t parse_errors = 0;
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  uint64_t quarantined = 0;
+  uint64_t retried = 0;     // requests that took >1 supervised attempt
+  PlanCacheStats cache;
+  uint64_t catalog_version = 0;
+  uint64_t rule_fingerprint = 0;
+  size_t key_interner_terms = 0;
+  int64_t key_interner_bytes = 0;
+  int64_t peak_bytes = 0;   // max total governed bytes of any one request
+  int64_t category_peak_bytes[kNumMemoryCategories] = {};
+};
+
+/// Per-tier latency histogram: log2-usec buckets (bucket i counts requests
+/// with latency in [2^i, 2^(i+1)) usec), plus count and sum for the mean.
+struct LatencyHistogram {
+  static constexpr int kBuckets = 32;
+  uint64_t count = 0;
+  uint64_t sum_usec = 0;
+  uint64_t buckets[kBuckets] = {};
+};
+
+/// The engine behind `kolad`: parses KOLA/OQL/AQUA text, optimizes under
+/// per-tenant QoS tiers, and answers repeated query shapes from the plan
+/// cache. Composes the existing library primitives -- per-request private
+/// interner arenas (ScopedInterning), per-tier Governor envelopes,
+/// RetrySupervisor escalation, pooled per-worker Optimizers -- into one
+/// long-lived, shed-don't-crash component. Thread-safe: Handle may be
+/// called from any number of threads; optimizations are serialized onto
+/// options.jobs pooled Optimizer instances.
+class OptimizationService {
+ public:
+  /// `db` and `properties` must outlive the service and stay unmodified
+  /// while it runs (a catalog change is modeled by BumpCatalogVersion).
+  OptimizationService(const Database* db, const PropertyStore* properties,
+                      ServiceOptions options);
+
+  OptimizationService(const OptimizationService&) = delete;
+  OptimizationService& operator=(const OptimizationService&) = delete;
+
+  /// Serves one request end to end: parse (private interner arena),
+  /// canonicalize, cache probe, optimize under the tier's envelope with
+  /// retry escalation, cache fill. Never throws; every failure is a Status
+  /// in the response.
+  ServiceResponse Handle(const ServiceRequest& request);
+
+  /// The line protocol: "Q <tier> <lang> <query>", "F <tier> <lang>
+  /// <query>", "STATS", "BUMP", "PING". Returns the full response text
+  /// (possibly multi-line for STATS); the final line always starts with
+  /// "OK" or "ERR". QUIT/SHUTDOWN are connection-level verbs handled by
+  /// the server, not here.
+  std::string HandleLine(const std::string& line);
+
+  /// Invalidates every cached plan by advancing the catalog version (new
+  /// lookups miss; stale entries are dropped eagerly). Returns the new
+  /// version.
+  uint64_t BumpCatalogVersion();
+
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+  uint64_t rule_fingerprint() const { return rule_fingerprint_; }
+
+  ServiceStats stats() const;
+  LatencyHistogram tier_latency(const std::string& tier) const;
+  /// The STATS protocol body: "S <key> <value...>" lines + "OK stats".
+  std::string StatsText() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  const TierPolicy* FindTier(const std::string& name) const;
+  StatusOr<TermPtr> ParseRequest(QueryLanguage language,
+                                 const std::string& text) const;
+  std::unique_ptr<Optimizer> AcquireOptimizer();
+  void ReleaseOptimizer(std::unique_ptr<Optimizer> optimizer);
+  void RecordOutcome(const TierPolicy& tier, const RetryReport& report,
+                     int64_t latency_usec);
+  void MaybeCompactKeyInterner();
+
+  const Database* db_;
+  const PropertyStore* properties_;
+  ServiceOptions options_;
+  uint64_t rule_fingerprint_;
+  std::atomic<uint64_t> catalog_version_{1};
+
+  /// Canonicalizes incoming query shapes for O(1) cache keys. Entries are
+  /// kept alive by the cache's key references and compacted once eviction
+  /// has retired enough of them.
+  TermInterner key_interner_;
+  PlanCache cache_;
+  uint64_t compacted_at_evictions_ = 0;  // guarded by stats_mu_
+
+  /// Idle per-worker Optimizer clones; Handle blocks here when more than
+  /// options.jobs requests want to optimize at once.
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::vector<std::unique_ptr<Optimizer>> optimizer_pool_;
+
+  std::atomic<int> inflight_{0};
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  std::vector<LatencyHistogram> tier_latency_;  // parallel to options.tiers
+};
+
+}  // namespace kola
+
+#endif  // KOLA_SERVICE_SERVICE_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parse_number.h"
 
 namespace kola {
 
@@ -508,18 +509,30 @@ Sort MetaVarSort(const std::string& name) {
 StatusOr<TermPtr> Elaborate(const Cst& cst, Sort expected);
 
 /// Decodes the "classid#objid" payload of an object-reference token.
-Value ObjRefValue(const std::string& text) {
+/// Both halves are validated: an overlong id is a parse error, not an
+/// abort, and the class id must fit the int32 Value::Object carries.
+StatusOr<Value> ObjRefValue(const std::string& text) {
   size_t hash = text.find('#');
-  return Value::Object(static_cast<int32_t>(std::stoll(text.substr(0, hash))),
-                       std::stoll(text.substr(hash + 1)));
+  if (hash == std::string::npos) {
+    return InvalidArgumentError("malformed object literal '" + text + "'");
+  }
+  KOLA_ASSIGN_OR_RETURN(
+      int64_t class_id,
+      ParseInt64InRange(std::string_view(text).substr(0, hash),
+                        "object class id", 0, INT32_MAX));
+  KOLA_ASSIGN_OR_RETURN(int64_t obj_id,
+                        ParseInt64(std::string_view(text).substr(hash + 1)));
+  return Value::Object(static_cast<int32_t>(class_id), obj_id);
 }
 
 /// Evaluates a CST that must denote a compile-time literal Value (set
 /// elements).
 StatusOr<Value> LiteralValue(const Cst& cst) {
   switch (cst.kind) {
-    case CstKind::kInt:
-      return Value::Int(std::stoll(cst.text));
+    case CstKind::kInt: {
+      KOLA_ASSIGN_OR_RETURN(int64_t value, ParseInt64(cst.text));
+      return Value::Int(value);
+    }
     case CstKind::kObjRef:
       return ObjRefValue(cst.text);
     case CstKind::kString:
@@ -711,8 +724,8 @@ StatusOr<TermPtr> Elaborate(const Cst& cst, Sort expected) {
                                     std::string(SortToString(expected)) +
                                     " position");
       }
-      return Term::Make(TermKind::kLiteral, {}, "",
-                        Value::Int(std::stoll(cst.text)));
+      KOLA_ASSIGN_OR_RETURN(int64_t value, ParseInt64(cst.text));
+      return Term::Make(TermKind::kLiteral, {}, "", Value::Int(value));
     }
     case CstKind::kString: {
       if (!SortMatches(expected, Sort::kObject)) {
@@ -728,7 +741,8 @@ StatusOr<TermPtr> Elaborate(const Cst& cst, Sort expected) {
                                     std::string(SortToString(expected)) +
                                     " position");
       }
-      return Term::Make(TermKind::kLiteral, {}, "", ObjRefValue(cst.text));
+      KOLA_ASSIGN_OR_RETURN(Value ref, ObjRefValue(cst.text));
+      return Term::Make(TermKind::kLiteral, {}, "", std::move(ref));
     }
     case CstKind::kMetaVar: {
       Sort sort = MetaVarSort(cst.text);

@@ -56,6 +56,16 @@ TEST(AquaParserTest, Errors) {
   EXPECT_FALSE(ParseAqua("\"unterminated").ok());
 }
 
+TEST(AquaParserTest, OverlongIntegerLiteralIsErrorNotAbort) {
+  // Overflows int64: the unguarded std::stoll this used to reach would
+  // throw std::out_of_range and abort.
+  auto overlong = ParseAqua("sel(\\p. p.age > 99999999999999999999)(P)");
+  ASSERT_FALSE(overlong.ok());
+  EXPECT_EQ(overlong.status().code(), StatusCode::kInvalidArgument);
+  // The int64 boundary itself still parses.
+  EXPECT_TRUE(ParseAqua("sel(\\p. p.age > 9223372036854775807)(P)").ok());
+}
+
 TEST(AquaParserTest, RoundTripsThroughToString) {
   for (const char* text :
        {"app(\\p. [p, sel(\\c. p.age > 25)(p.child)])(P)",

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 
 #include "common/env.h"
 #include "common/macros.h"
+#include "common/parse_number.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -349,6 +351,64 @@ TEST(ParallelForTest, ThrowingBodyFailsOnlyItsIndex) {
 }
 
 TEST(HardwareJobsTest, AtLeastOne) { EXPECT_GE(HardwareJobs(), 1); }
+
+// ---------------------------------------------------------------------------
+// parse_number: the validated integer parsing shared by the front-end
+// literal paths and the CLI flag parsers.
+// ---------------------------------------------------------------------------
+
+TEST(ParseNumberTest, ParsesPlainAndSignedDecimals) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(), INT64_MIN);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseNumberTest, OverflowIsInvalidArgumentNotAbort) {
+  // The exact inputs that used to reach unguarded std::stoll and abort
+  // with std::out_of_range.
+  for (const char* text :
+       {"99999999999999999999", "-99999999999999999999",
+        "9223372036854775808", "-9223372036854775809",
+        "170141183460469231731687303715884105728"}) {
+    auto result = ParseInt64(text);
+    ASSERT_FALSE(result.ok()) << text;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+}
+
+TEST(ParseNumberTest, JunkAndTrailingGarbageRejected) {
+  for (const char* text :
+       {"", " ", "abc", "12abc", "1.5", "0x10", "1e3", "--2", "+5", "+",
+        "-", " 42", "42 "}) {
+    EXPECT_FALSE(ParseInt64(text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(ParseNumberTest, RangeCheckedVariants) {
+  EXPECT_EQ(ParseInt64InRange("5", "--jobs", 1, 10).value(), 5);
+  auto low = ParseInt64InRange("0", "--jobs", 1, 10);
+  ASSERT_FALSE(low.ok());
+  // The flag name and the offending value both appear in the message.
+  EXPECT_NE(low.status().message().find("--jobs"), std::string::npos);
+  EXPECT_NE(low.status().message().find("0"), std::string::npos);
+  EXPECT_FALSE(ParseInt64InRange("11", "--jobs", 1, 10).ok());
+  EXPECT_EQ(ParseIntInRange("7", "--depth", 0, 64).value(), 7);
+  EXPECT_FALSE(ParseIntInRange("65", "--depth", 0, 64).ok());
+  EXPECT_FALSE(ParseIntInRange("junk", "--depth", 0, 64).ok());
+}
+
+TEST(ParseNumberTest, OverlongEchoIsClipped) {
+  std::string huge(500, '9');
+  auto result = ParseInt64(huge);
+  ASSERT_FALSE(result.ok());
+  // The error echoes a bounded prefix, never the whole half-kilobyte.
+  EXPECT_LT(result.status().message().size(), 200u);
+}
 
 }  // namespace
 }  // namespace kola

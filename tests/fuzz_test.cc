@@ -356,6 +356,36 @@ TEST(DeepTermTest, ParserRejectsDeepParenthesizedNesting) {
   EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(NumericLiteralFuzzTest, RandomDigitStringsNeverAbortTheParser) {
+  // Sweep digit strings across the int64 overflow boundary (18..25 digits)
+  // and beyond, in every literal position the grammar has. Before the
+  // ParseInt64 guards these reached std::stoll, and any string past 19
+  // digits aborted the process with an uncaught std::out_of_range; now
+  // every outcome must be a Status.
+  Rng rng(2026);
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t digits = 1 + rng.Next() % 30;
+    std::string number;
+    if (rng.Next() % 4 == 0) number += "-";
+    for (size_t d = 0; d < digits; ++d) {
+      number += static_cast<char>('0' + rng.Next() % 10);
+    }
+    std::string text;
+    switch (rng.Next() % 4) {
+      case 0: text = number; break;
+      case 1: text = "Kf(" + number + ")"; break;
+      case 2: text = "{" + number + ", 1}"; break;
+      default: text = "obj<" + number + ">#" + number; break;
+    }
+    Sort sort = text[0] == 'K' ? Sort::kFunction : Sort::kObject;
+    auto parsed = ParseTerm(text, sort);  // must return, never throw
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << text;
+    }
+  }
+}
+
 TEST(DeepTermTest, ModeratelyDeepTermsStillParse) {
   // The guard must not reject legitimate depth: well under the cap, the
   // round trip still holds.

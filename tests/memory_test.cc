@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/governor.h"
@@ -475,6 +476,62 @@ TEST_F(BudgetedOptimizerTest, SupervisorBatchIsJobsInvariant) {
   // The budget above is tuned so the sweep exercises the retry path; if
   // this fires, lower it rather than losing the coverage.
   EXPECT_TRUE(any_retried) << "budget too generous: nothing retried";
+}
+
+TEST_F(BudgetedOptimizerTest, SupervisorBatchPooledCacheStatsJobsInvariant) {
+  ScopedInterning off(false);  // charges must be a pure function of the query
+  Optimizer optimizer(&properties_, db_.get());
+  std::vector<TermPtr> queries = {
+      Q("iterate(Kp(T), age) o iterate(gt @ (age, Kf(25)), id) ! P"),
+      Q("iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"),
+      Q("iterate(gt @ (age, Kf(30)), name) ! P"),
+      Q("iterate(Kp(T), id) ! V"),
+      Q("iterate(Kp(T), age) ! P"),
+  };
+  RetryOptions retry;
+  retry.memory_budget_bytes = 700;
+  retry.max_attempts = 4;
+  RetrySupervisor supervisor(&optimizer, retry);
+
+  auto key = [](const Rewriter::CacheStats& s) {
+    return std::tuple(s.caches, s.entries, s.hits, s.misses, s.evictions);
+  };
+  const auto before = key(optimizer.rewriter().PooledCacheStats());
+  auto serial = supervisor.OptimizeAll(queries, 1);
+  const auto after_serial = key(optimizer.rewriter().PooledCacheStats());
+  auto parallel = supervisor.OptimizeAll(queries, 3);
+  const auto after_parallel = key(optimizer.rewriter().PooledCacheStats());
+
+  // Governed supervised passes run on per-call Rewriter clones, never on
+  // the member rewriter, so the pooled fixpoint-cache counters must not
+  // depend on how the batch was scheduled -- a serial batch is not
+  // secretly warmer than a parallel one. If these ever diverge, pool the
+  // clone caches (RewriterOptions::reuse_fixpoint_caches) instead of
+  // letting the serial path cheat.
+  EXPECT_EQ(after_serial, after_parallel);
+  EXPECT_EQ(before, after_serial);
+
+  ASSERT_EQ(serial.size(), queries.size());
+  ASSERT_EQ(parallel.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << i << ": " << serial[i].status;
+    ASSERT_TRUE(parallel[i].ok()) << i << ": " << parallel[i].status;
+    EXPECT_EQ(serial[i].report.attempts, parallel[i].report.attempts) << i;
+    EXPECT_TRUE(
+        Term::Equal(serial[i].result->query, parallel[i].result->query))
+        << i;
+    // Byte accounting is part of the determinism contract too: the peak
+    // high-water marks (total and per category) fold over per-attempt
+    // governors, which are a pure function of (query, options, index).
+    EXPECT_GT(serial[i].report.peak_bytes, 0) << i;
+    EXPECT_EQ(serial[i].report.peak_bytes, parallel[i].report.peak_bytes)
+        << i;
+    for (int c = 0; c < kNumMemoryCategories; ++c) {
+      EXPECT_EQ(serial[i].report.category_peak_bytes[c],
+                parallel[i].report.category_peak_bytes[c])
+          << i << " category " << c;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -152,6 +152,21 @@ TEST_F(OqlTest, ParseErrors) {
   EXPECT_FALSE(oql::ParseOql("select p from p in P extra").ok());
 }
 
+TEST_F(OqlTest, OverlongIntegerLiteralIsErrorNotAbort) {
+  // Overflows int64: the unguarded std::stoll this used to reach would
+  // throw std::out_of_range and abort.
+  auto overlong = oql::ParseOql(
+      "select p from p in P where p.age > 99999999999999999999");
+  ASSERT_FALSE(overlong.ok());
+  EXPECT_EQ(overlong.status().code(), StatusCode::kInvalidArgument);
+  auto in_set = oql::ParseOql(
+      "select p from p in P where p.age in {1, 99999999999999999999}");
+  EXPECT_FALSE(in_set.ok());
+  // The int64 boundary itself still parses.
+  EXPECT_TRUE(oql::ParseOql(
+      "select p from p in P where p.age > 9223372036854775807").ok());
+}
+
 TEST_F(OqlTest, SetLiteralsAndConstants) {
   Value result = EvalOql(
       "select p.name from p in P where p.age in {30, 40, 50}");

@@ -163,6 +163,35 @@ TEST(ParserTest, ErrorsAreInvalidArgument) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ParserTest, OverlongIntegerLiteralsAreErrorsNotAborts) {
+  // These literals overflow int64; the unguarded std::stoll they used to
+  // reach would throw std::out_of_range and abort the process.
+  EXPECT_EQ(ParseTerm("99999999999999999999", Sort::kObject).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseTerm("Kf(99999999999999999999)", Sort::kFunction).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("{1, 99999999999999999999}", Sort::kObject)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Object references: overlong class id and overlong object id.
+  EXPECT_EQ(ParseTerm("obj<99999999999999999999>#1", Sort::kObject)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTerm("obj<0>#99999999999999999999", Sort::kObject)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A class id outside int32 is rejected even though it fits in int64.
+  EXPECT_EQ(ParseTerm("obj<4294967296>#1", Sort::kObject).status().code(),
+            StatusCode::kInvalidArgument);
+  // The boundary values themselves still parse.
+  EXPECT_TRUE(ParseTerm("9223372036854775807", Sort::kObject).ok());
+  EXPECT_TRUE(ParseTerm("Kf(-9223372036854775808)", Sort::kFunction).ok());
+}
+
 TEST(ParserTest, SortMismatchesAreErrors) {
   // Pair former in object position.
   EXPECT_FALSE(ParseTerm("(f, g)", Sort::kObject).ok());

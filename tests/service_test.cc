@@ -1,0 +1,544 @@
+// The kolad service stack: PlanCache (deterministic second-chance
+// eviction, catalog-version and rule-fingerprint invalidation, concurrent
+// hit/miss hammering), OptimizationService (tier mapping, cache fill and
+// byte-identical warm hits, parse errors as statuses, admission shedding,
+// the line protocol), and SocketServer end to end over a real socket.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rewrite/properties.h"
+#include "service/plan_cache.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "term/intern.h"
+#include "term/parser.h"
+#include "values/car_world.h"
+
+namespace kola {
+namespace {
+
+TermPtr Q(const char* text) {
+  auto t = ParseTerm(text, Sort::kFunction);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+PlanCacheKey Key(TermId id, uint64_t rules = 7, uint64_t version = 1) {
+  return PlanCacheKey{id, rules, version};
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, LookupMissThenHit) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  cache.Insert(Key(1), Q("age"), "plan-1");
+  auto hit = cache.Lookup(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "plan-1");
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(PlanCacheTest, EveryKeyLimbDiscriminates) {
+  PlanCache cache(8);
+  cache.Insert(Key(1, 7, 1), Q("age"), "base");
+  // Same query id under a different rule fingerprint or catalog version is
+  // a different plan.
+  EXPECT_FALSE(cache.Lookup(Key(1, 8, 1)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 7, 2)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(2, 7, 1)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 7, 1)).has_value());
+}
+
+TEST(PlanCacheTest, CapacityBoundHoldsAndEvictionIsDeterministic) {
+  // Two identical operation sequences must produce identical hit/miss/evict
+  // traces: eviction is a pure function of the probe/insert order.
+  auto run = [](std::vector<uint64_t>* trace) {
+    PlanCache cache(3);
+    for (uint64_t i = 1; i <= 3; ++i) {
+      cache.Insert(Key(i), Q("age"), "p" + std::to_string(i));
+    }
+    // Touch 1 and 2: their second-chance bits protect them, so the hand
+    // must pass them (clearing bits) and take 3.
+    EXPECT_TRUE(cache.Lookup(Key(1)).has_value());
+    EXPECT_TRUE(cache.Lookup(Key(2)).has_value());
+    cache.Insert(Key(4), Q("age"), "p4");
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_FALSE(cache.Lookup(Key(3)).has_value());  // the victim
+    EXPECT_TRUE(cache.Lookup(Key(4)).has_value());
+    // Next eviction: every bit was cleared by the sweep except 1/2/4's
+    // fresh touches above; the hand's position decides, identically.
+    cache.Insert(Key(5), Q("age"), "p5");
+    for (uint64_t i = 1; i <= 5; ++i) {
+      trace->push_back(cache.Lookup(Key(i)).has_value() ? 1 : 0);
+    }
+    PlanCacheStats stats = cache.stats();
+    trace->push_back(stats.evictions);
+    trace->push_back(stats.entries);
+  };
+  std::vector<uint64_t> first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.back(), 3u);  // capacity bound held
+}
+
+TEST(PlanCacheTest, ReinsertReplacesInPlace) {
+  PlanCache cache(2);
+  cache.Insert(Key(1), Q("age"), "old");
+  cache.Insert(Key(1), Q("age"), "new");
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.stats().insertions, 1u);  // replacement is not a new entry
+}
+
+TEST(PlanCacheTest, ClearDropsEverythingAndCountsEvictions) {
+  PlanCache cache(8);
+  cache.Insert(Key(1), Q("age"), "a");
+  cache.Insert(Key(2), Q("age"), "b");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(PlanCacheTest, ZeroCapacityIsUnbounded) {
+  PlanCache cache(0);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    cache.Insert(Key(i), Q("age"), "p");
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCacheTest, ConcurrentHitMissHammering) {
+  // Correctness under concurrency (run under TSan in CI): many threads
+  // racing lookups and inserts over a small hot key range; every returned
+  // payload must be exactly the payload some thread inserted for that key,
+  // and the capacity bound must hold throughout.
+  PlanCache cache(16);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr uint64_t kKeyRange = 48;  // 3x capacity: constant eviction
+  std::atomic<int> bad_payloads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TermPtr term = Q("age");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t id = 1 + (static_cast<uint64_t>(t) * 31 + i) % kKeyRange;
+        if (auto hit = cache.Lookup(Key(id))) {
+          if (*hit != "plan-" + std::to_string(id)) bad_payloads.fetch_add(1);
+        } else {
+          cache.Insert(Key(id), term, "plan-" + std::to_string(id));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_payloads.load(), 0);
+  EXPECT_LE(cache.size(), 16u);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OptimizationService
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CarWorldOptions world;
+    world.num_persons = 12;
+    world.num_vehicles = 8;
+    world.num_addresses = 6;
+    world.seed = 1;
+    db_ = BuildCarWorld(world);
+    properties_ = PropertyStore::Default();
+  }
+
+  ServiceRequest Oql(const std::string& text, const std::string& tier = "gold",
+                     bool bypass = false) {
+    ServiceRequest request;
+    request.tier = tier;
+    request.language = QueryLanguage::kOql;
+    request.text = text;
+    request.bypass_cache = bypass;
+    return request;
+  }
+
+  std::unique_ptr<Database> db_;
+  PropertyStore properties_ = PropertyStore::Default();
+};
+
+TEST_F(ServiceTest, ColdMissThenWarmHitIsByteIdentical) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  const std::string query = "select p.name from p in P where p.age > 25";
+
+  ServiceResponse cold = service.Handle(Oql(query));
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_FALSE(cold.payload.empty());
+
+  ServiceResponse warm = service.Handle(Oql(query));
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.payload, cold.payload);
+
+  // The F verb bypasses the cache; a fresh optimization must serialize to
+  // the exact same bytes the cache replays.
+  ServiceResponse fresh = service.Handle(Oql(query, "gold", true));
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.payload, cold.payload);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.insertions, 1u);
+}
+
+TEST_F(ServiceTest, StructurallyEqualQueriesShareOneCacheEntry) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  // Different surface text, same shape after parsing.
+  ServiceResponse a =
+      service.Handle(Oql("select p.name from p in P where p.age > 25"));
+  ServiceResponse b =
+      service.Handle(Oql("select  p.name  from p in P where p.age > 25"));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(service.stats().cache.entries, 1u);
+}
+
+TEST_F(ServiceTest, BumpInvalidatesAndReoptimizesIdentically) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  const std::string query = "select p.age from p in P";
+  ServiceResponse before = service.Handle(Oql(query));
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(service.Handle(Oql(query)).cache_hit);
+
+  uint64_t version = service.BumpCatalogVersion();
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(service.stats().cache.entries, 0u);
+
+  // Post-bump: a miss (the old entry is unreachable under the new
+  // version), then a refill; the catalog did not actually change, so the
+  // plan itself is reproduced byte for byte.
+  ServiceResponse after = service.Handle(Oql(query));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.payload, before.payload);
+  EXPECT_TRUE(service.Handle(Oql(query)).cache_hit);
+}
+
+TEST_F(ServiceTest, RuleFingerprintIsAKeyLimb) {
+  // Two services over the same world agree on the fingerprint (it is a
+  // stable hash of the rule catalog), and the fingerprint participates in
+  // every key, so a hypothetical rule-set change orphans all entries.
+  OptimizationService a(db_.get(), &properties_, ServiceOptions{});
+  OptimizationService b(db_.get(), &properties_, ServiceOptions{});
+  EXPECT_NE(a.rule_fingerprint(), 0u);
+  EXPECT_EQ(a.rule_fingerprint(), b.rule_fingerprint());
+}
+
+TEST_F(ServiceTest, ParseErrorsAreStatusesNotCrashes) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  // Malformed OQL, malformed KOLA, an overlong integer literal (the
+  // guarded std::stoll paths), and an unknown tier.
+  ServiceResponse r1 = service.Handle(Oql("select from where"));
+  EXPECT_FALSE(r1.status.ok());
+  ServiceRequest bad_kola;
+  bad_kola.tier = "gold";
+  bad_kola.language = QueryLanguage::kKola;
+  bad_kola.text = "iterate((((";
+  EXPECT_FALSE(service.Handle(bad_kola).status.ok());
+  ServiceResponse r2 = service.Handle(
+      Oql("select p from p in P where p.age > 99999999999999999999"));
+  EXPECT_FALSE(r2.status.ok());
+  EXPECT_EQ(r2.status.code(), StatusCode::kInvalidArgument);
+  ServiceResponse r3 =
+      service.Handle(Oql("select p from p in P", "platinum"));
+  EXPECT_FALSE(r3.status.ok());
+  EXPECT_EQ(service.stats().parse_errors, 3u);
+}
+
+TEST_F(ServiceTest, UnknownTierAndDisabledCache) {
+  ServiceOptions options;
+  options.cache_enabled = false;
+  OptimizationService service(db_.get(), &properties_, options);
+  const std::string query = "select p.age from p in P";
+  ServiceResponse first = service.Handle(Oql(query));
+  ServiceResponse second = service.Handle(Oql(query));
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(first.payload, second.payload);  // still deterministic
+  EXPECT_EQ(service.stats().cache.insertions, 0u);
+}
+
+TEST_F(ServiceTest, TiersMapToGovernorEnvelopes) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  // A bronze request runs under a tight envelope but still answers (shed
+  // by degradation, never an error); gold's generous envelope stays clean.
+  ServiceResponse bronze = service.Handle(
+      Oql("select [v, p] from v in V, p in P where v in p.cars", "bronze"));
+  ASSERT_TRUE(bronze.status.ok()) << bronze.status.ToString();
+  ServiceResponse gold = service.Handle(
+      Oql("select [v, p] from v in V, p in P where v in p.cars", "gold"));
+  ASSERT_TRUE(gold.status.ok());
+  EXPECT_FALSE(gold.degraded);
+  EXPECT_NE(bronze.payload, "");
+}
+
+TEST_F(ServiceTest, DegradedResultsAreNeverCached) {
+  // A tier whose budget is hopeless degrades every time; the cache must
+  // not serve attempt 1's degraded plan to attempt 2.
+  ServiceOptions options;
+  options.tiers = {TierPolicy{.name = "tiny",
+                              .deadline_ms = 0,
+                              .step_budget = 0,
+                              .memory_budget_bytes = 1,
+                              .max_attempts = 1}};
+  OptimizationService service(db_.get(), &properties_, options);
+  const std::string query = "select p.name from p in P where p.age > 25";
+  ServiceResponse first = service.Handle(Oql(query, "tiny"));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ServiceResponse second = service.Handle(Oql(query, "tiny"));
+  ASSERT_TRUE(second.status.ok());
+  if (first.degraded) {
+    EXPECT_FALSE(second.cache_hit);
+    EXPECT_EQ(service.stats().cache.insertions, 0u);
+  }
+}
+
+TEST_F(ServiceTest, AdmissionControlShedsInsteadOfQueuing) {
+  ServiceOptions options;
+  options.jobs = 1;
+  options.max_inflight = 1;
+  OptimizationService service(db_.get(), &properties_, options);
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ServiceRequest request;
+      request.tier = "gold";
+      request.language = QueryLanguage::kOql;
+      request.text = "select p.name from p in P where p.age > " +
+                     std::to_string(20 + t);
+      ServiceResponse response = service.Handle(request);
+      if (response.shed) {
+        EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+        shed.fetch_add(1);
+      } else if (response.status.ok()) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load() + shed.load(), kThreads);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_EQ(service.stats().shed, static_cast<uint64_t>(shed.load()));
+}
+
+TEST_F(ServiceTest, ConcurrentMixedTrafficIsCrashFreeAndConsistent) {
+  // TSan target: hammer one service instance from many threads mixing warm
+  // shapes, cold shapes, parse errors and catalog bumps.
+  ServiceOptions options;
+  options.jobs = 3;
+  options.cache_capacity = 8;
+  OptimizationService service(db_.get(), &properties_, options);
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        if (t == 0 && i % 10 == 9) {
+          service.BumpCatalogVersion();
+          continue;
+        }
+        if (i % 7 == 6) {
+          ServiceResponse bad = service.Handle(Oql("select nonsense ((("));
+          if (bad.status.ok()) failures.fetch_add(1);
+          continue;
+        }
+        ServiceResponse response = service.Handle(
+            Oql("select p.name from p in P where p.age > " +
+                std::to_string(20 + (t * 25 + i) % 12)));
+        if (!response.status.ok() || response.payload.empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ServiceStats stats = service.stats();
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_GT(stats.parse_errors, 0u);
+}
+
+TEST_F(ServiceTest, HandleLineProtocol) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong");
+  EXPECT_EQ(service.HandleLine("BUMP"), "OK version=2");
+
+  std::string cold =
+      service.HandleLine("Q gold oql select p.age from p in P");
+  ASSERT_EQ(cold.rfind("OK 0 ", 0), 0u) << cold;
+  std::string warm =
+      service.HandleLine("Q gold oql select p.age from p in P");
+  ASSERT_EQ(warm.rfind("OK 1 ", 0), 0u) << warm;
+  // Identical payload after the latency header.
+  EXPECT_EQ(cold.substr(cold.find('\t')), warm.substr(warm.find('\t')));
+
+  EXPECT_EQ(service.HandleLine("NOPE x").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service.HandleLine("Q gold").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service.HandleLine("Q gold klingon x").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service.HandleLine("Q gold oql ").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service.HandleLine("").rfind("ERR ", 0), 0u);
+
+  std::string stats = service.HandleLine("STATS");
+  EXPECT_NE(stats.find("S requests "), std::string::npos);
+  EXPECT_NE(stats.find("S cache hits="), std::string::npos);
+  EXPECT_NE(stats.find("S latency gold "), std::string::npos);
+  EXPECT_EQ(stats.rfind("OK stats"), stats.size() - 8);
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer end to end
+// ---------------------------------------------------------------------------
+
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& line) {
+    std::string framed = line + "\n";
+    return ::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(framed.size());
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST_F(ServiceTest, SocketServerEndToEnd) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  SocketServer server(&service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::string line;
+
+  ASSERT_TRUE(client.Send("PING"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
+
+  ASSERT_TRUE(client.Send("Q gold oql select p.age from p in P"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK 0 ", 0), 0u) << line;
+
+  ASSERT_TRUE(client.Send("Q gold oql select p.age from p in P"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK 1 ", 0), 0u) << line;
+
+  // Malformed input over the wire: an error line, never a dropped
+  // connection or a crash.
+  ASSERT_TRUE(client.Send("Q gold oql select ((("));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+
+  ASSERT_TRUE(client.Send("STATS"));
+  bool saw_stats_line = false;
+  for (;;) {
+    ASSERT_TRUE(client.ReadLine(&line));
+    if (line.rfind("S ", 0) == 0) saw_stats_line = true;
+    if (line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0) break;
+  }
+  EXPECT_TRUE(saw_stats_line);
+  EXPECT_EQ(line, "OK stats");
+
+  // A second concurrent client works while the first is connected.
+  {
+    TestClient other(server.port());
+    ASSERT_TRUE(other.connected());
+    ASSERT_TRUE(other.Send("Q gold oql select p.age from p in P"));
+    ASSERT_TRUE(other.ReadLine(&line));
+    EXPECT_EQ(line.rfind("OK 1 ", 0), 0u) << line;  // shares the cache
+    ASSERT_TRUE(other.Send("QUIT"));
+    ASSERT_TRUE(other.ReadLine(&line));
+    EXPECT_EQ(line, "OK bye");
+  }
+
+  // SHUTDOWN stops the daemon: Wait() returns and Stop() joins cleanly.
+  ASSERT_TRUE(client.Send("SHUTDOWN"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK shutting down");
+  server.Wait();
+  server.Stop();
+  EXPECT_GE(server.connections_served(), 2u);
+}
+
+}  // namespace
+}  // namespace kola
