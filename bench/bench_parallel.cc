@@ -93,6 +93,12 @@ struct Row {
   std::vector<double> speedup;  // serial_ms / ms
 };
 
+/// True when a jobs level oversubscribes this machine: more workers than
+/// hardware threads cannot speed anything up, so its timing says nothing
+/// about the driver's scaling. Flagged per level in the table and the JSON
+/// instead of quietly reporting a ~1x "speedup" as if it were a finding.
+bool ExceedsHardware(int jobs) { return jobs > HardwareJobs(); }
+
 void FinishRow(Row* row) {
   for (double ms : row->ms) {
     row->speedup.push_back(ms > 0 ? row->ms.front() / ms : 0);
@@ -150,7 +156,7 @@ Row MeasureSoundnessSweep(int repetitions) {
   }
 
   Row row;
-  row.name = "soundness_sweep/48_trials_x8_configs";
+  row.name = "soundness_sweep/48_trials_x32_configs";
   for (size_t level = 0; level < std::size(kJobsLevels); ++level) {
     double best = 0;
     for (int rep = 0; rep < repetitions; ++rep) {
@@ -199,16 +205,28 @@ std::vector<Row> RunTable() {
   std::printf("== serial vs parallel batch drivers (hardware jobs: %d) ==\n",
               HardwareJobs());
   std::printf("%-40s", "workload");
-  for (int jobs : kJobsLevels) std::printf("  jobs=%d(ms)", jobs);
+  for (int jobs : kJobsLevels) {
+    std::printf("  jobs=%d(ms)%s", jobs, ExceedsHardware(jobs) ? "*" : "");
+  }
   std::printf("  speedup@4\n");
   auto emit = [&](Row row) {
     std::printf("%-40s", row.name.c_str());
-    for (double ms : row.ms) std::printf("  %10.2f", ms);
-    std::printf("  %8.2fx\n", row.speedup.back());
+    for (size_t level = 0; level < row.ms.size(); ++level) {
+      std::printf("  %10.2f%s", row.ms[level],
+                  ExceedsHardware(kJobsLevels[level]) ? "*" : " ");
+    }
+    std::printf("  %7.2fx\n", row.speedup.back());
     rows.push_back(std::move(row));
   };
   emit(MeasureOptimizeAll(3));
   emit(MeasureSoundnessSweep(3));
+  bool any_oversubscribed = false;
+  for (int jobs : kJobsLevels) any_oversubscribed |= ExceedsHardware(jobs);
+  if (any_oversubscribed) {
+    std::printf("* jobs exceed the %d hardware thread(s): oversubscribed, "
+                "timing is not a scaling measurement\n",
+                HardwareJobs());
+  }
   std::printf("\n");
   return rows;
 }
@@ -231,9 +249,13 @@ void WriteJson(const std::vector<Row>& rows, int64_t peak_charged_bytes,
     std::fprintf(f, "    {\"name\": \"%s\", \"levels\": [",
                  rows[i].name.c_str());
     for (size_t level = 0; level < rows[i].ms.size(); ++level) {
-      std::fprintf(f, "{\"jobs\": %d, \"ms\": %.3f, \"speedup\": %.2f}%s",
-                   kJobsLevels[level], rows[i].ms[level],
-                   rows[i].speedup[level],
+      std::fprintf(f,
+                   "{\"jobs\": %d, \"hardware_jobs\": %d, "
+                   "\"exceeds_hardware\": %s, \"ms\": %.3f, "
+                   "\"speedup\": %.2f}%s",
+                   kJobsLevels[level], HardwareJobs(),
+                   ExceedsHardware(kJobsLevels[level]) ? "true" : "false",
+                   rows[i].ms[level], rows[i].speedup[level],
                    level + 1 < rows[i].ms.size() ? ", " : "");
     }
     std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");

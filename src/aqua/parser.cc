@@ -135,6 +135,34 @@ class Parser {
   }
 
  private:
+  // Nesting bound for the recursive descent, mirroring the KOLA term
+  // parser's guard: every nesting level of the input (parentheses, `not`
+  // chains, nested calls) costs a handful of native frames, so
+  // adversarially deep inputs -- a 100k-deep paren spine off the wire --
+  // must fail with RESOURCE_EXHAUSTED well before the native stack runs
+  // out. Real queries nest far below this.
+  static constexpr int kMaxNestingDepth = 1'000;
+
+  // Restores the depth a function entered with, so loop iterations can
+  // charge EnterNesting once per constructed level (left-deep `or`/`and`
+  // chains and `.`-path spines deepen the tree without recursing) and the
+  // whole frame's charge is released on exit.
+  struct DepthGuard {
+    Parser* parser;
+    int saved;
+    ~DepthGuard() { parser->depth_ = saved; }
+  };
+
+  Status EnterNesting() {
+    if (depth_ >= kMaxNestingDepth) {
+      return ResourceExhaustedError(
+          "AQUA nesting exceeds " + std::to_string(kMaxNestingDepth) +
+          " levels at " + std::to_string(Peek().position));
+    }
+    ++depth_;
+    return Status::OK();
+  }
+
   const Token& Peek() const { return tokens_[index_]; }
   Token Advance() { return tokens_[index_++]; }
   bool PeekIdent(const char* word) const {
@@ -151,8 +179,11 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParseOr() {
+    DepthGuard guard{this, depth_};
+    KOLA_RETURN_IF_ERROR(EnterNesting());
     KOLA_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
     while (PeekIdent("or")) {
+      KOLA_RETURN_IF_ERROR(EnterNesting());
       Advance();
       KOLA_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
       left = Expr::Or(std::move(left), std::move(right));
@@ -161,8 +192,10 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParseAnd() {
+    DepthGuard guard{this, depth_};
     KOLA_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
     while (PeekIdent("and")) {
+      KOLA_RETURN_IF_ERROR(EnterNesting());
       Advance();
       KOLA_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
       left = Expr::And(std::move(left), std::move(right));
@@ -172,6 +205,8 @@ class Parser {
 
   StatusOr<ExprPtr> ParseNot() {
     if (PeekIdent("not")) {
+      DepthGuard guard{this, depth_};
+      KOLA_RETURN_IF_ERROR(EnterNesting());
       Advance();
       KOLA_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       return Expr::Not(std::move(operand));
@@ -202,8 +237,10 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParsePath() {
+    DepthGuard guard{this, depth_};
     KOLA_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
     while (Peek().kind == Tok::kDot) {
+      KOLA_RETURN_IF_ERROR(EnterNesting());
       Advance();
       if (Peek().kind != Tok::kIdent) {
         return InvalidArgumentError("expected attribute name after '.'");
@@ -342,6 +379,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t index_ = 0;
+  int depth_ = 0;
   std::multiset<std::string> bound_;
 };
 

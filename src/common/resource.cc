@@ -16,6 +16,8 @@ const char* MemoryCategoryName(MemoryCategory category) {
       return "eval-scratch";
     case MemoryCategory::kRuleIndex:
       return "rule-index";
+    case MemoryCategory::kEGraph:
+      return "egraph";
   }
   return "unknown";
 }

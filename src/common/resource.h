@@ -17,9 +17,10 @@ enum class MemoryCategory {
   kExploreFrontier,    // candidate plans held by ExploreJoinPlans
   kEvalScratch,        // values materialized by the evaluator
   kRuleIndex,          // compiled discrimination-tree rule indexes
+  kEGraph,             // e-nodes and hashcons entries held by an EGraph
 };
 
-inline constexpr int kNumMemoryCategories = 5;
+inline constexpr int kNumMemoryCategories = 6;
 
 const char* MemoryCategoryName(MemoryCategory category);
 

@@ -174,6 +174,31 @@ StatusOr<OptimizeResult> Optimizer::RunPipeline(
     return Status::OK();
   });
 
+  // Phase 6: equality saturation (ROADMAP item 3), behind
+  // RewriterOptions::use_egraph / KOLA_EGRAPH. Saturates the catalog pool
+  // into an e-graph seeded with the query and the greedy pipeline's plan,
+  // then extracts the cheapest plan -- the greedy plan stays a ranked
+  // candidate, so this phase never makes the result costlier. On a budget
+  // stop the phase() wrapper records the degradation while `current` keeps
+  // the best-extracted-so-far plan assigned below.
+  phase("egraph", [&]() -> Status {
+    if (!rewriter.options().use_egraph) return Status::OK();
+    EGraphOptions egraph_options;
+    egraph_options.max_nodes = rewriter.options().egraph_max_nodes;
+    egraph_options.governor = governor;
+    PlanCostFn cost = [this](const TermPtr& plan) {
+      return cost_model_.EstimateQueryCost(plan);
+    };
+    EGraphOutcome outcome =
+        SaturateAndExtract(query, current, rewriter, cost, egraph_options);
+    result.egraph = outcome.stats;
+    if (outcome.plan != nullptr && !Term::Equal(outcome.plan, current)) {
+      result.applied_blocks.push_back("egraph");
+      current = outcome.plan;
+    }
+    return outcome.status;
+  });
+
   result.rewritten = current;
 
   // Cost-based acceptance. Runs on the degraded best-so-far term too:

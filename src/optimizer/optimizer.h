@@ -8,6 +8,7 @@
 
 #include "common/governor.h"
 #include "common/statusor.h"
+#include "egraph/egraph.h"
 #include "optimizer/cost.h"
 #include "rewrite/engine.h"
 #include "rewrite/properties.h"
@@ -42,6 +43,7 @@ struct OptimizeResult {
   std::vector<std::string> applied_blocks;
   Degradation degradation;             // set when the pipeline stopped early
   Trace trace;                         // every rule firing
+  EGraphStats egraph;                  // all zero unless use_egraph ran
 };
 
 /// One entry of OptimizeAll: `status` is OK iff `result` is populated.

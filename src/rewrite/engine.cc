@@ -152,6 +152,7 @@ RewriterOptions RewriterOptions::Defaults() {
   // memoization ON, matching how KOLA_INTERN parses. The old set-vs-unset
   // check made =0 silently disable it.
   options.memoize_fixpoint = !EnvFlagEnabled("KOLA_NO_FIXPOINT_MEMO");
+  options.use_egraph = EnvFlagEnabled("KOLA_EGRAPH");
   return options;
 }
 

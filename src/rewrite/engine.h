@@ -198,6 +198,18 @@ struct RewriterOptions {
   /// charge falls back to the linear scan.
   bool use_rule_index = true;
 
+  /// Run the equality-saturation backend (src/egraph/) as a final optimizer
+  /// phase: saturate the catalog rule pool into an e-graph seeded with the
+  /// query and the greedy pipeline's plan, then extract the cheapest plan
+  /// by the cost model (never costlier than the greedy plan -- it is always
+  /// a candidate). Off by default; Defaults() honours the KOLA_EGRAPH
+  /// environment variable (truthy -- see common/env.h -- to enable).
+  bool use_egraph = false;
+
+  /// E-node cap for that phase: saturation stops growing past it and
+  /// extraction runs over the partial graph. 0 means unbounded.
+  size_t egraph_max_nodes = 1024;
+
   static RewriterOptions Defaults();
 };
 

@@ -67,13 +67,13 @@ std::string SerializeOutcome(const std::string& tier, const OptimizeResult& r,
   return out;
 }
 
+}  // namespace
+
 int LatencyBucket(int64_t usec) {
   if (usec <= 0) return 0;
   int bucket = std::bit_width(static_cast<uint64_t>(usec)) - 1;
   return std::min(bucket, LatencyHistogram::kBuckets - 1);
 }
-
-}  // namespace
 
 StatusOr<QueryLanguage> ParseQueryLanguage(std::string_view name) {
   if (name == "kola") return QueryLanguage::kKola;
@@ -342,6 +342,18 @@ ServiceResponse OptimizationService::Handle(const ServiceRequest& request) {
   response.payload =
       SerializeOutcome(tier->name, *outcome.result, outcome.report);
 
+  // E-graph phase accounting (KOLA_EGRAPH): cumulative across requests.
+  // Kept out of the payload so cache identity is untouched.
+  const EGraphStats& eg = outcome.result->egraph;
+  if (eg.nodes > 0 || eg.processed > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.egraph_runs;
+    stats_.egraph_nodes += eg.nodes;
+    stats_.egraph_classes += eg.classes;
+    stats_.egraph_rule_applications += eg.rule_applications;
+    if (eg.saturated) ++stats_.egraph_saturated;
+  }
+
   // Only clean plans are cached: a degraded plan is what THIS request's
   // budget afforded, not the shape's answer, and serving it warm would
   // pin the degradation long after pressure subsides.
@@ -448,6 +460,11 @@ std::string OptimizationService::StatsText() const {
   line("degraded " + std::to_string(s.degraded));
   line("quarantined " + std::to_string(s.quarantined));
   line("retried " + std::to_string(s.retried));
+  line("egraph runs=" + std::to_string(s.egraph_runs) +
+       " nodes=" + std::to_string(s.egraph_nodes) +
+       " classes=" + std::to_string(s.egraph_classes) +
+       " rule_applications=" + std::to_string(s.egraph_rule_applications) +
+       " saturated=" + std::to_string(s.egraph_saturated));
   line("cache hits=" + std::to_string(s.cache.hits) +
        " misses=" + std::to_string(s.cache.misses) +
        " insertions=" + std::to_string(s.cache.insertions) +

@@ -107,6 +107,13 @@ struct ServiceStats {
   int64_t key_interner_bytes = 0;
   int64_t peak_bytes = 0;   // max total governed bytes of any one request
   int64_t category_peak_bytes[kNumMemoryCategories] = {};
+  /// Equality-saturation phase counters (all zero unless KOLA_EGRAPH /
+  /// RewriterOptions::use_egraph is on for the pooled optimizers).
+  uint64_t egraph_runs = 0;       // requests whose pass ran the e-graph
+  uint64_t egraph_nodes = 0;      // cumulative e-nodes across those runs
+  uint64_t egraph_classes = 0;    // cumulative e-classes across those runs
+  uint64_t egraph_rule_applications = 0;  // cumulative saturation firings
+  uint64_t egraph_saturated = 0;  // runs that reached full saturation
 };
 
 /// Per-tier latency histogram: log2-usec buckets (bucket i counts requests
@@ -117,6 +124,11 @@ struct LatencyHistogram {
   uint64_t sum_usec = 0;
   uint64_t buckets[kBuckets] = {};
 };
+
+/// The histogram's bucket index for one latency: 0 for usec <= 1 (and any
+/// non-positive clock artifact), floor(log2(usec)) otherwise, saturating
+/// at kBuckets - 1. Exposed so the bucket boundaries are testable.
+int LatencyBucket(int64_t usec);
 
 /// The engine behind `kolad`: parses KOLA/OQL/AQUA text, optimizes under
 /// per-tenant QoS tiers, and answers repeated query shapes from the plan

@@ -52,6 +52,21 @@ StatusOr<size_t> EnvIndex(const std::vector<std::string>& env,
 
 }  // namespace
 
+Status Translator::EnterNesting(const ExprPtr& expr) {
+  // Matches the parsers' nesting bound (term/parser.cc): each level of the
+  // mutual recursion costs a bounded number of native frames, so 1000
+  // levels fail cleanly long before the stack would run out.
+  static constexpr int kMaxNestingDepth = 1'000;
+  if (depth_ >= kMaxNestingDepth) {
+    return ResourceExhaustedError(
+        "AQUA expression nesting exceeds " +
+        std::to_string(kMaxNestingDepth) + " levels while translating " +
+        aqua::ExprKindToString(expr->kind()));
+  }
+  ++depth_;
+  return Status::OK();
+}
+
 TermPtr Translator::Seq(TermPtr f, TermPtr g) const {
   if (options_.simplify_identities) return SmartCompose(std::move(f), std::move(g));
   return Compose(std::move(f), std::move(g));
@@ -67,6 +82,8 @@ TermPtr Translator::AccessPath(size_t i, size_t k) {
 StatusOr<TermPtr> Translator::TranslateFn(
     const ExprPtr& expr, const std::vector<std::string>& env) {
   KOLA_CHECK(!env.empty());
+  KOLA_RETURN_IF_ERROR(EnterNesting(expr));
+  DepthGuard guard{this};
   switch (expr->kind()) {
     case ExprKind::kVar: {
       KOLA_ASSIGN_OR_RETURN(size_t index, EnvIndex(env, expr->name()));
@@ -147,6 +164,8 @@ StatusOr<TermPtr> Translator::TranslateFn(
 
 StatusOr<TermPtr> Translator::TranslatePred(
     const ExprPtr& expr, const std::vector<std::string>& env) {
+  KOLA_RETURN_IF_ERROR(EnterNesting(expr));
+  DepthGuard guard{this};
   switch (expr->kind()) {
     case ExprKind::kBinOp: {
       KOLA_ASSIGN_OR_RETURN(TermPtr lhs, TranslateFn(expr->child(0), env));
@@ -182,6 +201,8 @@ StatusOr<TermPtr> Translator::TranslatePred(
 }
 
 StatusOr<TermPtr> Translator::TranslateQuery(const ExprPtr& expr) {
+  KOLA_RETURN_IF_ERROR(EnterNesting(expr));
+  DepthGuard guard{this};
   switch (expr->kind()) {
     case ExprKind::kConst:
       return Lit(expr->literal());

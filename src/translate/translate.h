@@ -62,7 +62,18 @@ class Translator {
  private:
   TermPtr Seq(TermPtr f, TermPtr g) const;
 
+  /// Guards the mutual TranslateQuery/TranslateFn/TranslatePred recursion
+  /// the same way the parsers guard theirs: expressions that slip past a
+  /// front-end bound (e.g. built programmatically) degrade to
+  /// RESOURCE_EXHAUSTED instead of exhausting the native stack.
+  Status EnterNesting(const aqua::ExprPtr& expr);
+  struct DepthGuard {
+    Translator* translator;
+    ~DepthGuard() { --translator->depth_; }
+  };
+
   TranslateOptions options_;
+  int depth_ = 0;
 };
 
 /// Size metrics for the complexity claim of Section 4.2: translated

@@ -31,6 +31,7 @@ std::string PipelineConfig::Name() const {
   if (fixpoint_memo) parts.push_back("memo");
   if (physical_fastpaths) parts.push_back("fast");
   if (rule_index) parts.push_back("index");
+  if (egraph) parts.push_back("egraph");
   if (parts.empty()) return "plain";
   return Join(parts, "+");
 }
@@ -41,6 +42,7 @@ StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
   config.fixpoint_memo = false;
   config.physical_fastpaths = false;
   config.rule_index = false;
+  config.egraph = false;
   if (name == "plain") return config;
   size_t start = 0;
   while (start <= name.size()) {
@@ -56,10 +58,13 @@ StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name) {
       feature = &config.physical_fastpaths;
     } else if (part == "index") {
       feature = &config.rule_index;
+    } else if (part == "egraph") {
+      feature = &config.egraph;
     } else {
       return InvalidArgumentError(
           "unknown pipeline feature '" + part +
-          "' (expected intern, memo, fast, index, or the name 'plain')");
+          "' (expected intern, memo, fast, index, egraph, or the name "
+          "'plain')");
     }
     if (*feature) {
       return InvalidArgumentError("duplicate pipeline feature '" + part +
@@ -78,7 +83,10 @@ std::vector<PipelineConfig> FullConfigMatrix() {
     for (bool memo : {false, true}) {
       for (bool fast : {false, true}) {
         for (bool index : {false, true}) {
-          configs.push_back(PipelineConfig{intern, memo, fast, index});
+          for (bool egraph : {false, true}) {
+            configs.push_back(
+                PipelineConfig{intern, memo, fast, index, egraph});
+          }
         }
       }
     }
@@ -212,6 +220,7 @@ std::string SoundnessReport::Summary() const {
       (supervised ? std::to_string(retried) + " retried, " +
                         std::to_string(quarantined) + " quarantined, "
                   : std::string()) +
+      std::to_string(cost_regressions) + " cost-regressions, " +
       std::to_string(failures.size()) + " divergences";
   summary += failures.empty() ? " -- CLEAN" : " -- UNSOUND";
   return summary;
@@ -228,6 +237,7 @@ struct SoundnessHarness::RunOutcome {
   bool degraded = false;    // optimizer stopped early; plan still checked
   bool retried = false;     // RetrySupervisor ran more than one attempt
   bool quarantined = false; // still degraded at the top of the escalation
+  bool cost_regression = false;  // egraph cell costed more than greedy
   bool diverged = false;
   TermPtr optimized;
   std::string expected;
@@ -288,6 +298,7 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
   RewriterOptions engine_options;
   engine_options.memoize_fixpoint = config.fixpoint_memo;
   engine_options.use_rule_index = config.rule_index;
+  engine_options.use_egraph = config.egraph;
   Optimizer optimizer(&properties, &db, engine_options);
   StatusOr<OptimizeResult> result = InternalError("unreached");
   if (options_.retries > 0 && options_.memory_budget_bytes > 0) {
@@ -325,6 +336,29 @@ SoundnessHarness::RunOutcome SoundnessHarness::RunConfig(
     return out;
   }
   out.degraded = result->degradation.degraded;
+
+  // Egraph cells carry an extra promise beyond soundness: saturate-and-
+  // extract ranks the greedy plan as a candidate, so the chosen plan must
+  // never cost more than what the same cell produces with the e-graph off.
+  // Only meaningful on unbudgeted, fault-free runs -- under chaos or a
+  // budget the two pipelines can degrade at different points.
+  if (config.egraph && options_.deadline_ms == 0 &&
+      options_.memory_budget_bytes == 0 && options_.retries == 0 &&
+      options_.fault_spec.empty()) {
+    RewriterOptions greedy_options = engine_options;
+    greedy_options.use_egraph = false;
+    Optimizer greedy(&properties, &db, greedy_options);
+    auto greedy_result = greedy.Optimize(q);
+    if (greedy_result.ok()) {
+      CostModel cost_model(&db);
+      auto egraph_cost = cost_model.EstimateQueryCost(result->query);
+      auto greedy_cost = cost_model.EstimateQueryCost(greedy_result->query);
+      if (egraph_cost.ok() && greedy_cost.ok() &&
+          egraph_cost.value() > greedy_cost.value()) {
+        out.cost_regression = true;
+      }
+    }
+  }
 
   std::vector<std::pair<TermPtr, std::vector<std::string>>> plans;
   std::vector<std::string> fired = result->trace.RuleIds();
@@ -588,6 +622,7 @@ StatusOr<SoundnessReport> SoundnessHarness::Run() {
         if (out.degraded) ++report.degraded;
         if (out.retried) ++report.retried;
         if (out.quarantined) ++report.quarantined;
+        if (out.cost_regression) ++report.cost_regressions;
         if (!out.diverged) continue;
         Divergence failure;
         failure.query = outcome.query;

@@ -15,17 +15,18 @@ namespace kola {
 
 /// One cell of the optimizer configuration matrix the harness sweeps: the
 /// engine tunables that must never change query RESULTS, only performance.
-/// Differential testing across all sixteen combinations is what catches a
-/// memo/interning/fastpath/index interaction that per-rule verification
-/// cannot.
+/// Differential testing across all thirty-two combinations is what catches
+/// a memo/interning/fastpath/index/egraph interaction that per-rule
+/// verification cannot.
 struct PipelineConfig {
   bool interning = false;         // hash-consed Term::Make (term/intern.h)
   bool fixpoint_memo = true;      // FixpointCache negative-match memo
   bool physical_fastpaths = true; // hash join / grouping in the evaluator
   bool rule_index = true;         // compiled rule matching (rule_index.h)
+  bool egraph = false;            // equality-saturation phase (egraph/)
 
   /// Compact stable name: "+"-joined feature list
-  /// ("intern+memo+fast+index"), "plain" when everything is off.
+  /// ("intern+memo+fast+index+egraph"), "plain" when everything is off.
   /// Round-trips through ParsePipelineConfig; used by
   /// `kolaverify --config`.
   std::string Name() const;
@@ -35,7 +36,8 @@ struct PipelineConfig {
 /// unknown or duplicated feature names ("plain" is only valid alone).
 StatusOr<PipelineConfig> ParsePipelineConfig(const std::string& name);
 
-/// All sixteen interning x memo x fastpath x rule-index combinations.
+/// All thirty-two interning x memo x fastpath x rule-index x egraph
+/// combinations.
 std::vector<PipelineConfig> FullConfigMatrix();
 
 /// A rule that is deliberately unsound -- iterate(?p, ?f) => iterate(?p, id)
@@ -160,6 +162,10 @@ struct SoundnessReport {
                              // budget, injected fault) -- plan still checked
   int retried = 0;           // cells the RetrySupervisor re-ran (>1 attempt)
   int quarantined = 0;       // cells still degraded at max escalation
+  int cost_regressions = 0;  // egraph cells whose extracted plan costed
+                             // MORE than the same cell without the e-graph
+                             // (checked only on unbudgeted, fault-free
+                             // runs; must be 0)
   bool supervised = false;   // the RetrySupervisor was configured (retries
                              // > 0): Summary() then reports retried /
                              // quarantined counts. Options-driven, so the

@@ -9,8 +9,11 @@
 
 #include <algorithm>
 
+#include "aqua/parser.h"
 #include "common/random.h"
 #include "eval/evaluator.h"
+#include "oql/oql.h"
+#include "translate/translate.h"
 #include "rewrite/engine.h"
 #include "rewrite/generate.h"
 #include "rewrite/match.h"
@@ -393,6 +396,120 @@ TEST(DeepTermTest, ModeratelyDeepTermsStillParse) {
   auto parsed = ParseTerm(term->ToString(), Sort::kFunction);
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_TRUE(Term::Equal(term, parsed.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Adversarially deep front-end input. The OQL and AQUA recursive-descent
+// parsers carry the same nesting guard as the KOLA term parser, and the
+// AQUA->KOLA translator guards its own recursion: a 100k-deep spine off
+// the wire must come back as RESOURCE_EXHAUSTED, never as a native stack
+// overflow. These parsers feed kolad's `Q` line, so this is the daemon's
+// crash path.
+// ---------------------------------------------------------------------------
+
+void ExpectFrontEndExhausted(const Status& status) {
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted) << status;
+  EXPECT_NE(status.message().find("nesting"), std::string::npos) << status;
+}
+
+TEST(DeepFrontEndTest, AquaParserRejectsDeepParens) {
+  std::string text(50'000, '(');
+  text += "1";
+  text += std::string(50'000, ')');
+  auto parsed = aqua::ParseAqua(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, AquaParserRejectsDeepNotChain) {
+  std::string text;
+  for (int i = 0; i < 100'000; ++i) text += "not ";
+  text += "true";
+  auto parsed = aqua::ParseAqua(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, AquaParserRejectsDeepDotPath) {
+  // The `.`-path loop is iterative, but it still builds one Expr level per
+  // dot -- unguarded, a 100k-long path would recurse that deep in every
+  // later walker (and in teardown).
+  std::string text = "C";
+  for (int i = 0; i < 100'000; ++i) text += ".a";
+  auto parsed = aqua::ParseAqua(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, AquaParserRejectsDeepAndChain) {
+  std::string text = "true";
+  for (int i = 0; i < 100'000; ++i) text += " and true";
+  auto parsed = aqua::ParseAqua(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, OqlParserRejectsDeepParensInPredicate) {
+  std::string text = "select x from x in C where ";
+  text += std::string(50'000, '(');
+  text += "true";
+  text += std::string(50'000, ')');
+  auto parsed = oql::ParseOql(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, OqlParserRejectsDeepNestedSelects) {
+  // Nested sub-selects drive the ParseSelect <-> ParseExpr recursion.
+  std::string text;
+  constexpr int kDepth = 20'000;
+  for (int i = 0; i < kDepth; ++i) {
+    text += "select x from x in (";
+  }
+  text += "C";
+  text += std::string(kDepth, ')');
+  auto parsed = oql::ParseOql(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, OqlParserRejectsDeepNotChain) {
+  std::string text = "select x from x in C where ";
+  for (int i = 0; i < 100'000; ++i) text += "not ";
+  text += "true";
+  auto parsed = oql::ParseOql(text);
+  ASSERT_FALSE(parsed.ok());
+  ExpectFrontEndExhausted(parsed.status());
+}
+
+TEST(DeepFrontEndTest, TranslatorRejectsDeepProgrammaticExpr) {
+  // Expressions built in code bypass the parser guards; the translator's
+  // own guard must stop the mutual recursion. Kept to a few thousand
+  // levels so shared_ptr teardown of the chain itself stays shallow enough.
+  aqua::ExprPtr deep = aqua::Expr::Const(Value::Bool(true));
+  for (int i = 0; i < 5'000; ++i) deep = aqua::Expr::Not(deep);
+  Translator translator;
+  auto lowered = translator.TranslatePred(deep, {"x"});
+  ASSERT_FALSE(lowered.ok());
+  ExpectFrontEndExhausted(lowered.status());
+}
+
+TEST(DeepFrontEndTest, ModeratelyNestedOqlAndAquaStillWork) {
+  // The guards must not reject legitimate nesting: a 200-deep paren tower
+  // parses and translates end to end.
+  std::string aqua_text = std::string(200, '(') + "1" + std::string(200, ')');
+  auto aqua_expr = aqua::ParseAqua(aqua_text);
+  ASSERT_TRUE(aqua_expr.ok()) << aqua_expr.status();
+
+  std::string oql_text = "select x from x in C where ";
+  oql_text += std::string(200, '(');
+  oql_text += "x.age > 25";
+  oql_text += std::string(200, ')');
+  auto oql_expr = oql::ParseOql(oql_text);
+  ASSERT_TRUE(oql_expr.ok()) << oql_expr.status();
+  Translator translator;
+  auto lowered = translator.TranslateQuery(oql_expr.value());
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -432,6 +434,106 @@ TEST_F(ServiceTest, HandleLineProtocol) {
 }
 
 // ---------------------------------------------------------------------------
+// Latency histogram buckets
+// ---------------------------------------------------------------------------
+
+TEST(LatencyBucketTest, BoundariesAndSaturation) {
+  // Clock artifacts and the sub-microsecond floor both land in bucket 0.
+  EXPECT_EQ(LatencyBucket(-5), 0);
+  EXPECT_EQ(LatencyBucket(0), 0);
+  EXPECT_EQ(LatencyBucket(1), 0);
+
+  // Exact powers of two open their own bucket; one below stays behind.
+  for (int k = 1; k < LatencyHistogram::kBuckets; ++k) {
+    const int64_t pow2 = int64_t{1} << k;
+    EXPECT_EQ(LatencyBucket(pow2), k) << "2^" << k;
+    EXPECT_EQ(LatencyBucket(pow2 - 1), k - 1) << "2^" << k << " - 1";
+    EXPECT_EQ(LatencyBucket(pow2 + 1), k) << "2^" << k << " + 1";
+  }
+
+  // Beyond the last bucket everything saturates instead of indexing out
+  // of bounds.
+  const int top = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(LatencyBucket(int64_t{1} << LatencyHistogram::kBuckets), top);
+  EXPECT_EQ(LatencyBucket(std::numeric_limits<int64_t>::max()), top);
+}
+
+// ---------------------------------------------------------------------------
+// Crash paths: adversarially deep queries over the protocol
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, DeepNestedQueryLineIsAnErrorNotACrash) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+
+  // ~60k-deep paren towers in both network-facing front ends: well under
+  // the 1 MiB line cap, far over the parser nesting guard. The daemon must
+  // answer ERR RESOURCE_EXHAUSTED and keep serving.
+  std::string deep_oql = "Q gold oql select x from x in C where ";
+  deep_oql += std::string(60'000, '(');
+  deep_oql += "true";
+  deep_oql += std::string(60'000, ')');
+  std::string response = service.HandleLine(deep_oql);
+  EXPECT_EQ(response.rfind("ERR ", 0), 0u) << response.substr(0, 120);
+  EXPECT_NE(response.find("RESOURCE_EXHAUSTED"), std::string::npos)
+      << response.substr(0, 120);
+
+  std::string deep_aqua = "Q gold aqua ";
+  deep_aqua += std::string(60'000, '(');
+  deep_aqua += "1";
+  deep_aqua += std::string(60'000, ')');
+  response = service.HandleLine(deep_aqua);
+  EXPECT_EQ(response.rfind("ERR ", 0), 0u) << response.substr(0, 120);
+  EXPECT_NE(response.find("RESOURCE_EXHAUSTED"), std::string::npos)
+      << response.substr(0, 120);
+
+  std::string deep_kola = "Q gold kola ";
+  for (int i = 0; i < 60'000; ++i) deep_kola += "Kf(";
+  deep_kola += "id";
+  deep_kola += std::string(60'000, ')');
+  response = service.HandleLine(deep_kola);
+  EXPECT_EQ(response.rfind("ERR ", 0), 0u) << response.substr(0, 120);
+  EXPECT_NE(response.find("RESOURCE_EXHAUSTED"), std::string::npos)
+      << response.substr(0, 120);
+
+  // The process survived; normal service continues and the failures were
+  // accounted as parse errors.
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong");
+  std::string ok = service.HandleLine("Q gold oql select p.age from p in P");
+  EXPECT_EQ(ok.rfind("OK ", 0), 0u) << ok.substr(0, 120);
+  EXPECT_EQ(service.stats().parse_errors, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// E-graph counters in STATS
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, EgraphCountersSurfaceInStats) {
+  // KOLA_EGRAPH is read at Optimizer construction (RewriterOptions
+  // ::Defaults), so set it around service construction only.
+  ::setenv("KOLA_EGRAPH", "1", 1);
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  ::unsetenv("KOLA_EGRAPH");
+
+  ServiceResponse r =
+      service.Handle(Oql("select p.name from p in P where p.age > 25"));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.egraph_runs, 1u);
+  EXPECT_GT(stats.egraph_nodes, 0u);
+  EXPECT_GT(stats.egraph_classes, 0u);
+
+  std::string text = service.StatsText();
+  EXPECT_NE(text.find("S egraph runs="), std::string::npos) << text;
+
+  // A service without the gate reports all-zero egraph counters.
+  OptimizationService plain(db_.get(), &properties_, ServiceOptions{});
+  ASSERT_TRUE(plain.Handle(Oql("select p.age from p in P")).status.ok());
+  EXPECT_EQ(plain.stats().egraph_runs, 0u);
+  EXPECT_NE(plain.StatsText().find("S egraph runs=0 "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // SocketServer end to end
 // ---------------------------------------------------------------------------
 
@@ -508,6 +610,21 @@ TEST_F(ServiceTest, SocketServerEndToEnd) {
   ASSERT_TRUE(client.Send("Q gold oql select ((("));
   ASSERT_TRUE(client.ReadLine(&line));
   EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+
+  // An adversarially deep query over the live socket: the nesting guard
+  // answers RESOURCE_EXHAUSTED and the connection stays up.
+  std::string deep = "Q gold oql select x from x in C where ";
+  deep += std::string(60'000, '(');
+  deep += "true";
+  deep += std::string(60'000, ')');
+  ASSERT_TRUE(client.Send(deep));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line.substr(0, 120);
+  EXPECT_NE(line.find("RESOURCE_EXHAUSTED"), std::string::npos)
+      << line.substr(0, 120);
+  ASSERT_TRUE(client.Send("PING"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
 
   ASSERT_TRUE(client.Send("STATS"));
   bool saw_stats_line = false;

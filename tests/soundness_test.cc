@@ -30,7 +30,8 @@ TEST(SoundnessHarnessTest, BoundedSweepIsClean) {
   EXPECT_EQ(report->trials, 40);
   // The sweep must actually exercise the pipeline, not skip everything.
   EXPECT_GT(report->evaluated, report->trials / 2);
-  EXPECT_EQ(report->config_runs, report->evaluated * 16);
+  EXPECT_EQ(report->config_runs, report->evaluated * 32);
+  EXPECT_EQ(report->cost_regressions, 0);
 }
 
 TEST(SoundnessHarnessTest, SweepIsDeterministic) {
@@ -106,8 +107,8 @@ TEST(SoundnessHarnessTest, CheckQueryCleanOnSoundQuery) {
 }
 
 TEST(PipelineConfigTest, NameRoundTrips) {
-  // All 16 matrix cells: Name() -> ParsePipelineConfig is the identity.
-  ASSERT_EQ(FullConfigMatrix().size(), 16u);
+  // All 32 matrix cells: Name() -> ParsePipelineConfig is the identity.
+  ASSERT_EQ(FullConfigMatrix().size(), 32u);
   for (const PipelineConfig& config : FullConfigMatrix()) {
     auto parsed = ParsePipelineConfig(config.Name());
     ASSERT_TRUE(parsed.ok()) << config.Name();
@@ -115,6 +116,7 @@ TEST(PipelineConfigTest, NameRoundTrips) {
     EXPECT_EQ(parsed->fixpoint_memo, config.fixpoint_memo);
     EXPECT_EQ(parsed->physical_fastpaths, config.physical_fastpaths);
     EXPECT_EQ(parsed->rule_index, config.rule_index);
+    EXPECT_EQ(parsed->egraph, config.egraph);
     EXPECT_EQ(parsed->Name(), config.Name());
   }
   EXPECT_FALSE(ParsePipelineConfig("warp-drive").ok());
