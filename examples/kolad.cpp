@@ -5,7 +5,7 @@
 // optimizes each request under its QoS tier's resource envelope, and
 // answers repeated query shapes from the plan cache.
 //
-//   kolad --port 7070 --jobs 4 &
+//   kolad --port 7070 --jobs 4 --snapshot-path /var/tmp/kola.snap &
 //   printf 'Q gold oql select p.name from p in P\n' | nc 127.0.0.1 7070
 //
 // Protocol (one request per line; final response line starts OK or ERR):
@@ -19,11 +19,17 @@
 //
 // Crash-free by construction: malformed input, oversized lines, exhausted
 // budgets and dropped peers all degrade to per-request or per-connection
-// errors.
+// errors. Crash-RECOVERABLE with --snapshot-path: the plan cache is
+// periodically checkpointed (atomic tmp+rename, per-entry checksums) and
+// restored on the next start, so a SIGKILL costs warm state only since the
+// last snapshot interval. SIGINT/SIGTERM and SHUTDOWN run the graceful
+// path: drain in-flight connections, take a final snapshot, exit.
 
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -53,6 +59,9 @@ void Usage(const char* argv0) {
       "usage: %s [--port N] [--jobs N] [--handlers N] [--cache-capacity N]\n"
       "          [--max-inflight N] [--world-scale N] [--seed N] "
       "[--no-cache]\n"
+      "          [--snapshot-path FILE] [--snapshot-interval-ms N]\n"
+      "          [--drain-ms N] [--read-deadline-ms N] "
+      "[--write-deadline-ms N]\n"
       "  --port N            TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
       "  --jobs N            concurrent optimizations (default 2)\n"
       "  --handlers N        concurrently served connections (default 8)\n"
@@ -62,7 +71,18 @@ void Usage(const char* argv0) {
       "0 = off\n"
       "  --world-scale N     catalog size multiplier (default 1)\n"
       "  --seed N            world seed (default 42)\n"
-      "  --no-cache          disable the plan cache\n",
+      "  --no-cache          disable the plan cache\n"
+      "  --snapshot-path FILE      persist the plan cache here; restored on\n"
+      "                            startup (default off)\n"
+      "  --snapshot-interval-ms N  periodic snapshot cadence, 0 = only on\n"
+      "                            shutdown (default 5000)\n"
+      "  --drain-ms N        graceful-drain deadline on shutdown "
+      "(default 5000)\n"
+      "  --read-deadline-ms N   cut a connection that sends no complete\n"
+      "                         request within N ms, 0 = off "
+      "(default 30000)\n"
+      "  --write-deadline-ms N  drop a peer that stops reading for N ms,\n"
+      "                         0 = off (default 10000)\n",
       argv0);
 }
 
@@ -78,8 +98,13 @@ int main(int argc, char** argv) {
   service_options.jobs = 2;
   ServerOptions server_options;
   server_options.handler_threads = 8;
+  server_options.read_deadline_ms = 30'000;
+  server_options.write_deadline_ms = 10'000;
   int64_t world_scale = 1;
   uint64_t world_seed = 42;
+  std::string snapshot_path;
+  int64_t snapshot_interval_ms = 5'000;
+  int64_t drain_ms = 5'000;
 
   // Every numeric flag goes through the validated ParseInt64InRange helper
   // (shared with kolaverify): junk or out-of-range values are a usage
@@ -120,6 +145,21 @@ int main(int argc, char** argv) {
           int64_flag(i++, 0, int64_t{1} << 62));
     } else if (arg == "--no-cache") {
       service_options.cache_enabled = false;
+    } else if (arg == "--snapshot-path") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kolad: --snapshot-path needs a value\n");
+        Usage(argv[0]);
+        return 1;
+      }
+      snapshot_path = argv[++i];
+    } else if (arg == "--snapshot-interval-ms") {
+      snapshot_interval_ms = int64_flag(i++, 0, int64_t{1} << 40);
+    } else if (arg == "--drain-ms") {
+      drain_ms = int64_flag(i++, 0, int64_t{1} << 40);
+    } else if (arg == "--read-deadline-ms") {
+      server_options.read_deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
+    } else if (arg == "--write-deadline-ms") {
+      server_options.write_deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -139,13 +179,32 @@ int main(int argc, char** argv) {
   PropertyStore properties = PropertyStore::Default();
 
   OptimizationService service(db.get(), &properties, service_options);
+
+  // Restore BEFORE serving traffic: warm hits are available from the first
+  // request, and restore never races Handle's interning.
+  if (!snapshot_path.empty()) {
+    SnapshotRestoreReport restore = service.RestoreSnapshot(snapshot_path);
+    if (restore.status.ok() || restore.status.code() == StatusCode::kNotFound) {
+      std::printf("kolad restored %llu plans (%llu skipped) from %s\n",
+                  static_cast<unsigned long long>(restore.restored),
+                  static_cast<unsigned long long>(restore.skipped),
+                  snapshot_path.c_str());
+    } else {
+      std::printf("kolad restored 0 plans (snapshot unreadable: %s)\n",
+                  restore.status.ToString().c_str());
+    }
+    std::fflush(stdout);
+  }
+
   SocketServer server(&service, server_options);
+  service.set_extra_stats([&server] { return server.StatsLine(); });
   if (Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "kolad: %s\n", status.ToString().c_str());
     return 1;
   }
 
-  // SIGINT/SIGTERM stop the daemon as cleanly as the SHUTDOWN verb.
+  // SIGINT/SIGTERM run the same graceful path as the SHUTDOWN verb: wake
+  // Wait(), then drain + snapshot below.
   if (pipe(g_signal_pipe) == 0) {
     std::signal(SIGINT, OnSignal);
     std::signal(SIGTERM, OnSignal);
@@ -154,14 +213,54 @@ int main(int argc, char** argv) {
     char byte;
     if (g_signal_pipe[0] >= 0 &&
         read(g_signal_pipe[0], &byte, 1) > 0) {
-      server.Stop();  // sets the done flag; Wait() returns
+      server.RequestShutdown();
     }
   });
+
+  // Periodic checkpoints bound how much warm state a SIGKILL can cost.
+  std::mutex snapshot_mu;
+  std::condition_variable snapshot_cv;
+  bool snapshot_done = false;
+  std::thread snapshotter;
+  if (!snapshot_path.empty() && snapshot_interval_ms > 0) {
+    snapshotter = std::thread([&] {
+      std::unique_lock<std::mutex> lock(snapshot_mu);
+      while (!snapshot_cv.wait_for(
+          lock, std::chrono::milliseconds(snapshot_interval_ms),
+          [&] { return snapshot_done; })) {
+        lock.unlock();
+        if (Status s = service.SaveSnapshot(snapshot_path); !s.ok()) {
+          std::fprintf(stderr, "kolad: %s\n", s.ToString().c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
 
   std::printf("kolad listening on 127.0.0.1:%d\n", server.port());
   std::fflush(stdout);
 
   server.Wait();
+
+  // Graceful shutdown: stop accepting and let in-flight requests finish
+  // (their plans land in the cache), then checkpoint that final state.
+  if (!server.Drain(drain_ms)) {
+    std::fprintf(stderr, "kolad: drain deadline expired; dropping "
+                         "stragglers\n");
+  }
+  if (snapshotter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu);
+      snapshot_done = true;
+    }
+    snapshot_cv.notify_all();
+    snapshotter.join();
+  }
+  if (!snapshot_path.empty()) {
+    if (Status s = service.SaveSnapshot(snapshot_path); !s.ok()) {
+      std::fprintf(stderr, "kolad: %s\n", s.ToString().c_str());
+    }
+  }
   server.Stop();
 
   // Unblock and join the watcher whichever path stopped us.
@@ -175,12 +274,15 @@ int main(int argc, char** argv) {
 
   ServiceStats stats = service.stats();
   std::printf("kolad served %llu requests (%llu parse errors, %llu shed); "
-              "cache hits=%llu misses=%llu evictions=%llu\n",
+              "cache hits=%llu misses=%llu evictions=%llu; "
+              "snapshots=%llu restored=%llu\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.parse_errors),
               static_cast<unsigned long long>(stats.shed),
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.misses),
-              static_cast<unsigned long long>(stats.cache.evictions));
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.snapshot_writes),
+              static_cast<unsigned long long>(stats.restored_entries));
   return 0;
 }

@@ -11,20 +11,28 @@
 //   kolaload --port 7070 --clients 4 --requests 100 --shapes 8
 //            --min-hit-rate 90 --check-identity --shutdown
 //
-// Exit status 0 iff every request succeeded and every assertion held.
+// Transient failures -- connection refused or reset, the daemon shedding
+// load, an injected socket fault -- are retried with capped exponential
+// backoff and seeded jitter (--max-retries, --seed), so a chaos run under
+// KOLA_FAULTS only fails when the daemon stays broken. Exit status 0 iff
+// every request (eventually) succeeded and every assertion held.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parse_number.h"
+#include "common/random.h"
 
 using namespace kola;
 
@@ -103,6 +111,78 @@ class Conn {
   std::string buffer_;
 };
 
+/// A Conn that survives transient failure: connection refused/reset and
+/// retryable protocol errors (UNAVAILABLE, admission shed) reconnect and
+/// resend with capped exponential backoff + jitter. The jitter stream is
+/// seeded per client (Rng::Child), so a soak run's retry timing is
+/// reproducible from --seed.
+class RetryingConn {
+ public:
+  RetryingConn(int port, int max_retries, Rng rng,
+               std::atomic<uint64_t>* retries)
+      : port_(port),
+        max_retries_(max_retries),
+        rng_(rng),
+        retries_(retries) {}
+
+  /// One request end to end: send the line, read its response block. Only
+  /// returns false once max_retries consecutive attempts failed.
+  bool Request(const std::string& line, std::string* final_line,
+               std::string* body = nullptr) {
+    for (int attempt = 0;; ++attempt) {
+      if (conn_ == nullptr) {
+        auto fresh = std::make_unique<Conn>();
+        if (fresh->Connect(port_)) conn_ = std::move(fresh);
+      }
+      if (conn_ != nullptr) {
+        if (body != nullptr) body->clear();
+        if (conn_->SendLine(line) && conn_->ReadBlock(final_line, body)) {
+          if (!Retryable(*final_line)) return true;
+        } else {
+          // Peer vanished mid-request (reset, injected recv fault, daemon
+          // restart); the connection is unusable and must be rebuilt.
+          conn_.reset();
+        }
+      }
+      if (attempt >= max_retries_) return false;
+      retries_->fetch_add(1);
+      Backoff(attempt);
+    }
+  }
+
+  /// Fire-and-forget (QUIT): best effort, no retry.
+  void SendLine(const std::string& line) {
+    if (conn_ != nullptr) conn_->SendLine(line);
+  }
+
+ private:
+  static bool Retryable(const std::string& response) {
+    // UNAVAILABLE is the transient-failure code by contract (injected
+    // faults, dead workers); a shed is the daemon asking us to back off.
+    if (response.rfind("ERR UNAVAILABLE", 0) == 0) return true;
+    return response.rfind("ERR RESOURCE_EXHAUSTED", 0) == 0 &&
+           response.find("shed") != std::string::npos;
+  }
+
+  /// Full-jitter exponential backoff: sleep uniform in (0, min(cap,
+  /// base * 2^attempt)] so colliding clients decorrelate.
+  void Backoff(int attempt) {
+    const int64_t kBaseMs = 10;
+    const int64_t kCapMs = 1'000;
+    const int64_t ceiling = std::min(kCapMs, kBaseMs << std::min(attempt, 7));
+    const int64_t sleep_ms =
+        1 + static_cast<int64_t>(rng_.NextDouble() *
+                                 static_cast<double>(ceiling));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+
+  int port_;
+  int max_retries_;
+  Rng rng_;
+  std::atomic<uint64_t>* retries_;
+  std::unique_ptr<Conn> conn_;
+};
+
 /// Deterministic OQL shape pool: template rotated by index, the constant
 /// keeps each shape structurally distinct.
 std::string ShapeQuery(int64_t shape) {
@@ -127,6 +207,7 @@ struct Totals {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> retries{0};
 };
 
 /// Parses "OK <hit> <usec>\t<payload>"; returns false on ERR.
@@ -149,6 +230,8 @@ int main(int argc, char** argv) {
   int64_t shapes = 8;
   std::string tier = "gold";
   int64_t min_hit_rate = -1;
+  int64_t max_retries = 5;
+  uint64_t seed = 1;
   bool check_identity = false;
   bool shutdown_daemon = false;
   bool dump_stats = false;
@@ -181,6 +264,10 @@ int main(int argc, char** argv) {
       tier = argv[++i];
     } else if (arg == "--min-hit-rate") {
       min_hit_rate = int64_flag(i++, 0, 100);
+    } else if (arg == "--max-retries") {
+      max_retries = int64_flag(i++, 0, 1'000);
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(int64_flag(i++, 0, int64_t{1} << 62));
     } else if (arg == "--check-identity") {
       check_identity = true;
     } else if (arg == "--shutdown") {
@@ -197,20 +284,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  Totals totals;
+  const Rng root(seed);
+  // Child-stream indices: clients take 0..clients-1, the warmup and
+  // control connections take fixed high indices so client count does not
+  // shift their jitter.
+  const uint64_t kWarmStream = 1'000'000;
+  const uint64_t kControlStream = 1'000'001;
+
   // Warmup: one pass over the shape pool on a dedicated connection fills
   // the cache, so the measured phase's hit rate is the steady state.
   {
-    Conn warm;
-    if (!warm.Connect(port)) {
-      std::fprintf(stderr, "kolaload: cannot connect to 127.0.0.1:%d\n",
-                   port);
-      return 1;
-    }
+    RetryingConn warm(port, static_cast<int>(max_retries),
+                      root.Child(kWarmStream), &totals.retries);
     for (int64_t s = 0; s < shapes; ++s) {
       std::string response;
-      if (!warm.SendLine("Q " + tier + " oql " + ShapeQuery(s)) ||
-          !warm.ReadBlock(&response)) {
-        std::fprintf(stderr, "kolaload: warmup connection died\n");
+      if (!warm.Request("Q " + tier + " oql " + ShapeQuery(s), &response)) {
+        std::fprintf(stderr,
+                     "kolaload: warmup shape %lld failed after retries\n",
+                     static_cast<long long>(s));
         return 1;
       }
       if (response.rfind("OK", 0) != 0) {
@@ -222,24 +314,21 @@ int main(int argc, char** argv) {
     warm.SendLine("QUIT");
   }
 
-  Totals totals;
   std::vector<std::thread> workers;
   for (int64_t c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
-      Conn conn;
-      if (!conn.Connect(port)) {
-        totals.errors.fetch_add(static_cast<uint64_t>(requests));
-        return;
-      }
+      RetryingConn conn(port, static_cast<int>(max_retries),
+                        root.Child(static_cast<uint64_t>(c)),
+                        &totals.retries);
       for (int64_t r = 0; r < requests; ++r) {
         // Interleave shape order per client so concurrent clients probe
         // different slots at any instant.
         int64_t shape = (r + c) % shapes;
         std::string response;
-        if (!conn.SendLine("Q " + tier + " oql " + ShapeQuery(shape)) ||
-            !conn.ReadBlock(&response)) {
+        if (!conn.Request("Q " + tier + " oql " + ShapeQuery(shape),
+                          &response)) {
           totals.errors.fetch_add(1);
-          return;
+          continue;
         }
         bool hit = false;
         if (!ParseResponse(response, &hit, nullptr)) {
@@ -256,16 +345,18 @@ int main(int argc, char** argv) {
   const uint64_t hits = totals.hits.load();
   const uint64_t misses = totals.misses.load();
   const uint64_t errors = totals.errors.load();
+  const uint64_t retries = totals.retries.load();
   const uint64_t answered = hits + misses;
   const double hit_rate =
       answered == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
                                 static_cast<double>(answered);
   std::printf("kolaload: %llu answered, %llu hits, %llu misses, %llu "
-              "errors, hit rate %.1f%%\n",
+              "errors, %llu retries, hit rate %.1f%%\n",
               static_cast<unsigned long long>(answered),
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(misses),
-              static_cast<unsigned long long>(errors), hit_rate);
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(retries), hit_rate);
 
   bool failed = errors != 0;
   if (min_hit_rate >= 0 && hit_rate < static_cast<double>(min_hit_rate)) {
@@ -274,11 +365,8 @@ int main(int argc, char** argv) {
     failed = true;
   }
 
-  Conn control;
-  if (!control.Connect(port)) {
-    std::fprintf(stderr, "kolaload: control connection failed\n");
-    return 1;
-  }
+  RetryingConn control(port, static_cast<int>(max_retries),
+                       root.Child(kControlStream), &totals.retries);
 
   if (check_identity) {
     // A warm hit (Q) and a cache-bypassing fresh optimization (F) of the
@@ -287,11 +375,10 @@ int main(int argc, char** argv) {
     for (int64_t s = 0; s < shapes; ++s) {
       std::string text = ShapeQuery(s);
       std::string warm_line, fresh_line;
-      if (!control.SendLine("Q " + tier + " oql " + text) ||
-          !control.ReadBlock(&warm_line) ||
-          !control.SendLine("F " + tier + " oql " + text) ||
-          !control.ReadBlock(&fresh_line)) {
-        std::fprintf(stderr, "kolaload: identity check connection died\n");
+      if (!control.Request("Q " + tier + " oql " + text, &warm_line) ||
+          !control.Request("F " + tier + " oql " + text, &fresh_line)) {
+        std::fprintf(stderr,
+                     "kolaload: identity check failed after retries\n");
         return 1;
       }
       bool warm_hit = false, fresh_hit = false;
@@ -322,15 +409,14 @@ int main(int argc, char** argv) {
 
   if (dump_stats) {
     std::string final_line, body;
-    if (control.SendLine("STATS") &&
-        control.ReadBlock(&final_line, &body)) {
+    if (control.Request("STATS", &final_line, &body)) {
       std::fputs(body.c_str(), stdout);
     }
   }
 
   if (shutdown_daemon) {
     std::string response;
-    if (!control.SendLine("SHUTDOWN") || !control.ReadBlock(&response) ||
+    if (!control.Request("SHUTDOWN", &response) ||
         response.rfind("OK", 0) != 0) {
       std::fprintf(stderr, "kolaload: shutdown handshake failed\n");
       failed = true;

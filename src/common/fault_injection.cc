@@ -27,12 +27,15 @@ double DrawUnit(uint64_t seed, FaultSite site, uint64_t index) {
   return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
-FaultInjector* process_injector = nullptr;
+// Atomic: tests install/clear a process injector around a live server
+// whose handler threads consult it concurrently.
+std::atomic<FaultInjector*> process_injector{nullptr};
 thread_local FaultInjector* thread_injector = nullptr;
 
 constexpr FaultSite kAllSites[kNumFaultSites] = {
     FaultSite::kRuleApplication, FaultSite::kStrategy, FaultSite::kIntern,
-    FaultSite::kPoolTask};
+    FaultSite::kPoolTask,        FaultSite::kAccept,   FaultSite::kRecv,
+    FaultSite::kSend};
 
 }  // namespace
 
@@ -46,6 +49,12 @@ const char* FaultSiteName(FaultSite site) {
       return "intern";
     case FaultSite::kPoolTask:
       return "pool";
+    case FaultSite::kAccept:
+      return "accept";
+    case FaultSite::kRecv:
+      return "recv";
+    case FaultSite::kSend:
+      return "send";
   }
   return "unknown";
 }
@@ -77,8 +86,9 @@ StatusOr<FaultInjector> FaultInjector::Parse(const std::string& spec,
       }
     }
     if (!known) {
-      return InvalidArgumentError("unknown fault site '" + site_name +
-                                  "' (want rule|strategy|intern|pool)");
+      return InvalidArgumentError(
+          "unknown fault site '" + site_name +
+          "' (want rule|strategy|intern|pool|accept|recv|send)");
     }
   }
   return injector;
@@ -166,13 +176,12 @@ std::string FaultInjector::spec() const {
 
 FaultInjector* ActiveFaultInjector() {
   FaultInjector* local = thread_injector;
-  return local != nullptr ? local : process_injector;
+  if (local != nullptr) return local;
+  return process_injector.load(std::memory_order_acquire);
 }
 
 FaultInjector* SetProcessFaultInjector(FaultInjector* injector) {
-  FaultInjector* previous = process_injector;
-  process_injector = injector;
-  return previous;
+  return process_injector.exchange(injector, std::memory_order_acq_rel);
 }
 
 Status LatchFaultInjectionFromEnv() {

@@ -13,17 +13,23 @@ namespace kola {
 /// Places where a fault can be injected. Each site models a distinct
 /// production failure: a rule application erroring out mid-fixpoint, a
 /// whole strategy block failing, the interner being unable to allocate
-/// (degrades to un-interned terms -- still sound), and a thread-pool
-/// worker dying at task start.
+/// (degrades to un-interned terms -- still sound), a thread-pool worker
+/// dying at task start, and the three socket-level failures the server
+/// must absorb: an accepted connection dying before it is served, a peer
+/// resetting mid-receive, and the kernel taking only part of a write.
 enum class FaultSite {
   kRuleApplication = 0,
   kStrategy,
   kIntern,
   kPoolTask,
+  kAccept,
+  kRecv,
+  kSend,
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 7;
 
-/// Stable spec name for a site ("rule", "strategy", "intern", "pool").
+/// Stable spec name for a site ("rule", "strategy", "intern", "pool",
+/// "accept", "recv", "send").
 const char* FaultSiteName(FaultSite site);
 
 /// Deterministic, seeded fault injector. Each site carries an independent
@@ -72,7 +78,7 @@ class FaultInjector {
 
  private:
   uint64_t seed_ = 0;
-  double rates_[kNumFaultSites] = {0, 0, 0, 0};
+  double rates_[kNumFaultSites] = {};
   std::atomic<uint64_t> draws_[kNumFaultSites] = {};
   std::atomic<uint64_t> injected_[kNumFaultSites] = {};
 };
@@ -84,9 +90,11 @@ class FaultInjector {
 FaultInjector* ActiveFaultInjector();
 
 /// Installs `injector` as the process-wide fallback (visible to all
-/// threads, including pool workers). Pass nullptr to clear. Returns the
-/// previous injector. Test/CLI hook; not thread-safe against concurrent
-/// injection-point traffic on other threads.
+/// threads, including pool workers and server handlers). Pass nullptr to
+/// clear. Returns the previous injector. The pointer swap is atomic, so
+/// installing/clearing around live traffic is race-free; the injector
+/// itself must be fully configured before it is installed and must
+/// outlive any thread that may still draw from it.
 FaultInjector* SetProcessFaultInjector(FaultInjector* injector);
 
 /// Latches the process injector from KOLA_FAULTS / KOLA_FAULT_SEED once.

@@ -92,6 +92,17 @@ void PlanCache::Clear() {
   stats_.entries = 0;
 }
 
+std::vector<PlanCacheEntry> PlanCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanCacheEntry> out;
+  out.reserve(index_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.term == nullptr) continue;  // freed by eviction, not yet reused
+    out.push_back(PlanCacheEntry{slot.key, slot.term, slot.payload});
+  }
+  return out;
+}
+
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats snapshot = stats_;

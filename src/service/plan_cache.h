@@ -37,6 +37,14 @@ struct PlanCacheStats {
   int64_t bytes = 0;  // payload + key-term footprint of live entries
 };
 
+/// One live entry, copied out for snapshotting: the key, an owning
+/// reference to the canonical key term, and the cached payload.
+struct PlanCacheEntry {
+  PlanCacheKey key;
+  TermPtr term;
+  std::string payload;
+};
+
 /// A capacity-bounded map from PlanCacheKey to a serialized optimization
 /// outcome, with the same deterministic second-chance (clock) eviction as
 /// FixpointCache: a hit sets the entry's referenced bit, and at capacity
@@ -75,6 +83,12 @@ class PlanCache {
   /// wants the memory back immediately instead of waiting for the clock
   /// hand to recycle stale-version entries.
   void Clear();
+
+  /// Copies every live entry in slot (insertion-ring) order, so two
+  /// snapshots of the same operation sequence list entries identically.
+  /// Taken under the cache lock; payloads and term references are copies,
+  /// safe to serialize while other threads keep hitting the cache.
+  std::vector<PlanCacheEntry> Entries() const;
 
   PlanCacheStats stats() const;
   size_t size() const;

@@ -1,0 +1,292 @@
+#include "service/plan_cache_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/parse_number.h"
+#include "term/term.h"
+
+namespace kola {
+
+namespace {
+
+constexpr std::string_view kMagic = "KOLASNAP 1 ";
+constexpr std::string_view kTrailerMagic = "KOLASNAP-END ";
+
+std::string Hex(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+bool ParseHex(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+/// The per-entry integrity check: FNV-1a over the version rendering, the
+/// term text and the payload, with separators so field boundaries are part
+/// of the digest (a byte migrating between term and payload changes it).
+uint64_t EntryChecksum(const PlanSnapshotEntry& entry) {
+  uint64_t h = StableStringHash(std::to_string(entry.catalog_version));
+  h = StableHashCombine(h, StableStringHash(entry.term_text));
+  h = StableHashCombine(h, StableStringHash(entry.payload));
+  return h;
+}
+
+/// Pops the next '\n'-terminated line off `*rest`; false at end of data
+/// (an unterminated tail is truncation, not a line).
+bool TakeLine(std::string_view* rest, std::string_view* line) {
+  size_t newline = rest->find('\n');
+  if (newline == std::string_view::npos) return false;
+  *line = rest->substr(0, newline);
+  rest->remove_prefix(newline + 1);
+  return true;
+}
+
+/// Pops an exact `n`-byte field followed by its '\n' terminator.
+bool TakeBytes(std::string_view* rest, size_t n, std::string_view* field) {
+  if (rest->size() < n + 1 || (*rest)[n] != '\n') return false;
+  *field = rest->substr(0, n);
+  rest->remove_prefix(n + 1);
+  return true;
+}
+
+/// Splits a header/entry line on single spaces; keeps it strict so a
+/// flipped byte in the framing is a parse failure, not a misread.
+std::vector<std::string_view> Fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  while (!line.empty()) {
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      out.push_back(line);
+      break;
+    }
+    out.push_back(line.substr(0, space));
+    line.remove_prefix(space + 1);
+  }
+  return out;
+}
+
+bool TakeTagged(std::string_view field, std::string_view tag,
+                std::string_view* value) {
+  if (field.substr(0, tag.size()) != tag) return false;
+  *value = field.substr(tag.size());
+  return true;
+}
+
+}  // namespace
+
+std::string EncodePlanSnapshot(const PlanSnapshot& snapshot) {
+  std::string out;
+  size_t bytes = 128;
+  for (const PlanSnapshotEntry& entry : snapshot.entries) {
+    bytes += entry.term_text.size() + entry.payload.size() + 64;
+  }
+  out.reserve(bytes);
+  out += kMagic;
+  out += "fp=" + Hex(snapshot.rule_fingerprint);
+  out += " version=" + std::to_string(snapshot.catalog_version);
+  out += " entries=" + std::to_string(snapshot.entries.size());
+  out += '\n';
+  uint64_t file_checksum = StableStringHash("kolasnap");
+  for (const PlanSnapshotEntry& entry : snapshot.entries) {
+    uint64_t checksum = EntryChecksum(entry);
+    file_checksum = StableHashCombine(file_checksum, checksum);
+    out += "E " + std::to_string(entry.catalog_version) + ' ' +
+           std::to_string(entry.term_text.size()) + ' ' +
+           std::to_string(entry.payload.size()) + ' ' + Hex(checksum) + '\n';
+    out += entry.term_text;
+    out += '\n';
+    out += entry.payload;
+    out += '\n';
+  }
+  out += kTrailerMagic;
+  out += "entries=" + std::to_string(snapshot.entries.size());
+  out += " checksum=" + Hex(file_checksum);
+  out += '\n';
+  return out;
+}
+
+PlanSnapshot DecodePlanSnapshot(std::string_view data,
+                                SnapshotReadReport* report) {
+  PlanSnapshot snapshot;
+  SnapshotReadReport local;
+  SnapshotReadReport& r = report != nullptr ? *report : local;
+  r = SnapshotReadReport{};
+
+  std::string_view rest = data;
+  std::string_view line;
+  // Header: magic + fingerprint + version + declared entry count. A
+  // snapshot whose header does not validate is unusable -- cold start,
+  // one counted skip.
+  auto bad_header = [&]() -> PlanSnapshot {
+    r.skipped += 1;
+    return PlanSnapshot{};
+  };
+  if (!TakeLine(&rest, &line)) return bad_header();
+  if (line.substr(0, kMagic.size()) != kMagic) return bad_header();
+  std::vector<std::string_view> fields = Fields(line.substr(kMagic.size()));
+  std::string_view fp_text, version_text, entries_text;
+  if (fields.size() != 3 || !TakeTagged(fields[0], "fp=", &fp_text) ||
+      !TakeTagged(fields[1], "version=", &version_text) ||
+      !TakeTagged(fields[2], "entries=", &entries_text)) {
+    return bad_header();
+  }
+  if (!ParseHex(fp_text, &snapshot.rule_fingerprint)) return bad_header();
+  auto version = ParseUint64(version_text);
+  auto declared = ParseUint64(entries_text);
+  if (!version.ok() || !declared.ok()) return bad_header();
+  snapshot.catalog_version = version.value();
+  r.header_ok = true;
+  r.entries_declared = declared.value();
+
+  uint64_t file_checksum = StableStringHash("kolasnap");
+  while (r.entries_read + r.skipped < r.entries_declared) {
+    if (!TakeLine(&rest, &line)) break;  // truncated mid-stream
+    std::vector<std::string_view> f = Fields(line);
+    if (f.size() != 5 || f[0] != "E") break;  // framing lost; cannot resync
+    auto entry_version = ParseUint64(f[1]);
+    auto term_bytes = ParseUint64(f[2]);
+    auto payload_bytes = ParseUint64(f[3]);
+    uint64_t declared_checksum = 0;
+    if (!entry_version.ok() || !term_bytes.ok() || !payload_bytes.ok() ||
+        !ParseHex(f[4], &declared_checksum)) {
+      break;
+    }
+    // An absurd length is corruption, and trusting it would mis-slice the
+    // rest of the stream.
+    if (term_bytes.value() > rest.size() ||
+        payload_bytes.value() > rest.size()) {
+      break;
+    }
+    std::string_view term_text, payload;
+    if (!TakeBytes(&rest, static_cast<size_t>(term_bytes.value()),
+                   &term_text) ||
+        !TakeBytes(&rest, static_cast<size_t>(payload_bytes.value()),
+                   &payload)) {
+      break;
+    }
+    PlanSnapshotEntry entry;
+    entry.catalog_version = entry_version.value();
+    entry.term_text = std::string(term_text);
+    entry.payload = std::string(payload);
+    uint64_t checksum = EntryChecksum(entry);
+    if (checksum != declared_checksum) {
+      // Bit rot inside this entry only; framing was consistent, so the
+      // stream continues at the next entry.
+      r.skipped += 1;
+      continue;
+    }
+    file_checksum = StableHashCombine(file_checksum, checksum);
+    snapshot.entries.push_back(std::move(entry));
+    r.entries_read += 1;
+  }
+  // Whatever was declared but never validated is skipped (truncation).
+  if (r.entries_read + r.skipped < r.entries_declared) {
+    r.skipped = r.entries_declared - r.entries_read;
+  }
+
+  // Trailer: count and chained checksum. Its absence (truncation) or
+  // mismatch is counted, but entries that individually validated are
+  // still good -- their own checksums vouch for them.
+  if (TakeLine(&rest, &line) &&
+      line.substr(0, kTrailerMagic.size()) == kTrailerMagic) {
+    std::vector<std::string_view> f = Fields(line.substr(kTrailerMagic.size()));
+    std::string_view count_text, checksum_text;
+    uint64_t trailer_checksum = 0;
+    if (f.size() == 2 && TakeTagged(f[0], "entries=", &count_text) &&
+        TakeTagged(f[1], "checksum=", &checksum_text) &&
+        ParseHex(checksum_text, &trailer_checksum)) {
+      auto count = ParseUint64(count_text);
+      r.trailer_ok = count.ok() && count.value() == r.entries_read &&
+                     trailer_checksum == file_checksum && r.skipped == 0;
+    }
+  }
+  // A file whose trailer does not validate was damaged somewhere, even if
+  // every entry that was read checked out individually: register at least
+  // one skip so restore counters always flag corruption.
+  if (!r.trailer_ok && r.skipped == 0) r.skipped += 1;
+  return snapshot;
+}
+
+Status WritePlanSnapshotFile(const std::string& path,
+                             const PlanSnapshot& snapshot) {
+  const std::string encoded = EncodePlanSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("snapshot: fopen(" + tmp +
+                         "): " + std::strerror(errno));
+  }
+  auto fail = [&](const char* what) {
+    Status status = InternalError("snapshot: " + std::string(what) + "(" +
+                                  tmp + "): " + std::strerror(errno));
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return status;
+  };
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file) !=
+      encoded.size()) {
+    return fail("fwrite");
+  }
+  if (std::fflush(file) != 0) return fail("fflush");
+  // Durability, not just atomicity: the rename below publishes the file,
+  // fsync makes sure its bytes reached the disk first.
+  if (::fsync(::fileno(file)) != 0) return fail("fsync");
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("snapshot: fclose(" + tmp +
+                         "): " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = InternalError("snapshot: rename(" + tmp + " -> " + path +
+                                  "): " + std::strerror(errno));
+    std::remove(tmp.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<PlanSnapshot> ReadPlanSnapshotFile(const std::string& path,
+                                            SnapshotReadReport* report) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return NotFoundError("snapshot: no file at " + path);
+    }
+    return InternalError("snapshot: fopen(" + path +
+                         "): " + std::strerror(errno));
+  }
+  std::string data;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    data.append(chunk, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return InternalError("snapshot: fread(" + path + ") failed");
+  }
+  return DecodePlanSnapshot(data, report);
+}
+
+}  // namespace kola

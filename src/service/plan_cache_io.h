@@ -1,0 +1,85 @@
+#ifndef KOLA_SERVICE_PLAN_CACHE_IO_H_
+#define KOLA_SERVICE_PLAN_CACHE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace kola {
+
+/// On-disk snapshot of the plan cache: what survives a `kill -9`.
+///
+/// A cached plan is a pure function of (query shape, rule set, catalog
+/// version), so an entry persists exactly the limbs of its PlanCacheKey --
+/// the canonical key term's *rendering* (TermIds are process-local and
+/// meaningless across restarts; the rendering re-parses and re-interns into
+/// the new process's key interner), the catalog version the entry was
+/// cached under -- plus the payload bytes verbatim. The rule fingerprint
+/// and snapshot-time catalog version ride in the header.
+///
+/// Format (version 1), line-oriented like the wire protocol; term
+/// renderings and payloads never contain a newline by construction:
+///
+///   KOLASNAP 1 fp=<hex fingerprint> version=<N> entries=<N>
+///   E <catalog_version> <term_bytes> <payload_bytes> <hex checksum>
+///   <term rendering>
+///   <payload>
+///   ...one E block per entry...
+///   KOLASNAP-END entries=<N> checksum=<hex file checksum>
+///
+/// Every entry carries an FNV-1a checksum over its version + term +
+/// payload; the trailer carries a checksum chained over all entry
+/// checksums. Decoding is *tolerant by design*: a corrupt or truncated
+/// entry is skipped and counted, never an abort -- the daemon starts cold
+/// (or partially warm) instead of not starting.
+struct PlanSnapshotEntry {
+  uint64_t catalog_version = 0;
+  std::string term_text;  // canonical key-term rendering (Term::ToString)
+  std::string payload;    // cached ServiceResponse payload, verbatim
+};
+
+struct PlanSnapshot {
+  uint64_t rule_fingerprint = 0;
+  uint64_t catalog_version = 0;  // service catalog version at snapshot time
+  std::vector<PlanSnapshotEntry> entries;
+};
+
+/// What decoding found, for counters and CI assertions. `skipped` counts
+/// corrupt/truncated/undeclared entries (a malformed header or trailer
+/// counts at least one); decoding itself never fails.
+struct SnapshotReadReport {
+  bool header_ok = false;
+  bool trailer_ok = false;
+  uint64_t entries_declared = 0;
+  uint64_t entries_read = 0;
+  uint64_t skipped = 0;
+};
+
+/// Serializes a snapshot to the format above.
+std::string EncodePlanSnapshot(const PlanSnapshot& snapshot);
+
+/// Parses as much of `data` as validates. Entries whose checksum, lengths
+/// or framing are broken are dropped and counted in `report->skipped`;
+/// a hopeless header yields an empty snapshot with `skipped >= 1`.
+PlanSnapshot DecodePlanSnapshot(std::string_view data,
+                                SnapshotReadReport* report);
+
+/// Atomically writes `snapshot` to `path`: encode to `path + ".tmp"`,
+/// flush, rename. A crash mid-write can never leave a half-written file
+/// under the real name.
+Status WritePlanSnapshotFile(const std::string& path,
+                             const PlanSnapshot& snapshot);
+
+/// Reads and decodes `path`. NOT_FOUND when the file does not exist (a
+/// normal cold start); corrupt *content* is not an error -- it surfaces
+/// through `report` with whatever entries survived.
+StatusOr<PlanSnapshot> ReadPlanSnapshotFile(const std::string& path,
+                                            SnapshotReadReport* report);
+
+}  // namespace kola
+
+#endif  // KOLA_SERVICE_PLAN_CACHE_IO_H_

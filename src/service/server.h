@@ -27,17 +27,45 @@ struct ServerOptions {
   /// connection is closed (a stream that never sends '\n' cannot pin a
   /// handler's buffer forever).
   size_t max_line_bytes = 1 << 20;
+  /// Read deadline, the slow-loris defense: a connection that does not
+  /// deliver a COMPLETE line within this many milliseconds of acquiring
+  /// its handler slot (or of its previous line) is answered with
+  /// DEADLINE_EXCEEDED and closed. Dribbling one byte at a time does not
+  /// reset the clock -- only a finished request does. 0 disables.
+  int64_t read_deadline_ms = 0;
+  /// Write deadline: one response (one SendAll call) that cannot be fully
+  /// handed to the kernel within this many milliseconds -- a peer that
+  /// stopped reading -- drops the connection. 0 disables.
+  int64_t write_deadline_ms = 0;
+};
+
+/// Where the server is in its lifecycle, surfaced in STATS.
+enum class DrainState { kServing = 0, kDraining = 1, kStopped = 2 };
+
+/// Socket-level counters, all monotonic since Start().
+struct ServerStats {
+  uint64_t connections = 0;       // accepted (including later failures)
+  uint64_t accept_failures = 0;   // accept errors + injected accept faults
+  uint64_t read_timeouts = 0;     // connections cut by the read deadline
+  uint64_t write_timeouts = 0;    // connections cut by the write deadline
+  uint64_t resets = 0;            // recv errors + injected recv resets
+  uint64_t send_failures = 0;     // peer vanished mid-write
+  uint64_t short_writes = 0;      // partial send() iterations (incl. injected)
+  DrainState drain_state = DrainState::kServing;
 };
 
 /// The network skin of OptimizationService: a line-oriented TCP server on
 /// 127.0.0.1. One request per '\n'-terminated line, one response block per
 /// request (final response line always starts with OK or ERR). Connection
 /// verbs handled here rather than in the service: QUIT closes the
-/// connection, SHUTDOWN stops the whole server (Wait returns).
+/// connection, SHUTDOWN asks the whole server to stop (Wait returns; the
+/// owner then drains and stops).
 ///
 /// Robustness contract: malformed input, oversized lines, dropped
-/// connections and write failures degrade to per-connection errors -- the
-/// daemon never aborts or leaks a handler.
+/// connections, stalled peers (read/write deadlines) and write failures
+/// degrade to per-connection errors -- the daemon never aborts or leaks a
+/// handler. Fault-injection sites `accept`, `recv` and `send` simulate the
+/// same failures deterministically for chaos runs.
 class SocketServer {
  public:
   /// `service` is borrowed and must outlive the server.
@@ -51,8 +79,20 @@ class SocketServer {
   /// cannot be bound.
   Status Start();
 
-  /// Blocks until Stop() is called or a client sends SHUTDOWN.
+  /// Blocks until Stop() is called, a client sends SHUTDOWN, or
+  /// RequestShutdown() is invoked (e.g. from a signal watcher).
   void Wait();
+
+  /// Wakes Wait() without tearing anything down, so the owner can run the
+  /// graceful path: Wait() -> Drain() -> snapshot -> Stop(). Idempotent.
+  void RequestShutdown();
+
+  /// Graceful drain: stops accepting, half-closes every live connection
+  /// for reading (in-flight requests finish and their responses are
+  /// sent; no new requests are read), then waits up to `deadline_ms` for
+  /// handlers to retire. Returns true if every connection drained within
+  /// the deadline. Stop() afterwards reaps stragglers. Idempotent.
+  bool Drain(int64_t deadline_ms);
 
   /// Idempotent: closes the listening socket and every live connection,
   /// then joins all threads.
@@ -65,11 +105,19 @@ class SocketServer {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  ServerStats stats() const;
+  /// One "S server ..." STATS line; wire into
+  /// OptimizationService::set_extra_stats.
+  std::string StatsLine() const;
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
-  /// False when the peer vanished mid-write; the caller drops the
-  /// connection (never a signal: sends pass MSG_NOSIGNAL).
+  /// False when the peer vanished mid-write or the write deadline expired;
+  /// the caller drops the connection (never a signal: sends pass
+  /// MSG_NOSIGNAL). Handles EINTR and short writes explicitly, and clamps
+  /// writes to 1 byte under an injected `send` fault so the
+  /// short-write path is exercised deterministically.
   bool SendAll(int fd, const std::string& text);
 
   OptimizationService* service_;
@@ -78,7 +126,15 @@ class SocketServer {
   std::atomic<int> listen_fd_{-1};
   std::atomic<int> port_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<int> drain_state_{0};  // DrainState
+
   std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> accept_failures_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<uint64_t> write_timeouts_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> send_failures_{0};
+  std::atomic<uint64_t> short_writes_{0};
 
   std::thread accept_thread_;
   std::mutex threads_mu_;  // guards the three members below

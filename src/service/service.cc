@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "oql/oql.h"
 #include "rules/catalog.h"
+#include "service/plan_cache_io.h"
 #include "term/parser.h"
 #include "translate/translate.h"
 
@@ -220,6 +221,109 @@ uint64_t OptimizationService::BumpCatalogVersion() {
   cache_.Clear();
   key_interner_.Compact();
   return version;
+}
+
+Status OptimizationService::SaveSnapshot(const std::string& path) {
+  PlanSnapshot snapshot;
+  snapshot.rule_fingerprint = rule_fingerprint_;
+  snapshot.catalog_version = catalog_version();
+  for (const PlanCacheEntry& entry : cache_.Entries()) {
+    PlanSnapshotEntry out;
+    out.catalog_version = entry.key.catalog_version;
+    // TermIds are process-local; the canonical rendering is the portable
+    // key. Restore re-parses it and re-interns through the (fresh) key
+    // interner, which re-derives the same canonical shape.
+    out.term_text = entry.term->ToString();
+    out.payload = entry.payload;
+    snapshot.entries.push_back(std::move(out));
+  }
+  Status status = WritePlanSnapshotFile(path, snapshot);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (status.ok()) {
+      ++stats_.snapshot_writes;
+      stats_.snapshot_last_entries = snapshot.entries.size();
+    } else {
+      ++stats_.snapshot_write_failures;
+    }
+  }
+  return status;
+}
+
+SnapshotRestoreReport OptimizationService::RestoreSnapshot(
+    const std::string& path) {
+  SnapshotRestoreReport report;
+  SnapshotReadReport read_report;
+  StatusOr<PlanSnapshot> loaded = ReadPlanSnapshotFile(path, &read_report);
+  if (!loaded.ok()) {
+    // NOT_FOUND is the ordinary cold start; an I/O error is reported but
+    // still non-fatal -- the daemon simply starts cold.
+    report.status = loaded.status();
+    report.catalog_version = catalog_version();
+    return report;
+  }
+  const PlanSnapshot& snapshot = loaded.value();
+  report.skipped = read_report.skipped;
+
+  if (snapshot.rule_fingerprint != rule_fingerprint_) {
+    // The rule catalog changed across the restart: every cached plan was
+    // computed by a different optimizer and none may be served warm.
+    report.skipped += snapshot.entries.size();
+    report.status = Status::OK();
+    report.catalog_version = catalog_version();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.restore_skipped += report.skipped;
+    }
+    return report;
+  }
+
+  // Adopt the snapshot's catalog version (monotonic max) so restored keys
+  // stay live and a post-restart BUMP still invalidates them. A fresh
+  // daemon starts at 1; the snapshot of a bumped daemon carries more.
+  uint64_t current = catalog_version_.load(std::memory_order_acquire);
+  while (snapshot.catalog_version > current &&
+         !catalog_version_.compare_exchange_weak(
+             current, snapshot.catalog_version, std::memory_order_acq_rel)) {
+  }
+  const uint64_t adopted = catalog_version();
+  report.catalog_version = adopted;
+
+  for (const PlanSnapshotEntry& entry : snapshot.entries) {
+    // An entry cached under an older catalog version was already
+    // invalidated before the crash; reviving it would serve stale plans.
+    if (entry.catalog_version != adopted) {
+      ++report.skipped;
+      continue;
+    }
+    // Same first-tag-wins discipline as Handle: parse outside any
+    // interning region, then let the key interner canonicalize.
+    StatusOr<TermPtr> parsed = [&] {
+      ScopedInterning no_interning(static_cast<TermInterner*>(nullptr));
+      return ParseQuery(entry.term_text);
+    }();
+    if (!parsed.ok()) {
+      ++report.skipped;
+      continue;
+    }
+    TermPtr canonical = key_interner_.Intern(parsed.value());
+    const TermId query_id = key_interner_.IdOf(canonical);
+    if (query_id == 0) {
+      ++report.skipped;
+      continue;
+    }
+    const PlanCacheKey key{query_id, rule_fingerprint_, adopted};
+    cache_.Insert(key, canonical, entry.payload);
+    ++report.restored;
+  }
+
+  report.status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.restored_entries += report.restored;
+    stats_.restore_skipped += report.skipped;
+  }
+  return report;
 }
 
 ServiceResponse OptimizationService::Handle(const ServiceRequest& request) {
@@ -436,6 +540,9 @@ ServiceStats OptimizationService::stats() const {
   snapshot.rule_fingerprint = rule_fingerprint_;
   snapshot.key_interner_terms = key_interner_.size();
   snapshot.key_interner_bytes = key_interner_.bytes();
+  snapshot.uptime_sec = std::chrono::duration_cast<std::chrono::seconds>(
+                            std::chrono::steady_clock::now() - start_time_)
+                            .count();
   return snapshot;
 }
 
@@ -481,6 +588,13 @@ std::string OptimizationService::StatsText() const {
   line(catalog);
   line("key_interner terms=" + std::to_string(s.key_interner_terms) +
        " bytes=" + std::to_string(s.key_interner_bytes));
+  line("snapshot writes=" + std::to_string(s.snapshot_writes) +
+       " write_failures=" + std::to_string(s.snapshot_write_failures) +
+       " last_entries=" + std::to_string(s.snapshot_last_entries) +
+       " restored=" + std::to_string(s.restored_entries) +
+       " restore_skipped=" + std::to_string(s.restore_skipped));
+  line("uptime_sec " + std::to_string(s.uptime_sec));
+  if (extra_stats_) line(extra_stats_());
   std::string peaks = "peak_bytes total=" + std::to_string(s.peak_bytes);
   for (int c = 0; c < kNumMemoryCategories; ++c) {
     peaks += " ";

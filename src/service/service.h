@@ -2,8 +2,10 @@
 #define KOLA_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -114,6 +116,23 @@ struct ServiceStats {
   uint64_t egraph_classes = 0;    // cumulative e-classes across those runs
   uint64_t egraph_rule_applications = 0;  // cumulative saturation firings
   uint64_t egraph_saturated = 0;  // runs that reached full saturation
+  /// Crash-recovery counters (zero unless a snapshot path is in use).
+  uint64_t snapshot_writes = 0;         // snapshot files successfully written
+  uint64_t snapshot_write_failures = 0;
+  uint64_t snapshot_last_entries = 0;   // entries in the latest snapshot
+  uint64_t restored_entries = 0;        // cache entries revived on restore
+  uint64_t restore_skipped = 0;         // snapshot entries rejected on restore
+  int64_t uptime_sec = 0;               // seconds since service construction
+};
+
+/// Outcome of restoring a snapshot at startup. `status` is NOT_FOUND for a
+/// normal cold start with no snapshot file, and OK whenever a file was
+/// processed -- corrupt content is never an error, it is `skipped`.
+struct SnapshotRestoreReport {
+  Status status;
+  uint64_t restored = 0;  // entries revived into the plan cache
+  uint64_t skipped = 0;   // corrupt/truncated/mismatched entries dropped
+  uint64_t catalog_version = 0;  // the service's version after adoption
 };
 
 /// Per-tier latency histogram: log2-usec buckets (bucket i counts requests
@@ -166,6 +185,22 @@ class OptimizationService {
   /// version.
   uint64_t BumpCatalogVersion();
 
+  /// Writes the current plan-cache contents to `path` (atomic
+  /// tmp-file-and-rename, per-entry checksums -- see plan_cache_io.h) so a
+  /// restarted daemon can answer warm. Safe to call while serving; counts
+  /// into snapshot_writes / snapshot_write_failures.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Restores a snapshot written by SaveSnapshot: adopts the snapshot's
+  /// catalog version (so restored keys stay live and a later BUMP still
+  /// invalidates them), re-parses each key-term rendering and re-interns
+  /// it through the shared key interner -- a restored shape's warm hit is
+  /// byte-identical to a fresh optimization by the same argument as a
+  /// never-restarted cache. Entries that fail checksum, parse, rule
+  /// fingerprint or catalog-version validation are skipped and counted,
+  /// never fatal. Call before serving traffic.
+  SnapshotRestoreReport RestoreSnapshot(const std::string& path);
+
   uint64_t catalog_version() const {
     return catalog_version_.load(std::memory_order_acquire);
   }
@@ -175,6 +210,14 @@ class OptimizationService {
   LatencyHistogram tier_latency(const std::string& tier) const;
   /// The STATS protocol body: "S <key> <value...>" lines + "OK stats".
   std::string StatsText() const;
+
+  /// Optional extra STATS line: the provider's return value is emitted as
+  /// one "S <body>" line (the SocketServer wires its socket counters in
+  /// here). Install before serving traffic; not synchronized against
+  /// concurrent StatsText calls.
+  void set_extra_stats(std::function<std::string()> provider) {
+    extra_stats_ = std::move(provider);
+  }
 
   const ServiceOptions& options() const { return options_; }
 
@@ -193,6 +236,9 @@ class OptimizationService {
   ServiceOptions options_;
   uint64_t rule_fingerprint_;
   std::atomic<uint64_t> catalog_version_{1};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+  std::function<std::string()> extra_stats_;
 
   /// Canonicalizes incoming query shapes for O(1) cache keys. Entries are
   /// kept alive by the cache's key references and compacted once eviction

@@ -11,14 +11,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "rewrite/properties.h"
 #include "service/plan_cache.h"
+#include "service/plan_cache_io.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "term/intern.h"
@@ -131,6 +136,20 @@ TEST(PlanCacheTest, ZeroCapacityIsUnbounded) {
   }
   EXPECT_EQ(cache.size(), 100u);
   EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCacheTest, EntriesExposesLiveSlots) {
+  PlanCache cache(4);
+  cache.Insert(Key(1), Q("age"), "p1");
+  cache.Insert(Key(2), Q("name"), "p2");
+  std::vector<PlanCacheEntry> entries = cache.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const PlanCacheEntry& e : entries) {
+    ASSERT_NE(e.term, nullptr);
+    EXPECT_EQ(e.payload, "p" + std::to_string(e.key.query_id));
+  }
+  cache.Clear();
+  EXPECT_TRUE(cache.Entries().empty());
 }
 
 TEST(PlanCacheTest, ConcurrentHitMissHammering) {
@@ -553,6 +572,13 @@ class TestClient {
   }
 
   bool connected() const { return connected_; }
+  int fd() const { return fd_; }
+
+  /// Raw bytes, no newline appended: for framing / slow-loris tests.
+  bool SendRaw(const std::string& bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
 
   bool Send(const std::string& line) {
     std::string framed = line + "\n";
@@ -655,6 +681,537 @@ TEST_F(ServiceTest, SocketServerEndToEnd) {
   server.Wait();
   server.Stop();
   EXPECT_GE(server.connections_served(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec (plan_cache_io)
+// ---------------------------------------------------------------------------
+
+PlanSnapshot ThreeEntrySnapshot() {
+  PlanSnapshot snapshot;
+  snapshot.rule_fingerprint = 0xfeedfacecafebeefULL;
+  snapshot.catalog_version = 3;
+  for (int i = 0; i < 3; ++i) {
+    PlanSnapshotEntry entry;
+    entry.catalog_version = 3;
+    entry.term_text = "iterate(shape" + std::to_string(i) + ")";
+    entry.payload = "payload-" + std::to_string(i) + "\twith\ttabs";
+    snapshot.entries.push_back(entry);
+  }
+  return snapshot;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "kola_" + name + "_" +
+         std::to_string(::getpid()) + ".snap";
+}
+
+TEST(PlanCacheIoTest, EncodeDecodeRoundTrip) {
+  PlanSnapshot original = ThreeEntrySnapshot();
+  SnapshotReadReport report;
+  PlanSnapshot decoded = DecodePlanSnapshot(EncodePlanSnapshot(original),
+                                            &report);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_TRUE(report.trailer_ok);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(report.entries_read, 3u);
+  EXPECT_EQ(decoded.rule_fingerprint, original.rule_fingerprint);
+  EXPECT_EQ(decoded.catalog_version, original.catalog_version);
+  ASSERT_EQ(decoded.entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.entries[i].catalog_version,
+              original.entries[i].catalog_version);
+    EXPECT_EQ(decoded.entries[i].term_text, original.entries[i].term_text);
+    EXPECT_EQ(decoded.entries[i].payload, original.entries[i].payload);
+  }
+}
+
+TEST(PlanCacheIoTest, GarbageHeaderIsColdStartWithASkip) {
+  for (const char* garbage :
+       {"", "not a snapshot at all\n", "KOLASNAP 9 fp=zz version=x\n",
+        "KOLASNAP 1 fp=0123 version=1\n" /* missing entries= field */}) {
+    SnapshotReadReport report;
+    PlanSnapshot decoded = DecodePlanSnapshot(garbage, &report);
+    EXPECT_FALSE(report.header_ok) << garbage;
+    EXPECT_GE(report.skipped, 1u) << garbage;
+    EXPECT_TRUE(decoded.entries.empty()) << garbage;
+  }
+}
+
+TEST(PlanCacheIoTest, TruncationKeepsValidatedPrefixAndCountsTheRest) {
+  std::string encoded = EncodePlanSnapshot(ThreeEntrySnapshot());
+  // Every proper prefix decodes without crashing, never yields more than
+  // the entries whose checksums validated, and always reports at least one
+  // skip (a truncated file must never look pristine).
+  for (size_t cut = 0; cut < encoded.size(); cut += 7) {
+    SnapshotReadReport report;
+    PlanSnapshot decoded = DecodePlanSnapshot(encoded.substr(0, cut), &report);
+    EXPECT_LE(decoded.entries.size(), 3u);
+    EXPECT_GE(report.skipped, 1u) << "cut=" << cut;
+    EXPECT_FALSE(report.trailer_ok) << "cut=" << cut;
+  }
+}
+
+TEST(PlanCacheIoTest, BitFlipSkipsOnlyTheDamagedEntry) {
+  PlanSnapshot original = ThreeEntrySnapshot();
+  std::string encoded = EncodePlanSnapshot(original);
+  // Corrupt one payload byte of the middle entry: same length, wrong
+  // checksum. Framing survives, so entries 0 and 2 still restore.
+  size_t at = encoded.find("payload-1");
+  ASSERT_NE(at, std::string::npos);
+  encoded[at + 8] ^= 0x20;
+  SnapshotReadReport report;
+  PlanSnapshot decoded = DecodePlanSnapshot(encoded, &report);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_FALSE(report.trailer_ok);  // the file checksum no longer matches
+  EXPECT_EQ(report.skipped, 1u);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].payload, original.entries[0].payload);
+  EXPECT_EQ(decoded.entries[1].payload, original.entries[2].payload);
+}
+
+TEST(PlanCacheIoTest, FileRoundTripAndMissingFile) {
+  const std::string path = TempPath("io_roundtrip");
+  PlanSnapshot original = ThreeEntrySnapshot();
+  ASSERT_TRUE(WritePlanSnapshotFile(path, original).ok());
+  SnapshotReadReport report;
+  StatusOr<PlanSnapshot> loaded = ReadPlanSnapshotFile(path, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(report.trailer_ok);
+  EXPECT_EQ(loaded.value().entries.size(), 3u);
+  std::remove(path.c_str());
+
+  StatusOr<PlanSnapshot> missing = ReadPlanSnapshotFile(path, nullptr);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Service snapshot/restore
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, SnapshotRestoreServesByteIdenticalWarmHits) {
+  const std::string path = TempPath("restore_identity");
+  const std::vector<std::string> queries = {
+      "select p.name from p in P where p.age > 25",
+      "select p.age from p in P",
+      "select c.name from p in P, c in p.child where c.age > 12",
+  };
+  std::vector<std::string> cold_payloads;
+  {
+    OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+    for (const std::string& q : queries) {
+      ServiceResponse r = service.Handle(Oql(q));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      cold_payloads.push_back(r.payload);
+    }
+    ASSERT_TRUE(service.SaveSnapshot(path).ok());
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.snapshot_writes, 1u);
+    EXPECT_EQ(stats.snapshot_last_entries, 3u);
+  }
+
+  // A brand-new service (fresh interner, fresh TermIds) restores the
+  // snapshot and serves every shape warm -- and byte-identical both to the
+  // pre-crash payloads and to its own fresh optimization.
+  OptimizationService revived(db_.get(), &properties_, ServiceOptions{});
+  SnapshotRestoreReport report = revived.RestoreSnapshot(path);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.restored, 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServiceResponse warm = revived.Handle(Oql(queries[i]));
+    ASSERT_TRUE(warm.status.ok());
+    EXPECT_TRUE(warm.cache_hit) << queries[i];
+    EXPECT_EQ(warm.payload, cold_payloads[i]);
+    ServiceResponse fresh = revived.Handle(Oql(queries[i], "gold", true));
+    ASSERT_TRUE(fresh.status.ok());
+    EXPECT_EQ(fresh.payload, warm.payload);
+  }
+  ServiceStats stats = revived.stats();
+  EXPECT_EQ(stats.restored_entries, 3u);
+  EXPECT_EQ(stats.restore_skipped, 0u);
+  std::string text = revived.StatsText();
+  EXPECT_NE(text.find("S snapshot writes=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("restored=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("S uptime_sec "), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, RestoreMissingSnapshotIsACleanColdStart) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SnapshotRestoreReport report =
+      service.RestoreSnapshot(TempPath("restore_missing_nonexistent"));
+  EXPECT_EQ(report.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(report.restored, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(service.Handle(Oql("select p.age from p in P")).status.ok());
+}
+
+TEST_F(ServiceTest, RestoreRejectsForeignRuleFingerprint) {
+  const std::string path = TempPath("restore_fingerprint");
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  PlanSnapshot snapshot;
+  snapshot.rule_fingerprint = service.rule_fingerprint() ^ 1;
+  snapshot.catalog_version = 1;
+  PlanSnapshotEntry entry;
+  entry.catalog_version = 1;
+  entry.term_text = "iterate(age)";
+  entry.payload = "stale plan from a different rule catalog";
+  snapshot.entries.push_back(entry);
+  ASSERT_TRUE(WritePlanSnapshotFile(path, snapshot).ok());
+
+  SnapshotRestoreReport report = service.RestoreSnapshot(path);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.restored, 0u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(service.stats().cache.entries, 0u);
+  EXPECT_EQ(service.stats().restore_skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, RestoreAdoptsCatalogVersionAndBumpStillInvalidates) {
+  const std::string path = TempPath("restore_version");
+  const std::string query = "select p.age from p in P";
+  {
+    OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+    service.BumpCatalogVersion();
+    service.BumpCatalogVersion();  // now at version 3
+    ASSERT_TRUE(service.Handle(Oql(query)).status.ok());
+    ASSERT_TRUE(service.SaveSnapshot(path).ok());
+  }
+
+  // The revived service starts at version 1; restore must adopt 3 or the
+  // restored entry would be unreachable.
+  OptimizationService revived(db_.get(), &properties_, ServiceOptions{});
+  SnapshotRestoreReport report = revived.RestoreSnapshot(path);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.restored, 1u);
+  EXPECT_EQ(report.catalog_version, 3u);
+  EXPECT_EQ(revived.catalog_version(), 3u);
+  EXPECT_TRUE(revived.Handle(Oql(query)).cache_hit);
+
+  // Invalidation survives the restart: a post-restore BUMP orphans the
+  // restored entry like any other.
+  EXPECT_EQ(revived.BumpCatalogVersion(), 4u);
+  EXPECT_FALSE(revived.Handle(Oql(query)).cache_hit);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, RestoreSkipsStaleVersionAndUnparsableEntries) {
+  const std::string path = TempPath("restore_stale");
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  PlanSnapshot snapshot;
+  snapshot.rule_fingerprint = service.rule_fingerprint();
+  snapshot.catalog_version = 2;
+  // Entry cached under an older catalog version: was invalidated before
+  // the crash, must not be revived.
+  PlanSnapshotEntry stale;
+  stale.catalog_version = 1;
+  stale.term_text = "iterate(age)";
+  stale.payload = "pre-bump plan";
+  snapshot.entries.push_back(stale);
+  // Entry whose term rendering does not parse (snapshot from a future
+  // format, or damage the checksum cannot see).
+  PlanSnapshotEntry broken;
+  broken.catalog_version = 2;
+  broken.term_text = "((((not a term";
+  broken.payload = "x";
+  snapshot.entries.push_back(broken);
+  ASSERT_TRUE(WritePlanSnapshotFile(path, snapshot).ok());
+
+  SnapshotRestoreReport report = service.RestoreSnapshot(path);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.restored, 0u);
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(service.catalog_version(), 2u);  // still adopted
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, RestoreCorruptSnapshotColdStartsWithCountedSkips) {
+  const std::string path = TempPath("restore_corrupt");
+  {
+    OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+    ASSERT_TRUE(service.Handle(
+        Oql("select p.name from p in P where p.age > 25")).status.ok());
+    ASSERT_TRUE(service.Handle(Oql("select p.age from p in P")).status.ok());
+    ASSERT_TRUE(service.SaveSnapshot(path).ok());
+  }
+  // Truncate the file to half: the daemon must start, count skips, and
+  // keep serving.
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+
+  OptimizationService revived(db_.get(), &properties_, ServiceOptions{});
+  SnapshotRestoreReport report = revived.RestoreSnapshot(path);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_GE(report.skipped, 1u);
+  EXPECT_GE(revived.stats().restore_skipped, 1u);
+  ServiceResponse r = revived.Handle(Oql("select p.age from p in P"));
+  EXPECT_TRUE(r.status.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Connection deadlines, drain, framing, and socket-level faults
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, ReadDeadlineCutsSilentClientAndFreesItsSlot) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  ServerOptions options;
+  options.handler_threads = 1;  // the silent client holds the ONLY slot
+  options.read_deadline_ms = 200;
+  SocketServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A connects and says nothing; with one handler slot, B can only be
+  // served after the read deadline evicts A.
+  TestClient silent(server.port());
+  ASSERT_TRUE(silent.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TestClient active(server.port());
+  ASSERT_TRUE(active.connected());
+  ASSERT_TRUE(active.Send("PING"));
+  std::string line;
+  ASSERT_TRUE(active.ReadLine(&line));  // would hang forever without the cut
+  EXPECT_EQ(line, "OK pong");
+
+  // The silent client was told why before the close.
+  std::string reason;
+  ASSERT_TRUE(silent.ReadLine(&reason));
+  EXPECT_EQ(reason.rfind("ERR DEADLINE_EXCEEDED", 0), 0u) << reason;
+  EXPECT_FALSE(silent.ReadLine(&reason));  // then EOF
+
+  EXPECT_GE(server.stats().read_timeouts, 1u);
+  server.Stop();
+}
+
+TEST_F(ServiceTest, DribbledBytesDoNotResetTheReadDeadline) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  ServerOptions options;
+  options.read_deadline_ms = 250;
+  SocketServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Slow loris: a byte every 100 ms, never a newline. If each byte reset
+  // an idle timer this connection would live forever; the COMPLETE-line
+  // deadline cuts it regardless of the dribble.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    if (!client.SendRaw("x")) break;  // server hung up: stop dribbling
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  // The server must have cut us off long before the 5 s dribble budget.
+  // (The diagnostic line is best effort -- a byte in flight at cut time
+  // can turn the close into a reset -- but the cut itself is guaranteed.)
+  std::string line;
+  if (client.ReadLine(&line)) {
+    EXPECT_EQ(line.rfind("ERR DEADLINE_EXCEEDED", 0), 0u) << line;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(6));
+  EXPECT_GE(server.stats().read_timeouts, 1u);
+  server.Stop();
+}
+
+TEST_F(ServiceTest, FramingEdgeCasesOverTheWire) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  ServerOptions options;
+  options.max_line_bytes = 16;
+  SocketServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::string line;
+
+  {
+    // Byte-at-a-time delivery: the framing layer reassembles "PING\n"
+    // delivered in five separate segments.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (char c : {'P', 'I', 'N', 'G', '\n'}) {
+      ASSERT_EQ(::send(client.fd(), &c, 1, MSG_NOSIGNAL), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "OK pong");
+  }
+  {
+    // CRLF framing: a Windows-ish client's "PING\r\n" is one request.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    const std::string crlf = "PING\r\n";
+    ASSERT_EQ(::send(client.fd(), crlf.data(), crlf.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(crlf.size()));
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "OK pong");
+  }
+  {
+    // A line of exactly max_line_bytes split across recvs right at the
+    // boundary, newline in a later segment: accepted (the line itself is
+    // not oversized; the buffer only exceeds the cap WITH a 17th byte).
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    const std::string padded = "            PING";  // 16 bytes after trim->PING
+    ASSERT_EQ(padded.size(), 16u);
+    ASSERT_EQ(::send(client.fd(), padded.data(), padded.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(padded.size()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(::send(client.fd(), "\n", 1, MSG_NOSIGNAL), 1);
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "OK pong");
+  }
+  {
+    // One byte over the cap without a newline: answered with an error and
+    // closed instead of buffering forever.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    const std::string overlong(17, 'x');
+    ASSERT_EQ(::send(client.fd(), overlong.data(), overlong.size(),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(overlong.size()));
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR INVALID_ARGUMENT", 0), 0u) << line;
+    EXPECT_FALSE(client.ReadLine(&line));  // connection closed
+  }
+  server.Stop();
+}
+
+TEST_F(ServiceTest, ShutdownRacesInFlightRequestsAndDrainFinishesThem) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // In-flight worker: fires a request, then (post-drain) reads the
+  // response off the half-closed connection.
+  TestClient worker(server.port());
+  ASSERT_TRUE(worker.connected());
+  ASSERT_TRUE(worker.Send("Q gold oql select p.name from p in P "
+                          "where p.age > 25"));
+
+  TestClient controller(server.port());
+  ASSERT_TRUE(controller.connected());
+  ASSERT_TRUE(controller.Send("SHUTDOWN"));
+  std::string line;
+  ASSERT_TRUE(controller.ReadLine(&line));
+  EXPECT_EQ(line, "OK shutting down");
+
+  server.Wait();
+  EXPECT_TRUE(server.Drain(5'000));
+  EXPECT_NE(server.StatsLine().find("drain_state=draining"),
+            std::string::npos);
+
+  // The worker's in-flight request was served, not dropped: its response
+  // is sitting in the socket buffer.
+  ASSERT_TRUE(worker.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+
+  server.Stop();
+  EXPECT_NE(server.StatsLine().find("drain_state=stopped"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, InjectedRecvFaultResetsConnectionAndCounts) {
+  FaultInjector injector(11);
+  injector.set_rate(FaultSite::kRecv, 1.0);
+  SetProcessFaultInjector(&injector);
+
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING"));
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line));  // reset before any response
+  server.Stop();
+  SetProcessFaultInjector(nullptr);
+  EXPECT_GE(server.stats().resets, 1u);
+}
+
+TEST_F(ServiceTest, InjectedSendFaultExercisesShortWritePathCorrectly) {
+  FaultInjector injector(12);
+  injector.set_rate(FaultSite::kSend, 1.0);
+  SetProcessFaultInjector(&injector);
+
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Every send is clamped to one byte, so the response arrives via the
+  // short-write continuation loop -- and must still be byte-perfect.
+  ASSERT_TRUE(client.Send("PING"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
+  ASSERT_TRUE(client.Send("Q gold oql select p.age from p in P"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK 0 ", 0), 0u) << line;
+  server.Stop();
+  SetProcessFaultInjector(nullptr);
+  EXPECT_GE(server.stats().short_writes, 1u);
+}
+
+TEST_F(ServiceTest, InjectedAcceptFaultDropsConnectionBeforeService) {
+  FaultInjector injector(13);
+  injector.set_rate(FaultSite::kAccept, 1.0);
+  SetProcessFaultInjector(&injector);
+
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  {
+    TestClient doomed(server.port());
+    // connect() itself succeeds (the kernel completed the handshake from
+    // the backlog); the injected fault kills the connection before any
+    // handler sees it, so the first read is EOF.
+    ASSERT_TRUE(doomed.connected());
+    doomed.Send("PING");
+    std::string line;
+    EXPECT_FALSE(doomed.ReadLine(&line));
+  }
+  SetProcessFaultInjector(nullptr);
+  // With the fault cleared the very same server serves normally.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
+  server.Stop();
+  EXPECT_GE(server.stats().accept_failures, 1u);
+}
+
+TEST_F(ServiceTest, ServerCountersSurfaceInStatsViaExtraStats) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  service.set_extra_stats([&server] { return server.StatsLine(); });
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("STATS"));
+  bool saw_server_line = false, saw_snapshot_line = false;
+  std::string line;
+  for (;;) {
+    ASSERT_TRUE(client.ReadLine(&line));
+    if (line.rfind("S server connections=", 0) == 0) saw_server_line = true;
+    if (line.rfind("S snapshot writes=", 0) == 0) saw_snapshot_line = true;
+    if (line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0) break;
+  }
+  EXPECT_TRUE(saw_server_line);
+  EXPECT_TRUE(saw_snapshot_line);
+  server.Stop();
 }
 
 }  // namespace
