@@ -13,7 +13,9 @@
 //   F <tier> <lang> <query>   optimize, bypassing the cache entirely
 //   STATS                     service counters, one "S ..." line each
 //   BUMP                      invalidate the plan cache (catalog change)
-//   PING                      liveness probe
+//   PING                      liveness probe ("OK draining" once draining)
+//   HEALTH                    READY|SYNCING|DRAINING + role + lag
+//   SYNC                      ship a checksummed plan-cache snapshot
 //   QUIT                      close this connection
 //   SHUTDOWN                  stop the daemon
 //
@@ -23,12 +25,20 @@
 // periodically checkpointed (atomic tmp+rename, per-entry checksums) and
 // restored on the next start, so a SIGKILL costs warm state only since the
 // last snapshot interval. SIGINT/SIGTERM and SHUTDOWN run the graceful
-// path: drain in-flight connections, take a final snapshot, exit.
+// path: drain in-flight connections, take a final snapshot, exit. SIGHUP
+// takes a snapshot immediately (a pre-upgrade checkpoint hook).
+//
+// REPLICATED with --replica-of HOST:PORT: this daemon starts as a warm
+// standby that poll-syncs the primary's plan cache over SYNC, serves reads
+// once the first sync lands (ERR NOT_READY before that), refuses BUMP, and
+// promotes itself to primary after --promote-after consecutive failed
+// syncs (a kill -9'd primary). See DESIGN.md section 13.
 
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -37,6 +47,7 @@
 #include "common/fault_injection.h"
 #include "common/parse_number.h"
 #include "rewrite/properties.h"
+#include "service/replication.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "values/car_world.h"
@@ -47,9 +58,10 @@ namespace {
 
 int g_signal_pipe[2] = {-1, -1};
 
-void OnSignal(int) {
-  // Async-signal-safe nudge; the watcher thread does the real work.
-  char byte = 1;
+void OnSignal(int sig) {
+  // Async-signal-safe nudge; the watcher thread does the real work. One
+  // byte per signal, 'H' for the snapshot-now hook, 'T' for shutdown.
+  char byte = sig == SIGHUP ? 'H' : 'T';
   (void)!write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -62,6 +74,8 @@ void Usage(const char* argv0) {
       "          [--snapshot-path FILE] [--snapshot-interval-ms N]\n"
       "          [--drain-ms N] [--read-deadline-ms N] "
       "[--write-deadline-ms N]\n"
+      "          [--replica-of HOST:PORT] [--sync-interval-ms N] "
+      "[--promote-after N]\n"
       "  --port N            TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
       "  --jobs N            concurrent optimizations (default 2)\n"
       "  --handlers N        concurrently served connections (default 8)\n"
@@ -82,7 +96,13 @@ void Usage(const char* argv0) {
       "                         request within N ms, 0 = off "
       "(default 30000)\n"
       "  --write-deadline-ms N  drop a peer that stops reading for N ms,\n"
-      "                         0 = off (default 10000)\n",
+      "                         0 = off (default 10000)\n"
+      "  --replica-of HOST:PORT  start as a warm standby of that primary\n"
+      "                          (loopback only); serve reads after the\n"
+      "                          first sync, refuse BUMP until promoted\n"
+      "  --sync-interval-ms N    standby poll-sync cadence (default 500)\n"
+      "  --promote-after N       promote after N consecutive failed syncs,\n"
+      "                          0 = never (default 5)\n",
       argv0);
 }
 
@@ -105,6 +125,8 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   int64_t snapshot_interval_ms = 5'000;
   int64_t drain_ms = 5'000;
+  ReplicationOptions repl_options;
+  bool standby = false;
 
   // Every numeric flag goes through the validated ParseInt64InRange helper
   // (shared with kolaverify): junk or out-of-range values are a usage
@@ -160,6 +182,37 @@ int main(int argc, char** argv) {
       server_options.read_deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
     } else if (arg == "--write-deadline-ms") {
       server_options.write_deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
+    } else if (arg == "--replica-of") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kolad: --replica-of needs HOST:PORT\n");
+        Usage(argv[0]);
+        return 1;
+      }
+      std::string endpoint = argv[++i];
+      size_t colon = endpoint.rfind(':');
+      std::string host =
+          colon == std::string::npos ? "" : endpoint.substr(0, colon);
+      if (host != "127.0.0.1" && host != "localhost") {
+        std::fprintf(stderr,
+                     "kolad: --replica-of supports loopback primaries only "
+                     "(got '%s')\n",
+                     endpoint.c_str());
+        return 1;
+      }
+      auto port = ParseInt64InRange(endpoint.substr(colon + 1).c_str(),
+                                    "--replica-of port", 1, 65535);
+      if (!port.ok()) {
+        std::fprintf(stderr, "kolad: %s\n",
+                     port.status().ToString().c_str());
+        return 1;
+      }
+      repl_options.port = static_cast<int>(port.value());
+      standby = true;
+    } else if (arg == "--sync-interval-ms") {
+      repl_options.sync_interval_ms = int64_flag(i++, 1, int64_t{1} << 40);
+    } else if (arg == "--promote-after") {
+      repl_options.promote_after_failures =
+          static_cast<int>(int64_flag(i++, 0, 1 << 20));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -169,6 +222,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  service_options.standby = standby;
 
   CarWorldOptions world;
   world.num_persons *= world_scale;
@@ -181,7 +236,9 @@ int main(int argc, char** argv) {
   OptimizationService service(db.get(), &properties, service_options);
 
   // Restore BEFORE serving traffic: warm hits are available from the first
-  // request, and restore never races Handle's interning.
+  // request, and restore never races Handle's interning. On a standby the
+  // restore only pre-warms the cache -- it does NOT mark the daemon ready;
+  // only a live sync from the primary can do that.
   if (!snapshot_path.empty()) {
     SnapshotRestoreReport restore = service.RestoreSnapshot(snapshot_path);
     if (restore.status.ok() || restore.status.code() == StatusCode::kNotFound) {
@@ -203,31 +260,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // SIGINT/SIGTERM run the same graceful path as the SHUTDOWN verb: wake
-  // Wait(), then drain + snapshot below.
-  if (pipe(g_signal_pipe) == 0) {
-    std::signal(SIGINT, OnSignal);
-    std::signal(SIGTERM, OnSignal);
-  }
-  std::thread signal_watcher([&server] {
-    char byte;
-    if (g_signal_pipe[0] >= 0 &&
-        read(g_signal_pipe[0], &byte, 1) > 0) {
-      server.RequestShutdown();
-    }
-  });
-
   // Periodic checkpoints bound how much warm state a SIGKILL can cost.
+  // SIGHUP pokes the same thread through snapshot_now for an immediate
+  // checkpoint (pre-upgrade hook), even when the periodic cadence is off.
   std::mutex snapshot_mu;
   std::condition_variable snapshot_cv;
   bool snapshot_done = false;
+  bool snapshot_now = false;
   std::thread snapshotter;
-  if (!snapshot_path.empty() && snapshot_interval_ms > 0) {
+  if (!snapshot_path.empty()) {
     snapshotter = std::thread([&] {
       std::unique_lock<std::mutex> lock(snapshot_mu);
-      while (!snapshot_cv.wait_for(
-          lock, std::chrono::milliseconds(snapshot_interval_ms),
-          [&] { return snapshot_done; })) {
+      for (;;) {
+        if (snapshot_interval_ms > 0) {
+          snapshot_cv.wait_for(
+              lock, std::chrono::milliseconds(snapshot_interval_ms),
+              [&] { return snapshot_done || snapshot_now; });
+        } else {
+          snapshot_cv.wait(lock,
+                           [&] { return snapshot_done || snapshot_now; });
+        }
+        if (snapshot_done) return;
+        snapshot_now = false;  // timeout or SIGHUP: snapshot either way
         lock.unlock();
         if (Status s = service.SaveSnapshot(snapshot_path); !s.ok()) {
           std::fprintf(stderr, "kolad: %s\n", s.ToString().c_str());
@@ -237,10 +291,50 @@ int main(int argc, char** argv) {
     });
   }
 
+  // SIGINT/SIGTERM run the same graceful path as the SHUTDOWN verb: wake
+  // Wait(), then drain + snapshot below. SIGHUP checkpoints and keeps
+  // serving.
+  if (pipe(g_signal_pipe) == 0) {
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+    std::signal(SIGHUP, OnSignal);
+  }
+  std::thread signal_watcher([&] {
+    char byte;
+    while (g_signal_pipe[0] >= 0 &&
+           read(g_signal_pipe[0], &byte, 1) > 0) {
+      if (byte == 'H') {
+        {
+          std::lock_guard<std::mutex> lock(snapshot_mu);
+          snapshot_now = true;
+        }
+        snapshot_cv.notify_all();  // no-op without --snapshot-path
+        continue;
+      }
+      server.RequestShutdown();
+      return;
+    }
+  });
+
+  // Standby mode: follow the primary until promoted or shut down.
+  std::unique_ptr<ReplicationClient> replication;
+  if (standby) {
+    replication = std::make_unique<ReplicationClient>(&service, repl_options);
+    replication->Start();
+    std::printf("kolad standby of 127.0.0.1:%d (sync every %lld ms, "
+                "promote after %d failures)\n",
+                repl_options.port,
+                static_cast<long long>(repl_options.sync_interval_ms),
+                repl_options.promote_after_failures);
+  }
+
   std::printf("kolad listening on 127.0.0.1:%d\n", server.port());
   std::fflush(stdout);
 
   server.Wait();
+
+  // Stop syncing first so a drain cannot race a promotion or a late apply.
+  if (replication != nullptr) replication->Stop();
 
   // Graceful shutdown: stop accepting and let in-flight requests finish
   // (their plans land in the cache), then checkpoint that final state.

@@ -1,7 +1,8 @@
 // kolaload -- soak/load driver for kolad.
 //
-// Connects N client threads to a running kolad, drives repeated query
-// shapes through the plan cache, and asserts service-level invariants:
+// Connects N client threads to one or more running kolad endpoints, drives
+// repeated query shapes through the plan cache, and asserts service-level
+// invariants:
 //
 //   --min-hit-rate P   post-warmup cache hit rate must reach P percent
 //   --check-identity   every warm hit must be byte-identical to a fresh
@@ -10,14 +11,27 @@
 //
 //   kolaload --port 7070 --clients 4 --requests 100 --shapes 8
 //            --min-hit-rate 90 --check-identity --shutdown
+//   kolaload --ports 7070,7071 --check-identity     # primary + standby
 //
 // Transient failures -- connection refused or reset, the daemon shedding
 // load, an injected socket fault -- are retried with capped exponential
 // backoff and seeded jitter (--max-retries, --seed), so a chaos run under
-// KOLA_FAULTS only fails when the daemon stays broken. Exit status 0 iff
-// every request (eventually) succeeded and every assertion held.
+// KOLA_FAULTS only fails when the daemon stays broken.
+//
+// With --ports A,B,... requests fail over between endpoints: each endpoint
+// sits behind a circuit breaker (opened after --breaker-threshold
+// consecutive failures, probed half-open after an escalating cooldown),
+// and a connection is only routed to an endpoint whose HEALTH answer says
+// it is serving (a never-synced standby, or a draining daemon, is skipped).
+// The identity check runs through the same pool, so it holds across a
+// mid-soak failover. Every socket operation carries a poll-based deadline
+// (--io-deadline-ms), so a hung daemon fails fast instead of wedging the
+// driver. Exit status 0 iff every request (eventually) succeeded and every
+// assertion held.
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -27,20 +41,50 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parse_number.h"
 #include "common/random.h"
+#include "common/string_util.h"
 
 using namespace kola;
 
 namespace {
 
-/// A blocking line-protocol connection to kolad.
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Same poll discipline as SocketServer: absolute deadline (-1 = none),
+/// EINTR restarts with the remaining budget. >0 ready, 0 deadline, <0
+/// error.
+int PollFd(int fd, short events, int64_t deadline_ms) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline_ms >= 0) {
+      int64_t remaining = deadline_ms - NowMs();
+      if (remaining <= 0) return 0;
+      timeout = static_cast<int>(std::min<int64_t>(remaining, 1 << 30));
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+/// A line-protocol connection to kolad. Every operation -- connect, send,
+/// read -- is bounded by the io deadline, mirroring the server's own
+/// read/write deadlines: a daemon that hangs mid-response costs one
+/// deadline, never a wedged soak driver.
 class Conn {
  public:
+  explicit Conn(int64_t io_deadline_ms) : io_deadline_ms_(io_deadline_ms) {}
   ~Conn() {
     if (fd_ >= 0) close(fd_);
   }
@@ -48,27 +92,40 @@ class Conn {
   bool Connect(int port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
+    // Non-blocking from the start: the deadline must bound connect() too
+    // (a SIGSTOPped daemon leaves the port open but never accepts).
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<uint16_t>(port));
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
-      close(fd_);
-      fd_ = -1;
-      return false;
+            0 &&
+        errno != EINPROGRESS) {
+      return Fail();
+    }
+    if (PollFd(fd_, POLLOUT, Deadline()) <= 0) return Fail();
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      return Fail();
     }
     return true;
   }
 
   bool SendLine(const std::string& line) {
     std::string framed = line + "\n";
+    const int64_t deadline = Deadline();
     size_t sent = 0;
     while (sent < framed.size()) {
+      if (PollFd(fd_, POLLOUT, deadline) <= 0) return false;
       ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
                          MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
         return false;
       }
       sent += static_cast<size_t>(n);
@@ -77,6 +134,7 @@ class Conn {
   }
 
   bool ReadLine(std::string* line) {
+    const int64_t deadline = Deadline();
     for (;;) {
       size_t newline = buffer_.find('\n');
       if (newline != std::string::npos) {
@@ -84,9 +142,13 @@ class Conn {
         buffer_.erase(0, newline + 1);
         return true;
       }
+      if (PollFd(fd_, POLLIN, deadline) <= 0) return false;
       char chunk[4096];
       ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 &&
+          (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;
+      }
       if (n <= 0) return false;
       buffer_.append(chunk, static_cast<size_t>(n));
     }
@@ -107,20 +169,119 @@ class Conn {
   }
 
  private:
+  int64_t Deadline() const {
+    return io_deadline_ms_ > 0 ? NowMs() + io_deadline_ms_ : -1;
+  }
+  bool Fail() {
+    close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
   int fd_ = -1;
+  int64_t io_deadline_ms_;
   std::string buffer_;
 };
 
-/// A Conn that survives transient failure: connection refused/reset and
-/// retryable protocol errors (UNAVAILABLE, admission shed) reconnect and
-/// resend with capped exponential backoff + jitter. The jitter stream is
-/// seeded per client (Rng::Child), so a soak run's retry timing is
-/// reproducible from --seed.
+/// The endpoint table shared by every client thread: --ports order is
+/// preference order (primary first), and each endpoint sits behind a
+/// circuit breaker. CLOSED: routed normally; failures past the threshold
+/// OPEN it. OPEN: skipped until an escalating cooldown expires, then one
+/// half-open probe is allowed -- success closes the breaker, failure
+/// re-arms the cooldown. This is what turns a kill -9'd primary into a
+/// handful of fast failures instead of every request re-timing-out on it.
+class EndpointPool {
+ public:
+  EndpointPool(std::vector<int> ports, int threshold, int64_t cooldown_ms)
+      : threshold_(threshold < 1 ? 1 : threshold),
+        cooldown_ms_(cooldown_ms < 1 ? 1 : cooldown_ms) {
+    for (int port : ports) endpoints_.push_back(Endpoint{port});
+  }
+
+  size_t size() const { return endpoints_.size(); }
+  int PortAt(int index) const { return endpoints_[index].port; }
+
+  /// The endpoint the next attempt should use: the first (in preference
+  /// order) whose breaker is closed, else the first open one whose
+  /// cooldown has expired (half-open probe). -1 when every breaker is
+  /// open and cooling -- the caller backs off and retries.
+  int Pick() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now = NowMs();
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      if (!endpoints_[i].open) return static_cast<int>(i);
+    }
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      if (endpoints_[i].retry_at_ms <= now) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void ReportSuccess(int index) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Endpoint& e = endpoints_[static_cast<size_t>(index)];
+      e.consecutive_failures = 0;
+      e.open = false;
+      e.opens = 0;
+    }
+    int prev = last_success_.exchange(index, std::memory_order_acq_rel);
+    if (prev >= 0 && prev != index) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ReportFailure(int index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Endpoint& e = endpoints_[static_cast<size_t>(index)];
+    ++e.consecutive_failures;
+    if (!e.open && e.consecutive_failures < threshold_) return;
+    if (!e.open) breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    e.open = true;
+    // Escalating cooldown, capped: a dead endpoint gets probed ever more
+    // lazily, a flapping one is not hammered.
+    e.opens = std::min<int>(e.opens + 1, 6);
+    e.retry_at_ms = NowMs() + (cooldown_ms_ << (e.opens - 1));
+  }
+
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  uint64_t breaker_opens() const {
+    return breaker_opens_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Endpoint {
+    int port;
+    int consecutive_failures = 0;
+    bool open = false;
+    int opens = 0;          // consecutive open episodes, for escalation
+    int64_t retry_at_ms = 0;
+  };
+
+  std::mutex mu_;
+  std::vector<Endpoint> endpoints_;
+  int threshold_;
+  int64_t cooldown_ms_;
+  std::atomic<int> last_success_{-1};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> breaker_opens_{0};
+};
+
+/// A connection that survives transient failure AND primary loss:
+/// endpoint choice goes through the pool's breakers, every fresh
+/// connection is health-gated (HEALTH must say serving=1 -- a never-synced
+/// standby or a draining daemon is treated as down), and retryable
+/// protocol errors (UNAVAILABLE, admission shed) resend with capped
+/// exponential backoff + jitter. The jitter stream is seeded per client
+/// (Rng::Child), so a soak run's retry timing is reproducible from --seed.
 class RetryingConn {
  public:
-  RetryingConn(int port, int max_retries, Rng rng,
-               std::atomic<uint64_t>* retries)
-      : port_(port),
+  RetryingConn(EndpointPool* pool, int64_t io_deadline_ms, int max_retries,
+               Rng rng, std::atomic<uint64_t>* retries)
+      : pool_(pool),
+        io_deadline_ms_(io_deadline_ms),
         max_retries_(max_retries),
         rng_(rng),
         retries_(retries) {}
@@ -130,18 +291,39 @@ class RetryingConn {
   bool Request(const std::string& line, std::string* final_line,
                std::string* body = nullptr) {
     for (int attempt = 0;; ++attempt) {
-      if (conn_ == nullptr) {
-        auto fresh = std::make_unique<Conn>();
-        if (fresh->Connect(port_)) conn_ = std::move(fresh);
-      }
-      if (conn_ != nullptr) {
-        if (body != nullptr) body->clear();
-        if (conn_->SendLine(line) && conn_->ReadBlock(final_line, body)) {
-          if (!Retryable(*final_line)) return true;
-        } else {
-          // Peer vanished mid-request (reset, injected recv fault, daemon
-          // restart); the connection is unusable and must be rebuilt.
+      int index = pool_->Pick();
+      if (index >= 0) {
+        if (conn_ == nullptr || conn_index_ != index) {
           conn_.reset();
+          auto fresh = std::make_unique<Conn>(io_deadline_ms_);
+          if (fresh->Connect(pool_->PortAt(index)) &&
+              HealthGate(fresh.get())) {
+            conn_ = std::move(fresh);
+            conn_index_ = index;
+          } else {
+            pool_->ReportFailure(index);
+          }
+        }
+        if (conn_ != nullptr) {
+          if (body != nullptr) body->clear();
+          if (conn_->SendLine(line) && conn_->ReadBlock(final_line, body)) {
+            if (final_line->rfind("ERR NOT_READY", 0) == 0) {
+              // A standby that lost its gate race: steer away and let the
+              // breaker redirect the next attempts.
+              pool_->ReportFailure(index);
+              conn_.reset();
+            } else {
+              pool_->ReportSuccess(index);
+              if (!Retryable(*final_line)) return true;
+              // Shed/UNAVAILABLE: the endpoint is alive and asked us to
+              // back off; not a breaker failure.
+            }
+          } else {
+            // Peer vanished mid-request (reset, injected recv fault, a
+            // SIGKILLed primary); the connection is unusable.
+            pool_->ReportFailure(index);
+            conn_.reset();
+          }
         }
       }
       if (attempt >= max_retries_) return false;
@@ -156,6 +338,16 @@ class RetryingConn {
   }
 
  private:
+  /// One HEALTH round trip on a fresh connection. Routing on serving=
+  /// rather than the state name keeps a SYNCING-but-synced standby (its
+  /// primary just died) eligible -- it still serves correct reads.
+  static bool HealthGate(Conn* conn) {
+    std::string line;
+    if (!conn->SendLine("HEALTH") || !conn->ReadLine(&line)) return false;
+    return line.rfind("OK", 0) == 0 &&
+           line.find(" serving=0") == std::string::npos;
+  }
+
   static bool Retryable(const std::string& response) {
     // UNAVAILABLE is the transient-failure code by contract (injected
     // faults, dead workers); a shed is the daemon asking us to back off.
@@ -176,11 +368,13 @@ class RetryingConn {
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
 
-  int port_;
+  EndpointPool* pool_;
+  int64_t io_deadline_ms_;
   int max_retries_;
   Rng rng_;
   std::atomic<uint64_t>* retries_;
   std::unique_ptr<Conn> conn_;
+  int conn_index_ = -1;
 };
 
 /// Deterministic OQL shape pool: template rotated by index, the constant
@@ -224,13 +418,17 @@ bool ParseResponse(const std::string& line, bool* hit, std::string* payload) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int port = 0;
+  std::vector<int> ports;
   int64_t clients = 4;
   int64_t requests = 50;
   int64_t shapes = 8;
   std::string tier = "gold";
   int64_t min_hit_rate = -1;
   int64_t max_retries = 5;
+  int64_t io_deadline_ms = 10'000;
+  int64_t think_ms = 0;
+  int64_t breaker_threshold = 3;
+  int64_t breaker_cooldown_ms = 250;
   uint64_t seed = 1;
   bool check_identity = false;
   bool shutdown_daemon = false;
@@ -253,7 +451,22 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--port") {
-      port = static_cast<int>(int64_flag(i++, 1, 65535));
+      ports.assign(1, static_cast<int>(int64_flag(i++, 1, 65535)));
+    } else if (arg == "--ports") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kolaload: --ports needs A,B,...\n");
+        return 1;
+      }
+      ports.clear();
+      for (const std::string& part : Split(argv[++i], ',')) {
+        auto port = ParseInt64InRange(part.c_str(), "--ports", 1, 65535);
+        if (!port.ok()) {
+          std::fprintf(stderr, "kolaload: %s\n",
+                       port.status().ToString().c_str());
+          return 1;
+        }
+        ports.push_back(static_cast<int>(port.value()));
+      }
     } else if (arg == "--clients") {
       clients = int64_flag(i++, 1, 1024);
     } else if (arg == "--requests") {
@@ -266,6 +479,14 @@ int main(int argc, char** argv) {
       min_hit_rate = int64_flag(i++, 0, 100);
     } else if (arg == "--max-retries") {
       max_retries = int64_flag(i++, 0, 1'000);
+    } else if (arg == "--io-deadline-ms") {
+      io_deadline_ms = int64_flag(i++, 0, int64_t{1} << 40);
+    } else if (arg == "--think-ms") {
+      think_ms = int64_flag(i++, 0, 60'000);
+    } else if (arg == "--breaker-threshold") {
+      breaker_threshold = int64_flag(i++, 1, 1'000);
+    } else if (arg == "--breaker-cooldown-ms") {
+      breaker_cooldown_ms = int64_flag(i++, 1, int64_t{1} << 30);
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(int64_flag(i++, 0, int64_t{1} << 62));
     } else if (arg == "--check-identity") {
@@ -279,11 +500,13 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (port == 0) {
-    std::fprintf(stderr, "kolaload: --port is required\n");
+  if (ports.empty()) {
+    std::fprintf(stderr, "kolaload: --port or --ports is required\n");
     return 1;
   }
 
+  EndpointPool pool(ports, static_cast<int>(breaker_threshold),
+                    breaker_cooldown_ms);
   Totals totals;
   const Rng root(seed);
   // Child-stream indices: clients take 0..clients-1, the warmup and
@@ -295,7 +518,7 @@ int main(int argc, char** argv) {
   // Warmup: one pass over the shape pool on a dedicated connection fills
   // the cache, so the measured phase's hit rate is the steady state.
   {
-    RetryingConn warm(port, static_cast<int>(max_retries),
+    RetryingConn warm(&pool, io_deadline_ms, static_cast<int>(max_retries),
                       root.Child(kWarmStream), &totals.retries);
     for (int64_t s = 0; s < shapes; ++s) {
       std::string response;
@@ -317,7 +540,8 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   for (int64_t c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
-      RetryingConn conn(port, static_cast<int>(max_retries),
+      RetryingConn conn(&pool, io_deadline_ms,
+                        static_cast<int>(max_retries),
                         root.Child(static_cast<uint64_t>(c)),
                         &totals.retries);
       for (int64_t r = 0; r < requests; ++r) {
@@ -336,6 +560,12 @@ int main(int argc, char** argv) {
           continue;
         }
         (hit ? totals.hits : totals.misses).fetch_add(1);
+        if (think_ms > 0) {
+          // Pace the soak (think time) so CI can kill a daemon MID-soak
+          // deterministically instead of racing a burst that finishes
+          // first.
+          std::this_thread::sleep_for(std::chrono::milliseconds(think_ms));
+        }
       }
       conn.SendLine("QUIT");
     });
@@ -351,12 +581,15 @@ int main(int argc, char** argv) {
       answered == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
                                 static_cast<double>(answered);
   std::printf("kolaload: %llu answered, %llu hits, %llu misses, %llu "
-              "errors, %llu retries, hit rate %.1f%%\n",
+              "errors, %llu retries, hit rate %.1f%%, failovers %llu, "
+              "breaker opens %llu\n",
               static_cast<unsigned long long>(answered),
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(misses),
               static_cast<unsigned long long>(errors),
-              static_cast<unsigned long long>(retries), hit_rate);
+              static_cast<unsigned long long>(retries), hit_rate,
+              static_cast<unsigned long long>(pool.failovers()),
+              static_cast<unsigned long long>(pool.breaker_opens()));
 
   bool failed = errors != 0;
   if (min_hit_rate >= 0 && hit_rate < static_cast<double>(min_hit_rate)) {
@@ -365,12 +598,13 @@ int main(int argc, char** argv) {
     failed = true;
   }
 
-  RetryingConn control(port, static_cast<int>(max_retries),
+  RetryingConn control(&pool, io_deadline_ms, static_cast<int>(max_retries),
                        root.Child(kControlStream), &totals.retries);
 
   if (check_identity) {
     // A warm hit (Q) and a cache-bypassing fresh optimization (F) of the
-    // same shape must serialize identically, byte for byte.
+    // same shape must serialize identically, byte for byte -- including
+    // when a failover moved the pair (or split it) across endpoints.
     int64_t mismatches = 0;
     for (int64_t s = 0; s < shapes; ++s) {
       std::string text = ShapeQuery(s);
@@ -415,11 +649,26 @@ int main(int argc, char** argv) {
   }
 
   if (shutdown_daemon) {
-    std::string response;
-    if (!control.Request("SHUTDOWN", &response) ||
-        response.rfind("OK", 0) != 0) {
+    // Drain the whole fleet, one direct connection per endpoint (the
+    // pool would route every SHUTDOWN to the same healthy survivor).
+    // Unreachable endpoints (the killed primary) are skipped; at least
+    // one living daemon must acknowledge.
+    int acked = 0;
+    for (size_t e = 0; e < pool.size(); ++e) {
+      Conn direct(io_deadline_ms);
+      std::string response;
+      if (direct.Connect(pool.PortAt(static_cast<int>(e))) &&
+          direct.SendLine("SHUTDOWN") && direct.ReadBlock(&response) &&
+          response.rfind("OK", 0) == 0) {
+        ++acked;
+      }
+    }
+    if (acked == 0) {
       std::fprintf(stderr, "kolaload: shutdown handshake failed\n");
       failed = true;
+    } else {
+      std::printf("kolaload: shutdown acknowledged by %d endpoint(s)\n",
+                  acked);
     }
   } else {
     control.SendLine("QUIT");

@@ -35,7 +35,7 @@ thread_local FaultInjector* thread_injector = nullptr;
 constexpr FaultSite kAllSites[kNumFaultSites] = {
     FaultSite::kRuleApplication, FaultSite::kStrategy, FaultSite::kIntern,
     FaultSite::kPoolTask,        FaultSite::kAccept,   FaultSite::kRecv,
-    FaultSite::kSend};
+    FaultSite::kSend,            FaultSite::kReplSync};
 
 }  // namespace
 
@@ -55,6 +55,8 @@ const char* FaultSiteName(FaultSite site) {
       return "recv";
     case FaultSite::kSend:
       return "send";
+    case FaultSite::kReplSync:
+      return "repl";
   }
   return "unknown";
 }
@@ -88,7 +90,7 @@ StatusOr<FaultInjector> FaultInjector::Parse(const std::string& spec,
     if (!known) {
       return InvalidArgumentError(
           "unknown fault site '" + site_name +
-          "' (want rule|strategy|intern|pool|accept|recv|send)");
+          "' (want rule|strategy|intern|pool|accept|recv|send|repl)");
     }
   }
   return injector;

@@ -14,9 +14,10 @@ namespace kola {
 /// production failure: a rule application erroring out mid-fixpoint, a
 /// whole strategy block failing, the interner being unable to allocate
 /// (degrades to un-interned terms -- still sound), a thread-pool worker
-/// dying at task start, and the three socket-level failures the server
+/// dying at task start, the three socket-level failures the server
 /// must absorb: an accepted connection dying before it is served, a peer
-/// resetting mid-receive, and the kernel taking only part of a write.
+/// resetting mid-receive, and the kernel taking only part of a write --
+/// plus a replication sync stream arriving torn or corrupted.
 enum class FaultSite {
   kRuleApplication = 0,
   kStrategy,
@@ -25,11 +26,12 @@ enum class FaultSite {
   kAccept,
   kRecv,
   kSend,
+  kReplSync,
 };
-inline constexpr int kNumFaultSites = 7;
+inline constexpr int kNumFaultSites = 8;
 
 /// Stable spec name for a site ("rule", "strategy", "intern", "pool",
-/// "accept", "recv", "send").
+/// "accept", "recv", "send", "repl").
 const char* FaultSiteName(FaultSite site);
 
 /// Deterministic, seeded fault injector. Each site carries an independent

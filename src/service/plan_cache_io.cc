@@ -23,24 +23,6 @@ std::string Hex(uint64_t value) {
   return buf;
 }
 
-bool ParseHex(std::string_view text, uint64_t* out) {
-  if (text.empty() || text.size() > 16) return false;
-  uint64_t value = 0;
-  for (char c : text) {
-    int digit;
-    if (c >= '0' && c <= '9') {
-      digit = c - '0';
-    } else if (c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
-    } else {
-      return false;
-    }
-    value = (value << 4) | static_cast<uint64_t>(digit);
-  }
-  *out = value;
-  return true;
-}
-
 /// The per-entry integrity check: FNV-1a over the version rendering, the
 /// term text and the payload, with separators so field boundaries are part
 /// of the digest (a byte migrating between term and payload changes it).
@@ -92,7 +74,37 @@ bool TakeTagged(std::string_view field, std::string_view tag,
   return true;
 }
 
+/// Seeds the file checksum from the header fields, so a flipped byte in
+/// the fingerprint, version or declared count -- which still parses --
+/// desynchronizes the trailer checksum and is counted as damage.
+uint64_t SeedFileChecksum(uint64_t fingerprint, uint64_t version,
+                          uint64_t declared_entries) {
+  uint64_t h = StableStringHash("kolasnap");
+  h = StableHashCombine(h, fingerprint);
+  h = StableHashCombine(h, version);
+  h = StableHashCombine(h, declared_entries);
+  return h;
+}
+
 }  // namespace
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
 
 std::string EncodePlanSnapshot(const PlanSnapshot& snapshot) {
   std::string out;
@@ -106,7 +118,9 @@ std::string EncodePlanSnapshot(const PlanSnapshot& snapshot) {
   out += " version=" + std::to_string(snapshot.catalog_version);
   out += " entries=" + std::to_string(snapshot.entries.size());
   out += '\n';
-  uint64_t file_checksum = StableStringHash("kolasnap");
+  uint64_t file_checksum = SeedFileChecksum(
+      snapshot.rule_fingerprint, snapshot.catalog_version,
+      static_cast<uint64_t>(snapshot.entries.size()));
   for (const PlanSnapshotEntry& entry : snapshot.entries) {
     uint64_t checksum = EntryChecksum(entry);
     file_checksum = StableHashCombine(file_checksum, checksum);
@@ -150,7 +164,7 @@ PlanSnapshot DecodePlanSnapshot(std::string_view data,
       !TakeTagged(fields[2], "entries=", &entries_text)) {
     return bad_header();
   }
-  if (!ParseHex(fp_text, &snapshot.rule_fingerprint)) return bad_header();
+  if (!ParseHex64(fp_text, &snapshot.rule_fingerprint)) return bad_header();
   auto version = ParseUint64(version_text);
   auto declared = ParseUint64(entries_text);
   if (!version.ok() || !declared.ok()) return bad_header();
@@ -158,7 +172,9 @@ PlanSnapshot DecodePlanSnapshot(std::string_view data,
   r.header_ok = true;
   r.entries_declared = declared.value();
 
-  uint64_t file_checksum = StableStringHash("kolasnap");
+  uint64_t file_checksum = SeedFileChecksum(
+      snapshot.rule_fingerprint, snapshot.catalog_version,
+      r.entries_declared);
   while (r.entries_read + r.skipped < r.entries_declared) {
     if (!TakeLine(&rest, &line)) break;  // truncated mid-stream
     std::vector<std::string_view> f = Fields(line);
@@ -168,7 +184,7 @@ PlanSnapshot DecodePlanSnapshot(std::string_view data,
     auto payload_bytes = ParseUint64(f[3]);
     uint64_t declared_checksum = 0;
     if (!entry_version.ok() || !term_bytes.ok() || !payload_bytes.ok() ||
-        !ParseHex(f[4], &declared_checksum)) {
+        !ParseHex64(f[4], &declared_checksum)) {
       break;
     }
     // An absurd length is corruption, and trusting it would mis-slice the
@@ -214,7 +230,7 @@ PlanSnapshot DecodePlanSnapshot(std::string_view data,
     uint64_t trailer_checksum = 0;
     if (f.size() == 2 && TakeTagged(f[0], "entries=", &count_text) &&
         TakeTagged(f[1], "checksum=", &checksum_text) &&
-        ParseHex(checksum_text, &trailer_checksum)) {
+        ParseHex64(checksum_text, &trailer_checksum)) {
       auto count = ParseUint64(count_text);
       r.trailer_ok = count.ok() && count.value() == r.entries_read &&
                      trailer_checksum == file_checksum && r.skipped == 0;

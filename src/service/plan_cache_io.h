@@ -32,8 +32,11 @@ namespace kola {
 ///   KOLASNAP-END entries=<N> checksum=<hex file checksum>
 ///
 /// Every entry carries an FNV-1a checksum over its version + term +
-/// payload; the trailer carries a checksum chained over all entry
-/// checksums. Decoding is *tolerant by design*: a corrupt or truncated
+/// payload; the trailer carries a checksum seeded from the header fields
+/// (fingerprint, version, declared count) and chained over all entry
+/// checksums, so *any* single damaged byte -- header, entry, or trailer --
+/// registers at least one counted skip. Decoding is *tolerant by design*:
+/// a corrupt or truncated
 /// entry is skipped and counted, never an abort -- the daemon starts cold
 /// (or partially warm) instead of not starting.
 struct PlanSnapshotEntry {
@@ -61,6 +64,11 @@ struct SnapshotReadReport {
 
 /// Serializes a snapshot to the format above.
 std::string EncodePlanSnapshot(const PlanSnapshot& snapshot);
+
+/// Parses up to 16 lowercase hex digits (the snapshot and sync wire
+/// checksum rendering) into a uint64. Shared with the replication client,
+/// which verifies the end-to-end checksum on a shipped snapshot stream.
+bool ParseHex64(std::string_view text, uint64_t* out);
 
 /// Parses as much of `data` as validates. Entries whose checksum, lengths
 /// or framing are broken are dropped and counted in `report->skipped`;

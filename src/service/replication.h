@@ -1,0 +1,106 @@
+#ifndef KOLA_SERVICE_REPLICATION_H_
+#define KOLA_SERVICE_REPLICATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "service/service.h"
+
+namespace kola {
+
+/// How a standby follows its primary.
+struct ReplicationOptions {
+  /// The primary's endpoint. Only loopback is supported (the server binds
+  /// 127.0.0.1); "localhost" is accepted as an alias.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Cadence of the poll-sync loop after a successful sync.
+  int64_t sync_interval_ms = 500;
+  /// Budget for one whole sync attempt: connect + send SYNC + read the
+  /// length-prefixed snapshot stream. A primary that hangs mid-stream is
+  /// a failed sync, not a wedged standby.
+  int64_t io_deadline_ms = 5000;
+  /// After this many CONSECUTIVE failed syncs the standby assumes the
+  /// primary is gone and promotes itself (OptimizationService::Promote:
+  /// starts accepting BUMP, reports READY). 0 = never promote.
+  int promote_after_failures = 5;
+  /// Seed for the full-jitter backoff between failed syncs.
+  uint64_t backoff_seed = 1;
+};
+
+/// Counters for STATS assertions and tests; the service's own replication
+/// counters (syncs_applied, sync_failures, ...) are the primary record.
+struct ReplicationClientStats {
+  uint64_t attempts = 0;
+  uint64_t checksum_mismatches = 0;  // torn/corrupt streams detected
+  uint64_t bytes_received = 0;
+  bool running = false;
+};
+
+/// The standby side of snapshot shipping: a background loop that connects
+/// to the primary, sends `SYNC`, reads the length-prefixed `KOLASNAP`
+/// stream, verifies the end-to-end checksum, and applies it through
+/// OptimizationService::ApplySyncBytes (tolerant restore + CAS-max
+/// catalog-version adoption). On repeated failure it backs off with full
+/// jitter, and -- past the promotion threshold -- promotes the service and
+/// retires. The primary needs no dedicated component: `SYNC` is an
+/// ordinary protocol verb served by every endpoint that is sync-ready.
+///
+/// Why ship whole snapshots rather than a log: the plan cache is a pure
+/// function of (query shape, rule fingerprint, catalog version), so state
+/// transfer is idempotent and self-validating -- every entry re-proves
+/// itself through its checksum and catalog-version check on apply, and a
+/// missed cycle costs warmth, never correctness.
+class ReplicationClient {
+ public:
+  /// `service` is borrowed and must outlive the client.
+  ReplicationClient(OptimizationService* service, ReplicationOptions options);
+  ~ReplicationClient();  // Stop()
+
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Spawns the sync loop. The first successful sync flips the service
+  /// from NOT_READY to serving.
+  void Start();
+
+  /// Stops the loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// One synchronous sync attempt (the loop's body, public so tests can
+  /// drive it deterministically). On success the service has applied the
+  /// primary's snapshot; on failure the caller decides about backoff and
+  /// promotion -- this call itself notes nothing in the service.
+  Status SyncOnce();
+
+  ReplicationClientStats stats() const;
+
+ private:
+  void SyncLoop();
+  /// Interruptible sleep; false when Stop() was requested meanwhile.
+  bool SleepFor(int64_t ms);
+
+  OptimizationService* service_;
+  ReplicationOptions options_;
+  Rng backoff_rng_;
+
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> checksum_mismatches_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;       // guarded by mu_
+  bool running_ = false;    // guarded by mu_
+  std::thread thread_;
+};
+
+}  // namespace kola
+
+#endif  // KOLA_SERVICE_REPLICATION_H_

@@ -213,9 +213,7 @@ void SocketServer::ServeConnection(int fd) {
       if (trimmed == "SHUTDOWN") {
         SendAll(fd, "OK shutting down\n");
         alive = false;
-        std::lock_guard<std::mutex> lock(wait_mu_);
-        done_ = true;
-        wait_cv_.notify_all();
+        RequestShutdown();
         break;
       }
       std::string response = service_->HandleLine(line);
@@ -283,12 +281,17 @@ void SocketServer::Wait() {
 }
 
 void SocketServer::RequestShutdown() {
+  // From here on PING answers "OK draining" and HEALTH reports DRAINING,
+  // even while in-flight (and not-yet-drained) requests are still served:
+  // clients should steer new work elsewhere before Drain() half-closes.
+  service_->SetDraining();
   std::lock_guard<std::mutex> lock(wait_mu_);
   done_ = true;
   wait_cv_.notify_all();
 }
 
 bool SocketServer::Drain(int64_t deadline_ms) {
+  service_->SetDraining();  // Drain without RequestShutdown still reports
   int expected = static_cast<int>(DrainState::kServing);
   drain_state_.compare_exchange_strong(
       expected, static_cast<int>(DrainState::kDraining),

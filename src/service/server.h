@@ -84,7 +84,9 @@ class SocketServer {
   void Wait();
 
   /// Wakes Wait() without tearing anything down, so the owner can run the
-  /// graceful path: Wait() -> Drain() -> snapshot -> Stop(). Idempotent.
+  /// graceful path: Wait() -> Drain() -> snapshot -> Stop(). Also flips
+  /// the service to DRAINING (PING answers "OK draining", HEALTH reports
+  /// DRAINING) so load balancers steer away early. Idempotent.
   void RequestShutdown();
 
   /// Graceful drain: stops accepting, half-closes every live connection

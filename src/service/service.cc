@@ -7,11 +7,13 @@
 #include <utility>
 
 #include "aqua/parser.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "oql/oql.h"
 #include "rules/catalog.h"
 #include "service/plan_cache_io.h"
 #include "term/parser.h"
+#include "term/term.h"
 #include "translate/translate.h"
 
 namespace kola {
@@ -25,6 +27,20 @@ constexpr uint64_t kCompactEveryEvictions = 256;
 /// Hard cap on how long one protocol line may be; a longer line is a
 /// malformed request, answered with an error rather than buffered forever.
 constexpr size_t kMaxQueryBytes = 1 << 20;
+
+/// A standby whose syncs keep failing flips HEALTH to SYNCING at this many
+/// consecutive failures (one transient miss does not flap the endpoint).
+constexpr int kSyncingAfterFailures = 2;
+
+/// Bound on the health transition history kept for STATS; only the recent
+/// tail (e.g. READY>SYNCING>READY around a failover) is interesting.
+constexpr size_t kHealthHistoryLimit = 8;
+
+int64_t NowSteadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string FormatDouble(double value) {
   char buf[64];
@@ -96,6 +112,30 @@ const char* QueryLanguageName(QueryLanguage language) {
   return "unknown";
 }
 
+const char* ServiceRoleName(ServiceRole role) {
+  switch (role) {
+    case ServiceRole::kPrimary:
+      return "primary";
+    case ServiceRole::kStandby:
+      return "standby";
+    case ServiceRole::kPromoted:
+      return "promoted";
+  }
+  return "unknown";
+}
+
+const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kReady:
+      return "READY";
+    case ServiceHealth::kSyncing:
+      return "SYNCING";
+    case ServiceHealth::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
 std::vector<TierPolicy> DefaultTiers() {
   // gold is deadline-free on purpose: its outcomes are a pure function of
   // the query (step and byte budgets are deterministic), which is what
@@ -134,6 +174,73 @@ OptimizationService::OptimizationService(const Database* db,
   for (int i = 0; i < options_.jobs; ++i) {
     optimizer_pool_.push_back(
         std::make_unique<Optimizer>(properties_, db_));
+  }
+  role_.store(static_cast<int>(options_.standby ? ServiceRole::kStandby
+                                                : ServiceRole::kPrimary),
+              std::memory_order_release);
+  RecordHealthTransition();  // seed the history: READY or SYNCING
+}
+
+ServiceHealth OptimizationService::health() const {
+  if (draining_.load(std::memory_order_acquire)) {
+    return ServiceHealth::kDraining;
+  }
+  switch (role()) {
+    case ServiceRole::kPrimary:
+    case ServiceRole::kPromoted:
+      return ServiceHealth::kReady;
+    case ServiceRole::kStandby:
+      if (!sync_ready_.load(std::memory_order_acquire) ||
+          consecutive_sync_failures_.load(std::memory_order_acquire) >=
+              kSyncingAfterFailures) {
+        return ServiceHealth::kSyncing;
+      }
+      return ServiceHealth::kReady;
+  }
+  return ServiceHealth::kSyncing;
+}
+
+bool OptimizationService::ServingReads() const {
+  return role() != ServiceRole::kStandby ||
+         sync_ready_.load(std::memory_order_acquire);
+}
+
+void OptimizationService::SetDraining() {
+  draining_.store(true, std::memory_order_release);
+  RecordHealthTransition();
+}
+
+void OptimizationService::Promote() {
+  int expected = static_cast<int>(ServiceRole::kStandby);
+  if (role_.compare_exchange_strong(
+          expected, static_cast<int>(ServiceRole::kPromoted),
+          std::memory_order_acq_rel)) {
+    // A promoted standby is the new source of truth at whatever catalog
+    // version it last synced; serving it is correct because every entry it
+    // holds was validated against exactly that version.
+    sync_ready_.store(true, std::memory_order_release);
+    RecordHealthTransition();
+  }
+}
+
+int OptimizationService::NoteSyncFailure() {
+  int failures =
+      consecutive_sync_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sync_failures;
+  }
+  RecordHealthTransition();
+  return failures;
+}
+
+void OptimizationService::RecordHealthTransition() {
+  const std::string name = ServiceHealthName(health());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!health_history_.empty() && health_history_.back() == name) return;
+  health_history_.push_back(name);
+  if (health_history_.size() > kHealthHistoryLimit) {
+    health_history_.erase(health_history_.begin());
   }
 }
 
@@ -223,7 +330,7 @@ uint64_t OptimizationService::BumpCatalogVersion() {
   return version;
 }
 
-Status OptimizationService::SaveSnapshot(const std::string& path) {
+PlanSnapshot OptimizationService::BuildSnapshot() {
   PlanSnapshot snapshot;
   snapshot.rule_fingerprint = rule_fingerprint_;
   snapshot.catalog_version = catalog_version();
@@ -237,6 +344,11 @@ Status OptimizationService::SaveSnapshot(const std::string& path) {
     out.payload = entry.payload;
     snapshot.entries.push_back(std::move(out));
   }
+  return snapshot;
+}
+
+Status OptimizationService::SaveSnapshot(const std::string& path) {
+  PlanSnapshot snapshot = BuildSnapshot();
   Status status = WritePlanSnapshotFile(path, snapshot);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -289,11 +401,25 @@ SnapshotRestoreReport OptimizationService::RestoreSnapshot(
   const uint64_t adopted = catalog_version();
   report.catalog_version = adopted;
 
+  ReviveEntries(snapshot, adopted, &report.restored, &report.skipped);
+
+  report.status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.restored_entries += report.restored;
+    stats_.restore_skipped += report.skipped;
+  }
+  return report;
+}
+
+void OptimizationService::ReviveEntries(const PlanSnapshot& snapshot,
+                                        uint64_t adopted, uint64_t* restored,
+                                        uint64_t* skipped) {
   for (const PlanSnapshotEntry& entry : snapshot.entries) {
     // An entry cached under an older catalog version was already
-    // invalidated before the crash; reviving it would serve stale plans.
+    // invalidated at its source; reviving it would serve stale plans.
     if (entry.catalog_version != adopted) {
-      ++report.skipped;
+      ++*skipped;
       continue;
     }
     // Same first-tag-wins discipline as Handle: parse outside any
@@ -303,27 +429,116 @@ SnapshotRestoreReport OptimizationService::RestoreSnapshot(
       return ParseQuery(entry.term_text);
     }();
     if (!parsed.ok()) {
-      ++report.skipped;
+      ++*skipped;
       continue;
     }
     TermPtr canonical = key_interner_.Intern(parsed.value());
     const TermId query_id = key_interner_.IdOf(canonical);
     if (query_id == 0) {
-      ++report.skipped;
+      ++*skipped;
       continue;
     }
     const PlanCacheKey key{query_id, rule_fingerprint_, adopted};
     cache_.Insert(key, canonical, entry.payload);
-    ++report.restored;
+    ++*restored;
   }
+}
 
-  report.status = Status::OK();
+std::string OptimizationService::EncodeSyncResponse() {
+  std::string encoded = EncodePlanSnapshot(BuildSnapshot());
+  char checksum[24];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(StableStringHash(encoded)));
+  // The chaos site for replication: corrupt one byte AFTER the end-to-end
+  // checksum was computed, exactly what a torn TCP stream or bit rot in
+  // transit looks like. The standby must detect it and count a failed
+  // sync, never apply a damaged stream.
+  if (!MaybeInjectFault(FaultSite::kReplSync).ok() && !encoded.empty()) {
+    encoded[encoded.size() / 2] ^= 0x40;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.restored_entries += report.restored;
-    stats_.restore_skipped += report.skipped;
+    ++stats_.syncs_served;
   }
+  return "SNAPSHOT " + std::to_string(encoded.size()) + " " + checksum +
+         "\n" + encoded;
+}
+
+SnapshotRestoreReport OptimizationService::ApplySyncBytes(
+    std::string_view bytes) {
+  SnapshotRestoreReport report;
+  SnapshotReadReport read_report;
+  PlanSnapshot snapshot = DecodePlanSnapshot(bytes, &read_report);
+  report.skipped = read_report.skipped;
+  report.catalog_version = catalog_version();
+  if (!read_report.header_ok) {
+    report.status =
+        InvalidArgumentError("sync stream: unusable snapshot header");
+    return report;
+  }
+  if (snapshot.rule_fingerprint != rule_fingerprint_) {
+    // Version skew: the primary runs a different rule catalog, so none of
+    // its plans are this process's plans. Refusing the whole sync (rather
+    // than skipping entries) keeps the standby NOT_READY instead of
+    // "ready" with an empty, wrong view.
+    report.skipped += snapshot.entries.size();
+    report.status = FailedPreconditionError(
+        "sync stream: rule fingerprint mismatch (primary runs a different "
+        "rule catalog)");
+    return report;
+  }
+
+  // CAS-max adoption, same as crash restore: the version only moves
+  // forward, so a standby can never answer for a catalog older than any
+  // it has acknowledged.
+  const uint64_t before = catalog_version_.load(std::memory_order_acquire);
+  uint64_t current = before;
+  while (snapshot.catalog_version > current &&
+         !catalog_version_.compare_exchange_weak(
+             current, snapshot.catalog_version, std::memory_order_acq_rel)) {
+  }
+  const uint64_t adopted = catalog_version();
+  report.catalog_version = adopted;
+  if (adopted > before) {
+    // Everything cached under the pre-sync version is stale now; reclaim
+    // eagerly, exactly like BumpCatalogVersion does on a primary.
+    cache_.Clear();
+    key_interner_.Compact();
+  }
+
+  ReviveEntries(snapshot, adopted, &report.restored, &report.skipped);
+  report.status = Status::OK();
+
+  last_sync_time_ms_.store(NowSteadyMs(), std::memory_order_release);
+  consecutive_sync_failures_.store(0, std::memory_order_release);
+  sync_ready_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.syncs_applied;
+    stats_.sync_entries_applied += report.restored;
+    stats_.sync_entries_skipped += report.skipped;
+  }
+  RecordHealthTransition();
   return report;
+}
+
+std::string OptimizationService::HealthLine() const {
+  const ServiceHealth h = health();
+  const bool serving = ServingReads() && h != ServiceHealth::kDraining;
+  const bool synced = role() == ServiceRole::kPrimary ||
+                      sync_ready_.load(std::memory_order_acquire);
+  const int64_t last = last_sync_time_ms_.load(std::memory_order_acquire);
+  std::string out = ServiceHealthName(h);
+  out += " role=";
+  out += ServiceRoleName(role());
+  out += " serving=";
+  out += serving ? '1' : '0';
+  out += " synced=";
+  out += synced ? '1' : '0';
+  out += " lag_ms=";
+  out += last < 0 ? "-1" : std::to_string(NowSteadyMs() - last);
+  out += " version=" + std::to_string(catalog_version());
+  return out;
 }
 
 ServiceResponse OptimizationService::Handle(const ServiceRequest& request) {
@@ -339,6 +554,15 @@ ServiceResponse OptimizationService::Handle(const ServiceRequest& request) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.requests;
+  }
+
+  // A standby that has never applied a sync must not answer: its catalog
+  // version is a default, not the primary's, and any plan it computed
+  // could be stale the moment it catches up.
+  if (!ServingReads()) {
+    response.status = FailedPreconditionError(
+        "standby not ready: awaiting first sync from primary (NOT_READY)");
+    return finish();
   }
 
   // Admission control: past the in-flight bound the request is shed with a
@@ -476,13 +700,33 @@ std::string OptimizationService::HandleLine(const std::string& raw) {
   if (line.empty()) {
     return "ERR INVALID_ARGUMENT: empty request";
   }
-  if (line == "PING") return "OK pong";
+  if (line == "PING") {
+    return draining_.load(std::memory_order_acquire) ? "OK draining"
+                                                     : "OK pong";
+  }
   if (line == "STATS") return StatsText();
+  if (line == "HEALTH") return "OK " + HealthLine();
   if (line == "BUMP") {
+    if (role() == ServiceRole::kStandby) {
+      return "ERR FAILED_PRECONDITION: standby refuses BUMP (replicas "
+             "follow the primary's catalog; bump the primary, or promote "
+             "this standby first)";
+    }
     return "OK version=" + std::to_string(BumpCatalogVersion());
+  }
+  if (line == "SYNC") {
+    if (!ServingReads()) {
+      return "ERR NOT_READY: standby has no applied sync to ship";
+    }
+    return "OK " + EncodeSyncResponse();
   }
 
   if (line.rfind("Q ", 0) == 0 || line.rfind("F ", 0) == 0) {
+    if (!ServingReads()) {
+      // The wire spells NOT_READY so clients (and the failover gate in
+      // CI) can tell "come back after a sync" from a real failure.
+      return "ERR NOT_READY: standby awaiting first sync from primary";
+    }
     const bool bypass = line[0] == 'F';
     std::string_view rest = line.substr(2);
     size_t tier_end = rest.find(' ');
@@ -526,7 +770,7 @@ std::string OptimizationService::HandleLine(const std::string& raw) {
   }
 
   return "ERR INVALID_ARGUMENT: unknown verb (expected Q, F, STATS, BUMP, "
-         "PING, QUIT or SHUTDOWN)";
+         "PING, HEALTH, SYNC, QUIT or SHUTDOWN)";
 }
 
 ServiceStats OptimizationService::stats() const {
@@ -534,7 +778,16 @@ ServiceStats OptimizationService::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
+    for (const std::string& state : health_history_) {
+      if (!snapshot.health_history.empty()) snapshot.health_history += '>';
+      snapshot.health_history += state;
+    }
   }
+  snapshot.consecutive_sync_failures =
+      consecutive_sync_failures_.load(std::memory_order_acquire);
+  snapshot.promoted = role() == ServiceRole::kPromoted;
+  const int64_t last = last_sync_time_ms_.load(std::memory_order_acquire);
+  snapshot.last_sync_lag_ms = last < 0 ? -1 : NowSteadyMs() - last;
   snapshot.cache = cache_.stats();
   snapshot.catalog_version = catalog_version();
   snapshot.rule_fingerprint = rule_fingerprint_;
@@ -593,6 +846,20 @@ std::string OptimizationService::StatsText() const {
        " last_entries=" + std::to_string(s.snapshot_last_entries) +
        " restored=" + std::to_string(s.restored_entries) +
        " restore_skipped=" + std::to_string(s.restore_skipped));
+  line("replication role=" + std::string(ServiceRoleName(role())) +
+       " state=" + ServiceHealthName(health()) +
+       " serving=" + (ServingReads() && !draining_.load(
+                          std::memory_order_acquire) ? "1" : "0") +
+       " syncs_served=" + std::to_string(s.syncs_served) +
+       " syncs_applied=" + std::to_string(s.syncs_applied) +
+       " sync_failures=" + std::to_string(s.sync_failures) +
+       " entries_applied=" + std::to_string(s.sync_entries_applied) +
+       " entries_skipped=" + std::to_string(s.sync_entries_skipped) +
+       " consecutive_failures=" +
+       std::to_string(s.consecutive_sync_failures) +
+       " promoted=" + (s.promoted ? "1" : "0") +
+       " lag_ms=" + std::to_string(s.last_sync_lag_ms) +
+       " history=" + s.health_history);
   line("uptime_sec " + std::to_string(s.uptime_sec));
   if (extra_stats_) line(extra_stats_());
   std::string peaks = "peak_bytes total=" + std::to_string(s.peak_bytes);

@@ -18,6 +18,7 @@
 #include "optimizer/retry.h"
 #include "rewrite/properties.h"
 #include "service/plan_cache.h"
+#include "service/plan_cache_io.h"
 #include "term/intern.h"
 #include "values/database.h"
 
@@ -28,6 +29,20 @@ enum class QueryLanguage { kKola, kOql, kAqua };
 
 StatusOr<QueryLanguage> ParseQueryLanguage(std::string_view name);
 const char* QueryLanguageName(QueryLanguage language);
+
+/// Replication role. A primary is the source of truth; a standby follows a
+/// primary via snapshot shipping (replication.h) and refuses BUMP; a
+/// promoted standby has taken over after primary loss and accepts BUMP.
+enum class ServiceRole { kPrimary = 0, kStandby, kPromoted };
+const char* ServiceRoleName(ServiceRole role);
+
+/// What the HEALTH endpoint reports. READY: serving reads at the current
+/// catalog. SYNCING: a standby that has never applied a sync (it answers
+/// ERR NOT_READY) or whose recent syncs keep failing (it still serves its
+/// last-synced state). DRAINING: RequestShutdown has run; in-flight
+/// requests finish but clients should steer away.
+enum class ServiceHealth { kReady = 0, kSyncing, kDraining };
+const char* ServiceHealthName(ServiceHealth health);
 
 /// One QoS tier: a named resource envelope mapped onto Governor::Limits,
 /// plus the retry-escalation depth for requests that exhaust it. Tiers are
@@ -67,6 +82,10 @@ struct ServiceOptions {
   int max_inflight = 0;
   /// Tier table; must be non-empty. The first tier is the default.
   std::vector<TierPolicy> tiers = DefaultTiers();
+  /// Start as a replication standby: serve reads only after the first
+  /// applied sync (ERR NOT_READY before that -- a standby must never
+  /// answer for a catalog it has not seen), refuse BUMP until promoted.
+  bool standby = false;
 };
 
 struct ServiceRequest {
@@ -123,6 +142,16 @@ struct ServiceStats {
   uint64_t restored_entries = 0;        // cache entries revived on restore
   uint64_t restore_skipped = 0;         // snapshot entries rejected on restore
   int64_t uptime_sec = 0;               // seconds since service construction
+  /// Replication counters (all zero on an unreplicated primary).
+  uint64_t syncs_served = 0;          // SYNC streams shipped to standbys
+  uint64_t syncs_applied = 0;         // syncs successfully applied (standby)
+  uint64_t sync_failures = 0;         // failed sync attempts (standby)
+  uint64_t sync_entries_applied = 0;  // entries revived by applied syncs
+  uint64_t sync_entries_skipped = 0;  // sync entries rejected on apply
+  int consecutive_sync_failures = 0;
+  bool promoted = false;              // a standby that took over
+  int64_t last_sync_lag_ms = -1;      // ms since last applied sync; -1 never
+  std::string health_history;         // recent states, "SYNCING>READY>..."
 };
 
 /// Outcome of restoring a snapshot at startup. `status` is NOT_FOUND for a
@@ -174,10 +203,11 @@ class OptimizationService {
   ServiceResponse Handle(const ServiceRequest& request);
 
   /// The line protocol: "Q <tier> <lang> <query>", "F <tier> <lang>
-  /// <query>", "STATS", "BUMP", "PING". Returns the full response text
-  /// (possibly multi-line for STATS); the final line always starts with
-  /// "OK" or "ERR". QUIT/SHUTDOWN are connection-level verbs handled by
-  /// the server, not here.
+  /// <query>", "STATS", "BUMP", "PING", "HEALTH", "SYNC". Returns the
+  /// full response text (possibly multi-line for STATS, length-prefixed
+  /// binary-ish for SYNC); the final line always starts with "OK" or
+  /// "ERR". QUIT/SHUTDOWN are connection-level verbs handled by the
+  /// server, not here.
   std::string HandleLine(const std::string& line);
 
   /// Invalidates every cached plan by advancing the catalog version (new
@@ -200,6 +230,48 @@ class OptimizationService {
   /// fingerprint or catalog-version validation are skipped and counted,
   /// never fatal. Call before serving traffic.
   SnapshotRestoreReport RestoreSnapshot(const std::string& path);
+
+  ServiceRole role() const {
+    return static_cast<ServiceRole>(role_.load(std::memory_order_acquire));
+  }
+  ServiceHealth health() const;
+
+  /// True when this endpoint may answer Q/F: always on a primary or a
+  /// promoted standby; on a standby only once its first sync has applied.
+  /// Draining does not revoke it -- in-flight readers still finish.
+  bool ServingReads() const;
+
+  /// One-way latch set by the server once RequestShutdown has run. PING
+  /// answers "OK draining" and HEALTH reports DRAINING from then on.
+  void SetDraining();
+
+  /// Standby -> promoted after primary loss: starts accepting BUMP and
+  /// reports READY. Idempotent; a no-op on a primary.
+  void Promote();
+
+  /// Records one failed sync attempt (standby side) and returns the
+  /// consecutive-failure count, which the replication client compares
+  /// against its promotion threshold.
+  int NoteSyncFailure();
+
+  /// The SYNC response body a primary ships (after the protocol's "OK "):
+  /// "SNAPSHOT <len> <hex end-to-end checksum>\n" followed by exactly
+  /// <len> KOLASNAP bytes. The checksum covers the bytes as sent, so a
+  /// torn or corrupted stream is detected before any entry is applied.
+  std::string EncodeSyncResponse();
+
+  /// Applies a shipped snapshot stream on a standby: decode, rule
+  /// fingerprint check, CAS-max catalog-version adoption (clearing
+  /// entries the adoption just made stale), then the same tolerant
+  /// per-entry revive as RestoreSnapshot. A successful apply marks the
+  /// standby sync-ready; an unusable header or foreign fingerprint is an
+  /// error and leaves readiness untouched.
+  SnapshotRestoreReport ApplySyncBytes(std::string_view bytes);
+
+  /// The HEALTH protocol body (after "OK "): state, role, whether the
+  /// endpoint should receive reads, sync status, replication lag and
+  /// catalog version, all on one line.
+  std::string HealthLine() const;
 
   uint64_t catalog_version() const {
     return catalog_version_.load(std::memory_order_acquire);
@@ -230,6 +302,15 @@ class OptimizationService {
   void RecordOutcome(const TierPolicy& tier, const RetryReport& report,
                      int64_t latency_usec);
   void MaybeCompactKeyInterner();
+  PlanSnapshot BuildSnapshot();
+  /// The tolerant per-entry revive shared by crash restore and sync
+  /// apply: entries cached under exactly `adopted` re-parse, re-intern
+  /// and insert; everything else counts into *skipped.
+  void ReviveEntries(const PlanSnapshot& snapshot, uint64_t adopted,
+                     uint64_t* restored, uint64_t* skipped);
+  /// Appends the current health state to the bounded transition history
+  /// if it changed (so READY->SYNCING->READY is observable in STATS).
+  void RecordHealthTransition();
 
   const Database* db_;
   const PropertyStore* properties_;
@@ -239,6 +320,15 @@ class OptimizationService {
   const std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
   std::function<std::string()> extra_stats_;
+
+  /// Replication / lifecycle state. role_ holds a ServiceRole; the rest
+  /// are one-way or monotonic flags, so plain atomics suffice.
+  std::atomic<int> role_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> sync_ready_{false};
+  std::atomic<int> consecutive_sync_failures_{0};
+  std::atomic<int64_t> last_sync_time_ms_{-1};  // steady-clock ms; -1 never
+  std::vector<std::string> health_history_;     // guarded by stats_mu_
 
   /// Canonicalizes incoming query shapes for O(1) cache keys. Entries are
   /// kept alive by the cache's key references and compacted once eviction

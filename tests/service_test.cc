@@ -21,13 +21,18 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/parse_number.h"
+#include "common/random.h"
+#include "common/string_util.h"
 #include "rewrite/properties.h"
 #include "service/plan_cache.h"
 #include "service/plan_cache_io.h"
+#include "service/replication.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "term/intern.h"
 #include "term/parser.h"
+#include "term/term.h"
 #include "values/car_world.h"
 
 namespace kola {
@@ -1212,6 +1217,372 @@ TEST_F(ServiceTest, ServerCountersSurfaceInStatsViaExtraStats) {
   EXPECT_TRUE(saw_server_line);
   EXPECT_TRUE(saw_snapshot_line);
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Replication: SYNC shipping, standby gating, health, promotion
+// ---------------------------------------------------------------------------
+
+/// Splits a HandleLine("SYNC") response into its header fields and the raw
+/// snapshot payload. `ok` requires the declared length to match.
+struct SyncStream {
+  uint64_t checksum = 0;
+  std::string payload;
+  bool ok = false;
+};
+
+SyncStream ParseSyncResponse(const std::string& response) {
+  SyncStream s;
+  size_t newline = response.find('\n');
+  if (newline == std::string::npos) return s;
+  std::vector<std::string> fields = Split(response.substr(0, newline), ' ');
+  if (fields.size() != 4 || fields[0] != "OK" || fields[1] != "SNAPSHOT") {
+    return s;
+  }
+  auto len = ParseUint64(fields[2]);
+  if (!len.ok() || !ParseHex64(fields[3], &s.checksum)) return s;
+  s.payload = response.substr(newline + 1);
+  s.ok = s.payload.size() == len.value();
+  return s;
+}
+
+TEST_F(ServiceTest, DrainingIsVisibleInPingHealthAndStats) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  EXPECT_EQ(service.HandleLine("PING"), "OK pong");
+  EXPECT_EQ(service.HandleLine("HEALTH").rfind("OK READY", 0), 0u);
+  EXPECT_NE(service.HandleLine("HEALTH").find(" serving=1"),
+            std::string::npos);
+
+  service.SetDraining();
+  EXPECT_EQ(service.HandleLine("PING"), "OK draining");
+  std::string health = service.HandleLine("HEALTH");
+  EXPECT_EQ(health.rfind("OK DRAINING", 0), 0u) << health;
+  // serving=0 steers health-gated clients away while in-flight reads
+  // still complete (ServingReads stays true).
+  EXPECT_NE(health.find(" serving=0"), std::string::npos) << health;
+  EXPECT_TRUE(service.ServingReads());
+  EXPECT_NE(service.HandleLine("STATS").find("state=DRAINING"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, RequestShutdownFlipsLiveServerToDraining) {
+  OptimizationService service(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // `witness` connects before the shutdown and keeps its line open across
+  // it: drain must answer its later requests, and those answers must say
+  // the daemon is going away.
+  TestClient witness(server.port());
+  ASSERT_TRUE(witness.connected());
+  std::string line;
+  ASSERT_TRUE(witness.Send("PING"));
+  ASSERT_TRUE(witness.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
+
+  TestClient controller(server.port());
+  ASSERT_TRUE(controller.connected());
+  ASSERT_TRUE(controller.Send("SHUTDOWN"));
+  ASSERT_TRUE(controller.ReadLine(&line));
+  EXPECT_EQ(line, "OK shutting down");
+  server.Wait();
+
+  ASSERT_TRUE(witness.Send("PING"));
+  ASSERT_TRUE(witness.ReadLine(&line));
+  EXPECT_EQ(line, "OK draining");
+  ASSERT_TRUE(witness.Send("HEALTH"));
+  ASSERT_TRUE(witness.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK DRAINING", 0), 0u) << line;
+  server.Stop();
+}
+
+TEST_F(ServiceTest, StandbyRefusesReadsAndBumpUntilPromoted) {
+  ServiceOptions options;
+  options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, options);
+  EXPECT_EQ(standby.role(), ServiceRole::kStandby);
+  EXPECT_FALSE(standby.ServingReads());
+
+  // A never-synced standby must never answer a read: it could hold stale
+  // (pre-BUMP) plans from a restored snapshot.
+  ServiceResponse response =
+      standby.Handle(Oql("select p.age from p in P"));
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  std::string wire = standby.HandleLine("Q gold oql select p.age from p in P");
+  EXPECT_EQ(wire.rfind("ERR NOT_READY", 0), 0u) << wire;
+  EXPECT_EQ(standby.HandleLine("SYNC").rfind("ERR NOT_READY", 0), 0u);
+
+  // Catalog changes flow primary -> standby, never the reverse.
+  std::string bump = standby.HandleLine("BUMP");
+  EXPECT_EQ(bump.rfind("ERR FAILED_PRECONDITION", 0), 0u) << bump;
+
+  std::string health = standby.HandleLine("HEALTH");
+  EXPECT_EQ(health.rfind("OK SYNCING", 0), 0u) << health;
+  EXPECT_NE(health.find(" serving=0"), std::string::npos) << health;
+  EXPECT_NE(health.find(" synced=0"), std::string::npos) << health;
+
+  standby.Promote();
+  EXPECT_EQ(standby.role(), ServiceRole::kPromoted);
+  EXPECT_TRUE(standby.ServingReads());
+  EXPECT_EQ(standby.HandleLine("HEALTH").rfind("OK READY", 0), 0u);
+  EXPECT_EQ(standby.HandleLine("BUMP"), "OK version=2");
+  EXPECT_TRUE(standby.Handle(Oql("select p.age from p in P")).status.ok());
+}
+
+TEST_F(ServiceTest, SyncShipsByteIdenticalWarmPlansToStandby) {
+  OptimizationService primary(db_.get(), &properties_, ServiceOptions{});
+  const std::vector<std::string> queries = {
+      "select p.name from p in P where p.age > 25",
+      "select p.age from p in P",
+      "select c.name from p in P, c in p.child where c.age > 12",
+  };
+  std::vector<std::string> payloads;
+  for (const std::string& q : queries) {
+    ServiceResponse r = primary.Handle(Oql(q));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    payloads.push_back(r.payload);
+  }
+
+  std::string response = primary.HandleLine("SYNC");
+  SyncStream stream = ParseSyncResponse(response);
+  ASSERT_TRUE(stream.ok) << response.substr(0, 80);
+  // The header checksum is end to end: it covers the bytes as encoded, so
+  // the standby can reject a torn stream before applying anything.
+  EXPECT_EQ(StableStringHash(stream.payload), stream.checksum);
+  EXPECT_EQ(primary.stats().syncs_served, 1u);
+
+  ServiceOptions options;
+  options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, options);
+  SnapshotRestoreReport report = standby.ApplySyncBytes(stream.payload);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.restored, queries.size());
+  EXPECT_EQ(report.skipped, 0u);
+
+  // The first applied sync flips the standby to serving, and every warm
+  // hit replays the primary's plan byte for byte.
+  EXPECT_TRUE(standby.ServingReads());
+  EXPECT_EQ(standby.health(), ServiceHealth::kReady);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServiceResponse warm = standby.Handle(Oql(queries[i]));
+    ASSERT_TRUE(warm.status.ok());
+    EXPECT_TRUE(warm.cache_hit) << queries[i];
+    EXPECT_EQ(warm.payload, payloads[i]);
+  }
+  ServiceStats stats = standby.stats();
+  EXPECT_EQ(stats.syncs_applied, 1u);
+  EXPECT_EQ(stats.sync_entries_applied, queries.size());
+  // A synced standby ships snapshots itself (chained standbys).
+  EXPECT_EQ(standby.HandleLine("SYNC").rfind("OK SNAPSHOT", 0), 0u);
+}
+
+TEST_F(ServiceTest, SyncAdoptsCatalogVersionAndDropsStaleWarmth) {
+  OptimizationService primary(db_.get(), &properties_, ServiceOptions{});
+  ServiceOptions options;
+  options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, options);
+  const std::string query = "select p.age from p in P";
+
+  ASSERT_TRUE(primary.Handle(Oql(query)).status.ok());
+  SyncStream first = ParseSyncResponse(primary.HandleLine("SYNC"));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(standby.ApplySyncBytes(first.payload).status.ok());
+  EXPECT_TRUE(standby.Handle(Oql(query)).cache_hit);
+
+  // The primary's catalog moves on; the next sync must carry the new
+  // version and orphan the standby's v1 warmth in one step.
+  EXPECT_EQ(primary.BumpCatalogVersion(), 2u);
+  ServiceResponse rewarmed = primary.Handle(Oql(query));
+  ASSERT_TRUE(rewarmed.status.ok());
+  SyncStream second = ParseSyncResponse(primary.HandleLine("SYNC"));
+  ASSERT_TRUE(second.ok);
+  SnapshotRestoreReport report = standby.ApplySyncBytes(second.payload);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.catalog_version, 2u);
+
+  // Serving a stale plan is structurally impossible now: the standby's
+  // cache keys carry version 2, so the old entry is unreachable -- and the
+  // warm answer matches the primary's post-bump plan exactly.
+  ServiceResponse warm = standby.Handle(Oql(query));
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.payload, rewarmed.payload);
+}
+
+TEST_F(ServiceTest, ReplicationClientSyncsOverSocketAndPromotesOnLoss) {
+  OptimizationService primary(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&primary, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string query = "select p.name from p in P where p.age > 25";
+  ServiceResponse cold = primary.Handle(Oql(query));
+  ASSERT_TRUE(cold.status.ok());
+
+  ServiceOptions standby_options;
+  standby_options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, standby_options);
+  ReplicationOptions repl;
+  repl.port = server.port();
+  repl.sync_interval_ms = 20;
+  repl.io_deadline_ms = 2'000;
+  repl.promote_after_failures = 3;
+  ReplicationClient client(&standby, repl);
+
+  // One live sync over the real socket: the standby comes up serving the
+  // primary's exact plan.
+  Status synced = client.SyncOnce();
+  ASSERT_TRUE(synced.ok()) << synced.ToString();
+  EXPECT_TRUE(standby.ServingReads());
+  ServiceResponse warm = standby.Handle(Oql(query));
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.payload, cold.payload);
+  EXPECT_GT(client.stats().bytes_received, 0u);
+
+  // Kill the primary, then start the loop: consecutive failures walk the
+  // standby READY -> SYNCING and past the threshold it promotes itself.
+  server.Stop();
+  client.Start();
+  for (int i = 0; i < 1'000 && standby.role() != ServiceRole::kPromoted;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  client.Stop();
+  ASSERT_EQ(standby.role(), ServiceRole::kPromoted);
+  EXPECT_TRUE(standby.ServingReads());
+  EXPECT_EQ(standby.health(), ServiceHealth::kReady);
+  ServiceStats stats = standby.stats();
+  EXPECT_TRUE(stats.promoted);
+  EXPECT_GE(stats.sync_failures, 3u);
+  // The full arc is on the record for STATS scrapers.
+  EXPECT_NE(stats.health_history.find("READY>SYNCING>READY"),
+            std::string::npos)
+      << stats.health_history;
+  EXPECT_NE(standby.HandleLine("STATS").find("promoted=1"),
+            std::string::npos);
+  // Promoted means primary: it owns the catalog and ships syncs.
+  EXPECT_EQ(standby.HandleLine("BUMP"), "OK version=2");
+}
+
+TEST_F(ServiceTest, InjectedReplFaultTearsSyncStreamsDetectably) {
+  FaultInjector injector(17);
+  injector.set_rate(FaultSite::kReplSync, 1.0);
+  SetProcessFaultInjector(&injector);
+
+  OptimizationService primary(db_.get(), &properties_, ServiceOptions{});
+  SocketServer server(&primary, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(
+      primary.Handle(Oql("select p.age from p in P")).status.ok());
+
+  // Primary side: the shipped bytes are corrupted AFTER the checksum is
+  // taken, so the mismatch is always detectable by the receiver.
+  SyncStream torn = ParseSyncResponse(primary.HandleLine("SYNC"));
+  ASSERT_TRUE(torn.ok);
+  EXPECT_NE(StableStringHash(torn.payload), torn.checksum);
+
+  // Standby side: the injected fault fails the sync attempt outright; the
+  // standby stays NOT_READY rather than applying anything.
+  ServiceOptions standby_options;
+  standby_options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, standby_options);
+  ReplicationOptions repl;
+  repl.port = server.port();
+  repl.io_deadline_ms = 2'000;
+  ReplicationClient client(&standby, repl);
+  EXPECT_FALSE(client.SyncOnce().ok());
+  EXPECT_FALSE(standby.ServingReads());
+
+  // Chaos off: the very same pair syncs cleanly.
+  SetProcessFaultInjector(nullptr);
+  Status synced = client.SyncOnce();
+  ASSERT_TRUE(synced.ok()) << synced.ToString();
+  EXPECT_TRUE(standby.ServingReads());
+  server.Stop();
+}
+
+TEST_F(ServiceTest, ApplySyncBytesRejectsGarbageAndForeignStreams) {
+  ServiceOptions options;
+  options.standby = true;
+  OptimizationService standby(db_.get(), &properties_, options);
+
+  // Garbage: unusable header, standby stays NOT_READY.
+  SnapshotRestoreReport garbage = standby.ApplySyncBytes("not a snapshot");
+  EXPECT_EQ(garbage.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(standby.ServingReads());
+
+  // A stream from a different rule catalog: refused whole, because "ready
+  // with plans the local rules cannot reproduce" is worse than NOT_READY.
+  PlanSnapshot foreign;
+  foreign.rule_fingerprint = standby.rule_fingerprint() ^ 0x1;
+  foreign.catalog_version = 1;
+  PlanSnapshotEntry entry;
+  entry.catalog_version = 1;
+  entry.term_text = "iterate(x)";
+  entry.payload = "plan";
+  foreign.entries.push_back(entry);
+  SnapshotRestoreReport report =
+      standby.ApplySyncBytes(EncodePlanSnapshot(foreign));
+  EXPECT_EQ(report.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_FALSE(standby.ServingReads());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot decoder fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheIoTest, DecoderFuzzRandomBytesNeverCrash) {
+  Rng rng(0x5eed);
+  for (int round = 0; round < 400; ++round) {
+    const size_t len = rng.Index(600);
+    std::string bytes;
+    bytes.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    SnapshotReadReport report;
+    PlanSnapshot decoded = DecodePlanSnapshot(bytes, &report);
+    // Random bytes never form a validated snapshot: no crash, no silent
+    // acceptance.
+    EXPECT_TRUE(decoded.entries.empty()) << "round " << round;
+    EXPECT_GE(report.skipped, 1u) << "round " << round;
+  }
+
+  // Random tails behind a well-formed header: the damage is behind the
+  // declared count, so it must surface as counted skips.
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes =
+        "KOLASNAP 1 fp=00000000deadbeef version=2 entries=3\n";
+    const size_t len = rng.Index(400);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    SnapshotReadReport report;
+    DecodePlanSnapshot(bytes, &report);
+    EXPECT_TRUE(report.header_ok) << "round " << round;
+    EXPECT_GE(report.skipped, 1u) << "round " << round;
+  }
+}
+
+TEST(PlanCacheIoTest, DecoderFuzzEverySingleByteMutationCountsASkip) {
+  PlanSnapshot original = ThreeEntrySnapshot();
+  const std::string encoded = EncodePlanSnapshot(original);
+  // Every byte position, three different flips each: framing bytes,
+  // header fields that still parse, entry bodies, trailer hex -- no
+  // damage may decode clean. (This is the property the seeded file
+  // checksum exists for: a flipped fingerprint/version/count digit still
+  // parses, but desynchronizes the trailer.)
+  const unsigned char masks[] = {0x01, 0x20, 0x80};
+  for (size_t at = 0; at < encoded.size(); ++at) {
+    for (unsigned char mask : masks) {
+      std::string mutated = encoded;
+      mutated[at] = static_cast<char>(mutated[at] ^ mask);
+      SnapshotReadReport report;
+      PlanSnapshot decoded = DecodePlanSnapshot(mutated, &report);
+      EXPECT_GE(report.skipped, 1u)
+          << "byte " << at << " xor 0x" << std::hex << int(mask);
+      EXPECT_LE(decoded.entries.size(), original.entries.size());
+    }
+  }
 }
 
 }  // namespace
